@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Reproduces paper Figure 13: hit rate and MPKI of the proposed
+ * direct-mapped, memory-side (victim) eDRAM L4 cache as capacity
+ * sweeps 64 MiB .. 8 GiB, behind the rightsized 23 MiB L3. The
+ * paper's landmarks: 1 GiB captures most of the heap locality; the
+ * remaining misses are dominated by the shard; heap hit rate trends
+ * toward ~90% at the top capacities.
+ *
+ * Runs on the 1/32-scale sweep profile; capacities are reported in
+ * paper-equivalent units (simulated size x 16).
+ */
+
+#include <cstdio>
+
+#include "core/experiments.hh"
+#include "util/table.hh"
+
+namespace wsearch {
+namespace {
+
+void
+runFig13()
+{
+    printBanner("Figure 13",
+                "L4 capacity sweep (direct-mapped victim cache, "
+                "1/32-scale)");
+    const WorkloadProfile prof = WorkloadProfile::s1LeafCapacitySweep();
+    const PlatformConfig plt1 = PlatformConfig::plt1();
+    const uint64_t l3_sim = (23 * MiB) / prof.sweepScale;
+
+    Table t({"L4 (paper-eq)", "L4 (sim)", "Heap hit", "Shard hit",
+             "Comb. hit", "Heap MPKI", "Shard MPKI", "Comb. MPKI"});
+    for (uint64_t sim = 2 * MiB; sim <= 256 * MiB; sim *= 2) {
+        RunOptions opt;
+        opt.cores = 16;
+        opt.l3Bytes = l3_sim;
+        L4Config l4;
+        l4.sizeBytes = sim;
+        opt.l4 = l4;
+        opt.measureRecords = 24'000'000;
+        opt.warmupRecords = 48'000'000;
+        const SystemResult r = runWorkload(prof, plt1, opt);
+        const uint64_t i = r.instructions;
+        t.addRow({formatBytes(sim * prof.sweepScale), formatBytes(sim),
+                  Table::fmtPct(r.l4.hitRate(AccessKind::Heap), 0),
+                  Table::fmtPct(r.l4.hitRate(AccessKind::Shard), 0),
+                  Table::fmtPct(r.l4.hitRateTotal(), 0),
+                  Table::fmt(r.l4.mpki(AccessKind::Heap, i), 2),
+                  Table::fmt(r.l4.mpki(AccessKind::Shard, i), 2),
+                  Table::fmt(r.l4.mpkiTotal(i), 2)});
+        std::fflush(stdout);
+    }
+    t.print();
+    std::printf("\nPaper: a 1 GiB L4 captures most heap locality; "
+                "remaining misses are mostly shard; ~50%% of DRAM "
+                "accesses filtered overall at 1 GiB.\n"
+                "MPKI columns are on the sweep profile's boosted "
+                "data-access rate; compare shapes, not absolutes.\n");
+}
+
+} // namespace
+} // namespace wsearch
+
+int
+main()
+{
+    wsearch::runFig13();
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reproduces paper Figure 2a: search throughput (QPS) scaling with
+ * core count, SMT off, on a 4-socket PLT1-class system (8 to 72
+ * cores). Near-perfect scaling is the paper's evidence that search is
+ * not limited by sharing, shared-cache bandwidth, or I/O.
+ *
+ * QPS is modeled as cores x per-thread IPC; the L3 per socket is
+ * constant, so L3 capacity per core varies exactly as on the real
+ * machine (the paper notes the impact is small).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/experiments.hh"
+#include "util/table.hh"
+
+namespace wsearch {
+namespace {
+
+void
+runFig2a()
+{
+    printBanner("Figure 2a",
+                "Search throughput scaling with core count (SMT off)");
+    const PlatformConfig plt1 = PlatformConfig::plt1();
+    const WorkloadProfile prof = WorkloadProfile::s1Leaf();
+
+    Table t({"Cores", "Cores/socket", "Per-thread IPC",
+             "Normalized QPS", "Scaling efficiency"});
+    double qps8 = 0;
+    for (uint32_t cores : {8u, 16u, 24u, 32u, 40u, 48u, 56u, 64u, 72u}) {
+        // Sockets are share-nothing for search (disjoint threads,
+        // private 45 MiB L3 per socket): simulate one socket's share
+        // and scale linearly across sockets, exactly like the real
+        // 4-socket system.
+        const uint32_t sockets = (cores + 17) / 18;
+        const uint32_t per_socket = cores / sockets;
+        RunOptions opt;
+        opt.cores = per_socket;
+        opt.measureRecords = 2'000'000ull * per_socket;
+        const SystemResult r = runWorkload(prof, plt1, opt);
+        const double qps = cores * r.ipcPerThread;
+        if (qps8 == 0)
+            qps8 = qps;
+        t.addRow({Table::fmtInt(cores), Table::fmtInt(per_socket),
+                  Table::fmt(r.ipcPerThread, 3),
+                  Table::fmt(qps / qps8, 2),
+                  Table::fmtPct(qps / qps8 / (cores / 8.0), 1)});
+        std::fflush(stdout);
+    }
+    t.print();
+    std::printf("\nPaper: near-perfect linear scaling to 72 cores "
+                "(9x at 72 vs 8).\n");
+}
+
+} // namespace
+} // namespace wsearch
+
+int
+main()
+{
+    wsearch::runFig2a();
+    return 0;
+}

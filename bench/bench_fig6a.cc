@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Reproduces paper Figure 6a: per-level (L1/L2/L3) misses broken down
+ * by access type (code / heap / shard) on a PLT1-like hierarchy with
+ * a 40 MiB L3 driven by 16 threads of S1-leaf traffic — the paper's
+ * simulator baseline (§III-A).
+ */
+
+#include <cstdio>
+
+#include "core/experiments.hh"
+#include "util/table.hh"
+
+namespace wsearch {
+namespace {
+
+void
+runFig6a()
+{
+    printBanner("Figure 6a",
+                "Cache MPKI across the hierarchy by access type");
+    RunOptions opt;
+    opt.cores = 16;
+    opt.l3Bytes = 40 * MiB;
+    opt.measureRecords = 32'000'000;
+    opt.warmupRecords = 48'000'000;
+    const SystemResult r = runWorkload(WorkloadProfile::s1Leaf(),
+                                       PlatformConfig::plt1(), opt);
+    const uint64_t instr = r.instructions;
+    const CacheLevelStats l1 = [&] {
+        CacheLevelStats s = r.l1i;
+        s += r.l1d;
+        return s;
+    }();
+
+    Table t({"Level", "Code MPKI", "Heap MPKI", "Shard MPKI",
+             "Stack MPKI", "Total MPKI"});
+    auto row = [&](const char *name, const CacheLevelStats &s) {
+        t.addRow({name, Table::fmt(s.mpki(AccessKind::Code, instr), 2),
+                  Table::fmt(s.mpki(AccessKind::Heap, instr), 2),
+                  Table::fmt(s.mpki(AccessKind::Shard, instr), 2),
+                  Table::fmt(s.mpki(AccessKind::Stack, instr), 2),
+                  Table::fmt(s.mpkiTotal(instr), 2)});
+    };
+    row("L1", l1);
+    row("L2", r.l2);
+    row("L3", r.l3);
+    t.print();
+    std::printf("\nPaper: L1/L2 miss significantly for code, heap and "
+                "shard; the shared L3 eliminates virtually all "
+                "instruction misses while heap and shard still miss "
+                "to memory.\n");
+}
+
+} // namespace
+} // namespace wsearch
+
+int
+main()
+{
+    wsearch::runFig6a();
+    return 0;
+}

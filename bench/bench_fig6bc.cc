@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Reproduces paper Figures 6b and 6c: L3 working-set hit-rate and
+ * MPKI curves by access type as L3 capacity sweeps 4 MiB .. 2 GiB.
+ * The paper's story: 16 MiB suffices for code; heap locality needs
+ * ~1 GiB (95% hit); the shard barely reaches 50% at 2 GiB.
+ *
+ * Runs on the 1/32-scale sweep profile (see WorkloadProfile::
+ * s1LeafSweep); capacities below are simulated sizes, reported with
+ * their paper-equivalent (x16) alongside.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/experiments.hh"
+#include "util/table.hh"
+
+namespace wsearch {
+namespace {
+
+void
+runFig6bc()
+{
+    printBanner("Figure 6b/6c",
+                "L3 hit-rate and MPKI vs capacity, by access type "
+                "(1/32-scale sweep)");
+    const WorkloadProfile prof = WorkloadProfile::s1LeafCapacitySweep();
+    const PlatformConfig plt1 = PlatformConfig::plt1();
+
+    Table t({"L3 (paper-eq)", "L3 (sim)", "Code hit", "Heap hit",
+             "Shard hit", "Comb. hit", "Code MPKI", "Heap MPKI",
+             "Shard MPKI", "Comb. MPKI"});
+    for (uint64_t sim = 128 * KiB; sim <= 64 * MiB; sim *= 2) {
+        RunOptions opt;
+        opt.cores = 16;
+        opt.l3Bytes = sim;
+        opt.l3Ways = 16; // power-of-two friendly across the sweep
+        opt.measureRecords = 24'000'000;
+        opt.warmupRecords = 48'000'000;
+        const SystemResult r = runWorkload(prof, plt1, opt);
+        const uint64_t instr = r.instructions;
+        t.addRow({formatBytes(sim * prof.sweepScale), formatBytes(sim),
+                  Table::fmtPct(r.l3.hitRate(AccessKind::Code), 0),
+                  Table::fmtPct(r.l3.hitRate(AccessKind::Heap), 0),
+                  Table::fmtPct(r.l3.hitRate(AccessKind::Shard), 0),
+                  Table::fmtPct(r.l3.hitRateTotal(), 0),
+                  Table::fmt(r.l3.mpki(AccessKind::Code, instr), 2),
+                  Table::fmt(r.l3.mpki(AccessKind::Heap, instr), 2),
+                  Table::fmt(r.l3.mpki(AccessKind::Shard, instr), 2),
+                  Table::fmt(r.l3.mpkiTotal(instr), 2)});
+        std::fflush(stdout);
+    }
+    t.print();
+    std::printf("\nPaper landmarks: code misses vanish by 16 MiB; "
+                "heap hit ~95%% at 1 GiB; shard ~50%% at 2 GiB; "
+                "combined MPKI 3.51 @32 MiB -> 1.37 @1 GiB.\n"
+                "MPKI columns are on the sweep profile's boosted "
+                "data-access rate; compare shapes, not absolutes.\n");
+}
+
+} // namespace
+} // namespace wsearch
+
+int
+main()
+{
+    wsearch::runFig6bc();
+    return 0;
+}

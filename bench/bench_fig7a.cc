@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Reproduces paper Figure 7a: MPKI reduction when conflict misses are
+ * eliminated (same-capacity, conflict-free caches). The paper finds
+ * ~7.4% at L1 and <1% at L2/L3, concluding default associativities
+ * are a good design point. Conflict-freedom is modeled by raising the
+ * level's associativity until sets are (nearly) fully shared; a
+ * cold/capacity/conflict classification from the exact
+ * fully-associative shadow (MissClassifier) is printed as a
+ * cross-check for the L1-D.
+ */
+
+#include <cstdio>
+
+#include "core/experiments.hh"
+#include "memsim/miss_class.hh"
+#include "trace/synthetic.hh"
+#include "util/table.hh"
+
+namespace wsearch {
+namespace {
+
+struct LevelMpki
+{
+    double l1i, l1d, l2, l3;
+};
+
+void
+runFig7a()
+{
+    printBanner("Figure 7a",
+                "MPKI decrease from eliminating conflict misses");
+    // Conflict-free variants: one level at a time gets enough ways
+    // that conflicts effectively vanish (L1: single 512-way set; L2:
+    // 8 sets; L3: 64-way -- high enough to kill conflicts while
+    // avoiding large-associativity LRU pathologies).
+    const PlatformConfig plt = PlatformConfig::plt1();
+    const WorkloadProfile prof = WorkloadProfile::s1Leaf();
+
+    auto run_with_ways = [&](uint32_t l1ways, uint32_t l2ways,
+                             uint32_t l3ways,
+                             uint64_t records) -> LevelMpki {
+        SystemConfig cfg = plt.system(prof, 16);
+        cfg.hierarchy.l1i.ways = l1ways;
+        cfg.hierarchy.l1d.ways = l1ways;
+        cfg.hierarchy.l2.ways = l2ways;
+        cfg.hierarchy.l3.ways = l3ways;
+        SyntheticSearchTrace trace(prof, 16);
+        SystemSimulator sim(cfg);
+        const uint64_t n = traceBudget(records);
+        const SystemResult r = sim.run(trace, n / 2, n);
+        const uint64_t i = r.instructions;
+        return {r.l1i.mpkiTotal(i), r.l1d.mpkiTotal(i),
+                r.l2.mpkiTotal(i), r.l3.mpkiTotal(i)};
+    };
+
+    // Identical budgets for the baseline and every variant so cold
+    // misses cancel in the comparison.
+    const LevelMpki def = run_with_ways(8, 8, 20, 16'000'000);
+    const LevelMpki fa1 = run_with_ways(512, 8, 20, 16'000'000);
+    const LevelMpki fa2 = run_with_ways(8, 512, 20, 16'000'000);
+    const LevelMpki fa3 = run_with_ways(8, 8, 64, 16'000'000);
+
+    Table t({"Level", "Default MPKI", "Conflict-free MPKI",
+             "Decrease", "(paper)"});
+    auto pct = [](double a, double b) {
+        return Table::fmtPct(a > 0 ? (a - b) / a : 0.0, 1);
+    };
+    t.addRow({"L1-I", Table::fmt(def.l1i, 2), Table::fmt(fa1.l1i, 2),
+              pct(def.l1i, fa1.l1i), "~7%"});
+    t.addRow({"L1-D", Table::fmt(def.l1d, 2), Table::fmt(fa1.l1d, 2),
+              pct(def.l1d, fa1.l1d), "~7%"});
+    t.addRow({"L2", Table::fmt(def.l2, 2), Table::fmt(fa2.l2, 2),
+              pct(def.l2, fa2.l2), "<1%"});
+    t.addRow({"L3", Table::fmt(def.l3, 2), Table::fmt(fa3.l3, 2),
+              pct(def.l3, fa3.l3), "<1%"});
+    t.print();
+
+    // Cross-check with the exact cold/capacity/conflict classifier on
+    // the L1-D reference stream.
+    SyntheticSearchTrace trace(prof, 1);
+    MissClassifier mc({32 * KiB, 64, 8});
+    TraceRecord buf[4096];
+    uint64_t n = traceBudget(2'000'000);
+    while (n > 0) {
+        const size_t got =
+            trace.fill(buf, std::min<uint64_t>(4096, n));
+        for (size_t i = 0; i < got; ++i)
+            if (buf[i].hasData())
+                mc.access(buf[i].addr, buf[i].kind);
+        n -= got;
+    }
+    const MissBreakdown &b = mc.breakdown();
+    const double total = static_cast<double>(
+        b.totalCold() + b.totalCapacity() + b.totalConflict());
+    std::printf("\nL1-D miss classification (exact FA shadow): "
+                "cold %.1f%%, capacity %.1f%%, conflict %.1f%%\n",
+                100.0 * b.totalCold() / total,
+                100.0 * b.totalCapacity() / total,
+                100.0 * b.totalConflict() / total);
+    std::printf("Paper: conflicts are a minor share; heap misses are "
+                "mostly capacity, shard misses mostly cold.\n");
+}
+
+} // namespace
+} // namespace wsearch
+
+int
+main()
+{
+    wsearch::runFig7a();
+    return 0;
+}

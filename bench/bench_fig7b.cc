@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Reproduces paper Figure 7b: per-level MPKI as the cache block size
+ * sweeps 32..1024 bytes at fixed byte capacities. The paper finds the
+ * 64 B baseline captures most spatial locality; larger lines give
+ * limited benefit (consistent with the modest prefetcher gains).
+ */
+
+#include <cstdio>
+
+#include "core/experiments.hh"
+#include "util/table.hh"
+
+namespace wsearch {
+namespace {
+
+void
+runFig7b()
+{
+    printBanner("Figure 7b", "MPKI vs cache block size (all levels)");
+    Table t({"Block", "L1-I MPKI", "L1-D MPKI", "L2 MPKI", "L3 MPKI"});
+    for (uint32_t block : {32u, 64u, 128u, 256u, 512u, 1024u}) {
+        RunOptions opt;
+        opt.cores = 16;
+        opt.blockBytes = block;
+        opt.measureRecords = 16'000'000;
+        const SystemResult r = runWorkload(WorkloadProfile::s1Leaf(),
+                                           PlatformConfig::plt1(), opt);
+        const uint64_t i = r.instructions;
+        t.addRow({formatBytes(block), Table::fmt(r.l1i.mpkiTotal(i), 2),
+                  Table::fmt(r.l1d.mpkiTotal(i), 2),
+                  Table::fmt(r.l2.mpkiTotal(i), 2),
+                  Table::fmt(r.l3.mpkiTotal(i), 2)});
+        std::fflush(stdout);
+    }
+    t.print();
+    std::printf("\nPaper: MPKI shrinks with block size (sequential "
+                "code and shard runs), but most of the benefit is "
+                "already captured at 64 B; the incremental gain of "
+                "bigger lines is limited.\n");
+}
+
+} // namespace
+} // namespace wsearch
+
+int
+main()
+{
+    wsearch::runFig7b();
+    return 0;
+}

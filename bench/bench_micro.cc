@@ -1,0 +1,87 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot paths:
+ * cache access, trace generation, and the full system loop. These
+ * bound how many records per second the experiment sweeps can push.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cpu/system.hh"
+#include "memsim/cache.hh"
+#include "trace/synthetic.hh"
+#include "util/zipf.hh"
+
+namespace wsearch {
+namespace {
+
+void
+BM_CacheAccessHit(benchmark::State &state)
+{
+    SetAssocCache c({32 * KiB, 64, 8});
+    for (uint64_t a = 0; a < 32 * KiB; a += 64)
+        c.access(a, false);
+    uint64_t a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(c.access(a, false));
+        a = (a + 64) & (32 * KiB - 1);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccessHit);
+
+void
+BM_CacheAccessMissHeavy(benchmark::State &state)
+{
+    SetAssocCache c({256 * KiB, 64, 8});
+    Rng rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            c.access(rng.nextRange(1u << 26) * 64, false));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccessMissHeavy);
+
+void
+BM_ZipfSample(benchmark::State &state)
+{
+    ZipfSampler z(1u << 24, 0.9);
+    Rng rng(2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(z.sample(rng));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    SyntheticSearchTrace trace(WorkloadProfile::s1Leaf(), 16);
+    TraceRecord buf[4096];
+    for (auto _ : state)
+        benchmark::DoNotOptimize(trace.fill(buf, 4096));
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_TraceGeneration);
+
+void
+BM_FullSystemLoop(benchmark::State &state)
+{
+    SyntheticSearchTrace trace(WorkloadProfile::s1Leaf(), 16);
+    SystemConfig cfg;
+    cfg.hierarchy.numCores = 16;
+    cfg.hierarchy.l3 = {40 * MiB, 64, 20};
+    SystemSimulator sim(cfg);
+    sim.run(trace, 2'000'000, 0); // warm
+    uint64_t total = 0;
+    for (auto _ : state) {
+        sim.run(trace, 0, 100'000);
+        total += 100'000;
+    }
+    state.SetItemsProcessed(total);
+}
+BENCHMARK(BM_FullSystemLoop)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace wsearch

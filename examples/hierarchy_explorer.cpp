@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Design-space explorer: a small CLI over the library's what-if
+ * machinery. Sweeps an L3 (or L4) capacity range for a chosen
+ * workload, prints hit rates and model-projected QPS, and evaluates a
+ * user-specified cache-for-cores trade (the paper's §IV methodology
+ * as a tool).
+ *
+ *   ./examples/hierarchy_explorer l3 [workload]
+ *   ./examples/hierarchy_explorer l4 [workload]
+ *   ./examples/hierarchy_explorer trade <mib_per_core>
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/experiments.hh"
+#include "core/l4_evaluator.hh"
+#include "core/optimizer.hh"
+#include "util/table.hh"
+
+namespace wsearch {
+namespace {
+
+WorkloadProfile
+profileByName(const std::string &name)
+{
+    if (name == "s1root")
+        return WorkloadProfile::s1Root();
+    if (name == "mcf")
+        return WorkloadProfile::specMcf();
+    if (name == "cloudsuite")
+        return WorkloadProfile::cloudsuiteWebSearch();
+    if (name == "sweep")
+        return WorkloadProfile::s1LeafSweep();
+    return WorkloadProfile::s1Leaf();
+}
+
+int
+sweepL3(const WorkloadProfile &prof)
+{
+    std::printf("L3 capacity sweep for %s\n\n", prof.name.c_str());
+    const AmatModel amat;
+    const IpcModel eq1 = IpcModel::paperEq1();
+    Table t({"L3 size", "Hit rate", "AMAT (ns)", "Eq.1 QPS/core"});
+    for (uint64_t size = 4 * MiB; size <= 64 * MiB; size *= 2) {
+        RunOptions opt;
+        opt.cores = 8;
+        opt.l3Bytes = size;
+        opt.measureRecords = 8'000'000;
+        const SystemResult r =
+            runWorkload(prof, PlatformConfig::plt1(), opt);
+        const double h = r.l3.hitRateTotal();
+        t.addRow({formatBytes(size), Table::fmtPct(h, 1),
+                  Table::fmt(amat.amat(h), 1),
+                  Table::fmt(eq1.ipc(amat.amat(h)), 3)});
+    }
+    t.print();
+    return 0;
+}
+
+int
+sweepL4(const WorkloadProfile &prof)
+{
+    std::printf("L4 capacity sweep for %s (L3 fixed at 23 MiB-eq)\n\n",
+                prof.name.c_str());
+    Table t({"L4 size (paper-eq)", "Hit rate", "DRAM accesses "
+             "filtered"});
+    const uint32_t scale = prof.sweepScale;
+    for (uint64_t size = 64 * MiB; size <= 2 * GiB; size *= 2) {
+        RunOptions opt;
+        opt.cores = 8;
+        opt.l3Bytes = 23 * MiB / scale;
+        L4Config l4;
+        l4.sizeBytes = size / scale;
+        opt.l4 = l4;
+        opt.measureRecords = 10'000'000;
+        const SystemResult r =
+            runWorkload(prof, PlatformConfig::plt1(), opt);
+        t.addRow({formatBytes(size),
+                  Table::fmtPct(r.l4.hitRateTotal(), 1),
+                  Table::fmtPct(r.l4.hitRateTotal(), 1)});
+    }
+    t.print();
+    return 0;
+}
+
+int
+evaluateTrade(double mib_per_core)
+{
+    std::printf("Iso-area trade: %.2f MiB of L3 per core\n\n",
+                mib_per_core);
+    // Hit rates come from the 1/32-scale sweep profile (the CAT
+    // locality band cannot be warmed at native rates; see DESIGN.md).
+    const WorkloadProfile prof = WorkloadProfile::s1LeafSweep();
+    RunOptions opt;
+    opt.cores = 18;
+    opt.smtWays = 2;
+    opt.measureRecords = 8'000'000;
+    opt.warmupRecords = 20'000'000;
+    HitRateCurve curve;
+    for (uint64_t mib = 9; mib <= 45; mib += 9) {
+        opt.l3Bytes = mib * MiB / prof.sweepScale;
+        const SystemResult r =
+            runWorkload(prof, PlatformConfig::plt1(), opt);
+        curve.addPoint(mib * MiB, r.l3DataHitRate());
+    }
+    CacheForCoresOptimizer optimizer(AreaModel{}, AmatModel{},
+                                     IpcModel::paperEq1(), curve);
+    const TradeoffPoint p = optimizer.evaluate(mib_per_core);
+    std::printf("cores (ideal/quantized): %.1f / %u\n", p.coresIdeal,
+                p.coresQuantized);
+    std::printf("QPS vs 18-core baseline: %+.1f%% (ideal), %+.1f%% "
+                "(quantized)\n", p.qpsIdeal * 100, p.qpsQuantized * 100);
+    std::printf("decomposition: %+.1f%% from cores, %+.1f%% from "
+                "cache\n", p.gainFromCores * 100, p.lossFromCache * 100);
+    return 0;
+}
+
+} // namespace
+} // namespace wsearch
+
+int
+main(int argc, char **argv)
+{
+    using namespace wsearch;
+    const std::string mode = argc > 1 ? argv[1] : "l3";
+    if (mode == "trade") {
+        const double c = argc > 2 ? std::atof(argv[2]) : 1.0;
+        return evaluateTrade(c);
+    }
+    const WorkloadProfile prof =
+        profileByName(argc > 2 ? argv[2] : (mode == "l4" ? "sweep"
+                                                         : "s1leaf"));
+    if (mode == "l4")
+        return sweepL4(prof);
+    return sweepL3(prof);
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Quickstart: build a PLT1-like cache hierarchy, run a calibrated
+ * synthetic search trace through the full system simulator (caches +
+ * branch predictors + Top-Down core model), and print the headline
+ * metrics. This is the 20-line tour of the library's public API.
+ *
+ *   ./examples/quickstart [million_records]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/experiments.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace wsearch;
+
+    const uint64_t millions =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 16;
+
+    // 1. Pick a workload (Google-search-leaf-like) and a platform
+    //    (Haswell-like "PLT1" from the paper's Table II).
+    const WorkloadProfile workload = WorkloadProfile::s1Leaf();
+    const PlatformConfig platform = PlatformConfig::plt1();
+
+    // 2. Describe the run: 16 cores, SMT off, default 45 MiB L3.
+    RunOptions opt;
+    opt.cores = 16;
+    opt.measureRecords = millions * 1'000'000;
+
+    // 3. Simulate.
+    const SystemResult r = runWorkload(workload, platform, opt);
+
+    // 4. Read off the metrics the paper reports.
+    std::printf("Workload: %s on %s (%u cores)\n",
+                workload.name.c_str(), platform.name.c_str(),
+                opt.cores);
+    std::printf("  instructions        %llu\n",
+                (unsigned long long)r.instructions);
+    std::printf("  IPC per thread      %.2f\n", r.ipcPerThread);
+    std::printf("  L3 load MPKI        %.2f\n", r.l3LoadMpki());
+    std::printf("  L2 instr MPKI       %.2f\n", r.l2InstrMpki());
+    std::printf("  branch MPKI         %.2f\n", r.branchMpki());
+    std::printf("  L3 hit rate         %.1f%%\n",
+                100.0 * r.l3.hitRateTotal());
+    std::printf("  AMAT at L3          %.1f ns\n", r.amatL3Ns);
+    std::printf("  Top-Down: retiring %.0f%%, bad-spec %.0f%%, "
+                "FE %.0f%%, BE-mem %.0f%%\n",
+                100 * r.topdown.retiringFrac(),
+                100 * r.topdown.badSpecFrac(),
+                100 * (r.topdown.feLatFrac() + r.topdown.feBwFrac()),
+                100 * r.topdown.beMemFrac());
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Top-Down profiler example: run any built-in workload on either
+ * platform and print the full Yasin-style slot breakdown, per-level
+ * MPKIs, branch behaviour, and the AMAT/IPC relationship — the
+ * paper's §II/III characterization workflow as a tool.
+ *
+ *   ./examples/topdown_profile [workload] [plt1|plt2] [cores]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/experiments.hh"
+#include "util/table.hh"
+
+namespace wsearch {
+namespace {
+
+WorkloadProfile
+profileByName(const std::string &name)
+{
+    if (name == "s2leaf")
+        return WorkloadProfile::s2Leaf();
+    if (name == "s3leaf")
+        return WorkloadProfile::s3Leaf();
+    if (name == "s1root")
+        return WorkloadProfile::s1Root();
+    if (name == "perlbench")
+        return WorkloadProfile::specPerlbench();
+    if (name == "mcf")
+        return WorkloadProfile::specMcf();
+    if (name == "gobmk")
+        return WorkloadProfile::specGobmk();
+    if (name == "omnetpp")
+        return WorkloadProfile::specOmnetpp();
+    if (name == "cloudsuite")
+        return WorkloadProfile::cloudsuiteWebSearch();
+    return WorkloadProfile::s1Leaf();
+}
+
+} // namespace
+} // namespace wsearch
+
+int
+main(int argc, char **argv)
+{
+    using namespace wsearch;
+    const WorkloadProfile prof =
+        profileByName(argc > 1 ? argv[1] : "s1leaf");
+    const PlatformConfig plt =
+        (argc > 2 && std::string(argv[2]) == "plt2")
+            ? PlatformConfig::plt2() : PlatformConfig::plt1();
+    RunOptions opt;
+    opt.cores = argc > 3 ? std::atoi(argv[3]) : 8;
+    opt.measureRecords = 2'500'000ull * opt.cores;
+
+    std::printf("Profiling %s on %s (%u cores)...\n\n",
+                prof.name.c_str(), plt.name.c_str(), opt.cores);
+    const SystemResult r = runWorkload(prof, plt, opt);
+    const uint64_t i = r.instructions;
+
+    Table td({"Top-Down category", "Share of issue slots"});
+    td.addRow({"Retiring", Table::fmtPct(r.topdown.retiringFrac(), 1)});
+    td.addRow({"Bad speculation",
+               Table::fmtPct(r.topdown.badSpecFrac(), 1)});
+    td.addRow({"Front-end latency",
+               Table::fmtPct(r.topdown.feLatFrac(), 1)});
+    td.addRow({"Front-end bandwidth",
+               Table::fmtPct(r.topdown.feBwFrac(), 1)});
+    td.addRow({"Back-end memory",
+               Table::fmtPct(r.topdown.beMemFrac(), 1)});
+    td.addRow({"Back-end core",
+               Table::fmtPct(r.topdown.beCoreFrac(), 1)});
+    td.print();
+
+    Table caches({"Level", "Total MPKI", "Code MPKI", "Data MPKI",
+                  "Hit rate"});
+    auto row = [&](const char *name, const CacheLevelStats &s) {
+        caches.addRow({name, Table::fmt(s.mpkiTotal(i), 2),
+                       Table::fmt(s.mpki(AccessKind::Code, i), 2),
+                       Table::fmt(s.mpkiData(i), 2),
+                       Table::fmtPct(s.hitRateTotal(), 1)});
+    };
+    std::printf("\n");
+    row("L1-I", r.l1i);
+    row("L1-D", r.l1d);
+    row("L2", r.l2);
+    row("L3", r.l3);
+    caches.print();
+
+    std::printf("\nIPC/thread %.3f | branch MPKI %.2f "
+                "(%.1f%% mispredict) | AMAT_L3 %.1f ns\n",
+                r.ipcPerThread, r.branchMpki(),
+                r.branches ? 100.0 * r.mispredicts / r.branches : 0.0,
+                r.amatL3Ns);
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The paper's analytical performance model (§III-D): average memory
+ * access time at the L3, and the measurement-calibrated linear IPC
+ * model (Eq. 1): IPC = -8.62e-3 * AMAT_L3 + 1.78. The model is valid
+ * because search has low per-thread memory-level parallelism, so L3
+ * AMAT translates almost directly into stall time.
+ */
+
+#ifndef WSEARCH_CORE_AMAT_MODEL_HH
+#define WSEARCH_CORE_AMAT_MODEL_HH
+
+#include <vector>
+
+#include "stats/linreg.hh"
+
+namespace wsearch {
+
+/** AMAT calculator for post-L2 levels. */
+struct AmatModel
+{
+    double tL3Ns = 23.0;
+    double tL4Ns = 40.0;
+    double tMemNs = 123.0;
+    double l4MissExtraNs = 0.0; ///< serialization penalty when the L4
+                                ///< tag check is not overlapped with
+                                ///< memory scheduling
+
+    /** AMAT without an L4. */
+    double
+    amat(double h_l3) const
+    {
+        return h_l3 * tL3Ns + (1.0 - h_l3) * tMemNs;
+    }
+
+    /** AMAT with an L4 behind the L3. */
+    double
+    amatWithL4(double h_l3, double h_l4) const
+    {
+        const double miss_path = h_l4 * tL4Ns +
+            (1.0 - h_l4) * (tMemNs + l4MissExtraNs);
+        return h_l3 * tL3Ns + (1.0 - h_l3) * miss_path;
+    }
+
+    /** The paper's "future" scenario: +10% memory latency. */
+    AmatModel
+    future() const
+    {
+        AmatModel m = *this;
+        m.tMemNs *= 1.10;
+        return m;
+    }
+};
+
+/** Linear IPC(AMAT) model (paper Eq. 1). */
+struct IpcModel
+{
+    double slope = -8.62e-3;  ///< IPC per ns of AMAT_L3
+    double intercept = 1.78;
+
+    double
+    ipc(double amat_ns) const
+    {
+        return slope * amat_ns + intercept;
+    }
+
+    /** The exact coefficients published in the paper. */
+    static IpcModel
+    paperEq1()
+    {
+        return IpcModel{};
+    }
+
+    /** Refit from (AMAT, IPC) samples, as the paper did from CAT and
+     *  frequency experiments (Figure 8). */
+    static IpcModel
+    fit(const std::vector<double> &amat_ns, const std::vector<double> &ipc)
+    {
+        const LinearFit f = fitLinear(amat_ns, ipc);
+        return IpcModel{f.slope, f.intercept};
+    }
+};
+
+} // namespace wsearch
+
+#endif // WSEARCH_CORE_AMAT_MODEL_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Iso-area trade-off model (paper §IV-B): one core plus its private
+ * caches occupies roughly the area of a 4 MiB slice of L3 (verified by
+ * the paper against Haswell die photos), so total area in "equivalent
+ * L3 MiB" is A = n * (s + c), with n cores, s = 4 MiB per core, and c
+ * MiB of L3 per core.
+ */
+
+#ifndef WSEARCH_CORE_AREA_MODEL_HH
+#define WSEARCH_CORE_AREA_MODEL_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace wsearch {
+
+/** Area accounting in equivalent L3 MiB. */
+struct AreaModel
+{
+    double coreAreaMib = 4.0; ///< one core ~ 4 MiB of L3 (paper [7])
+
+    /** Total area of n cores with c MiB of L3 per core. */
+    double
+    area(double cores, double l3_mib_per_core) const
+    {
+        return cores * (coreAreaMib + l3_mib_per_core);
+    }
+
+    /**
+     * Cores that fit in @p area_mib with c MiB of L3 per core
+     * (fractional: the paper's non-quantized upper bound).
+     */
+    double
+    coresForArea(double area_mib, double l3_mib_per_core) const
+    {
+        return area_mib / (coreAreaMib + l3_mib_per_core);
+    }
+
+    /** Whole-core (quantized) variant; wastes leftover transistors,
+     *  which the paper later spends on the L4 controller. */
+    uint32_t
+    coresForAreaQuantized(double area_mib, double l3_mib_per_core) const
+    {
+        return static_cast<uint32_t>(
+            std::floor(coresForArea(area_mib, l3_mib_per_core)));
+    }
+};
+
+} // namespace wsearch
+
+#endif // WSEARCH_CORE_AREA_MODEL_HH

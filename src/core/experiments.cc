@@ -1,0 +1,83 @@
+#include "core/experiments.hh"
+
+#include <cstdio>
+
+#include "trace/synthetic.hh"
+
+namespace wsearch {
+
+SystemResult
+runWorkload(const WorkloadProfile &profile,
+            const PlatformConfig &platform, const RunOptions &opt)
+{
+    SystemConfig cfg = platform.system(profile, opt.cores, opt.smtWays,
+                                       opt.l3PartitionWays, opt.l4);
+    if (opt.l3Bytes)
+        cfg.hierarchy.l3.sizeBytes = *opt.l3Bytes;
+    if (opt.l3Ways)
+        cfg.hierarchy.l3.ways = *opt.l3Ways;
+    if (opt.blockBytes) {
+        cfg.hierarchy.l1i.blockBytes = *opt.blockBytes;
+        cfg.hierarchy.l1d.blockBytes = *opt.blockBytes;
+        cfg.hierarchy.l2.blockBytes = *opt.blockBytes;
+        cfg.hierarchy.l3.blockBytes = *opt.blockBytes;
+    }
+    cfg.hierarchy.prefetch = opt.prefetch;
+    cfg.hierarchy.inclusiveL3 = opt.inclusiveL3;
+    cfg.modelTlb = opt.modelTlb;
+    if (opt.modelTlb)
+        cfg.dtlb = opt.hugePages ? platform.tlbHuge : platform.tlbBase;
+
+    const uint32_t threads = opt.cores * opt.smtWays;
+    SyntheticSearchTrace trace(profile, threads);
+    SystemSimulator sim(cfg);
+    const uint64_t measure = traceBudget(opt.measureRecords);
+    const uint64_t warmup =
+        opt.warmupRecords ? traceBudget(opt.warmupRecords) : measure / 2;
+    return sim.run(trace, warmup, measure);
+}
+
+HitRateCurve
+l3HitCurve(const WorkloadProfile &profile,
+           const PlatformConfig &platform, RunOptions opt,
+           const std::vector<uint64_t> &sizes)
+{
+    HitRateCurve curve;
+    for (const uint64_t size : sizes) {
+        opt.l3Bytes = size;
+        const SystemResult r = runWorkload(profile, platform, opt);
+        curve.addPoint(size, r.l3DataHitRate());
+    }
+    return curve;
+}
+
+HitRateCurve
+l4HitCurve(const WorkloadProfile &profile,
+           const PlatformConfig &platform, RunOptions opt,
+           const std::vector<uint64_t> &sizes, bool fully_associative)
+{
+    HitRateCurve curve;
+    for (const uint64_t size : sizes) {
+        L4Config l4;
+        l4.sizeBytes = size;
+        l4.fullyAssociative = fully_associative;
+        l4.blockBytes = platform.cacheBlockBytes;
+        opt.l4 = l4;
+        const SystemResult r = runWorkload(profile, platform, opt);
+        curve.addPoint(size, r.l4.hitRateTotal());
+    }
+    return curve;
+}
+
+void
+printBanner(const std::string &experiment_id,
+            const std::string &description)
+{
+    std::printf("\n== %s: %s ==\n", experiment_id.c_str(),
+                description.c_str());
+    if (fastMode())
+        std::printf("(WSEARCH_FAST: reduced record budgets)\n");
+    std::printf("\n");
+}
+
+} // namespace wsearch

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shared experiment-harness helpers used by the bench binaries: run a
+ * (workload, platform, hierarchy-variation) combination through the
+ * full system simulator with environment-scaled record budgets, and
+ * produce the simulation-backed inputs (hit-rate curves) the
+ * analytical models consume.
+ */
+
+#ifndef WSEARCH_CORE_EXPERIMENTS_HH
+#define WSEARCH_CORE_EXPERIMENTS_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/hit_curve.hh"
+#include "core/platform.hh"
+#include "cpu/system.hh"
+#include "trace/profile.hh"
+#include "util/env.hh"
+
+namespace wsearch {
+
+/** Variations applied on top of a platform's default hierarchy. */
+struct RunOptions
+{
+    uint32_t cores = 16;
+    uint32_t smtWays = 1;
+    uint32_t l3PartitionWays = 0;     ///< CAT (0 = all ways)
+    std::optional<uint64_t> l3Bytes;  ///< override total L3 size
+    std::optional<uint32_t> l3Ways;   ///< override L3 associativity
+    std::optional<uint32_t> blockBytes; ///< override all block sizes
+    std::optional<L4Config> l4;
+    PrefetchConfig prefetch;
+    bool modelTlb = false;
+    bool hugePages = false;
+    bool inclusiveL3 = false;
+    uint64_t warmupRecords = 0;  ///< 0: derived from measure budget
+    uint64_t measureRecords = 20'000'000; ///< pre-scaling nominal
+};
+
+/** Run one configuration end to end. */
+SystemResult runWorkload(const WorkloadProfile &profile,
+                         const PlatformConfig &platform,
+                         const RunOptions &opt);
+
+/**
+ * Sweep total L3 capacity and return the overall L3 hit-rate curve
+ * (as seen by the QPS models). @p sizes in bytes.
+ */
+HitRateCurve l3HitCurve(const WorkloadProfile &profile,
+                        const PlatformConfig &platform, RunOptions opt,
+                        const std::vector<uint64_t> &sizes);
+
+/**
+ * Sweep L4 capacity at a fixed L3 and return the L4 hit-rate curve.
+ */
+HitRateCurve l4HitCurve(const WorkloadProfile &profile,
+                        const PlatformConfig &platform, RunOptions opt,
+                        const std::vector<uint64_t> &sizes,
+                        bool fully_associative);
+
+/** Print the standard bench banner. */
+void printBanner(const std::string &experiment_id,
+                 const std::string &description);
+
+} // namespace wsearch
+
+#endif // WSEARCH_CORE_EXPERIMENTS_HH

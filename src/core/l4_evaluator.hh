@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The paper's second optimization (§IV-C): a latency-optimized,
+ * on-package eDRAM L4 cache layered under the rightsized L3.
+ * Reproduces Figure 14: QPS improvement over the 18-core/45 MiB
+ * baseline for the baseline L4 (40 ns, parallel tag check), a
+ * pessimistic variant (60 ns hit, +5 ns serialized miss), a
+ * fully-associative variant, and the "future" scenario (+10% memory
+ * latency and +10% L3 misses).
+ */
+
+#ifndef WSEARCH_CORE_L4_EVALUATOR_HH
+#define WSEARCH_CORE_L4_EVALUATOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/amat_model.hh"
+#include "core/hit_curve.hh"
+
+namespace wsearch {
+
+/** Inputs the evaluator needs from simulation. */
+struct L4EvalInputs
+{
+    double baselineHitL3 = 0;   ///< hL3 of the 18-core, 45 MiB design
+    double rightsizedHitL3 = 0; ///< hL3 of the 23-core, 23 MiB design
+    HitRateCurve l4Direct;      ///< hL4(size), direct-mapped victim L4
+    HitRateCurve l4Assoc;       ///< hL4(size), fully-associative L4
+    uint32_t baselineCores = 18;
+    uint32_t optimizedCores = 23;
+};
+
+/** One of the paper's four evaluation scenarios. */
+struct L4Scenario
+{
+    std::string name;
+    double tL4Ns = 40.0;
+    double l4MissExtraNs = 0.0;
+    bool associative = false;
+    bool future = false;
+
+    static L4Scenario
+    baseline()
+    {
+        return {"Baseline", 40.0, 0.0, false, false};
+    }
+
+    static L4Scenario
+    pessimistic()
+    {
+        return {"Pessimistic", 60.0, 5.0, false, false};
+    }
+
+    static L4Scenario
+    associativeL4()
+    {
+        return {"Associative", 40.0, 0.0, true, false};
+    }
+
+    static L4Scenario
+    futureGen()
+    {
+        return {"Future", 40.0, 0.0, false, true};
+    }
+};
+
+/** Evaluates Figure 14 rows. */
+class L4Evaluator
+{
+  public:
+    L4Evaluator(const L4EvalInputs &in, const AmatModel &amat,
+                const IpcModel &ipc)
+        : in_(in), amat_(amat), ipc_(ipc)
+    {
+    }
+
+    /** QPS improvement of the rightsized design alone (no L4). */
+    double
+    rightsizeOnlyImprovement() const
+    {
+        const AmatModel m = amat_;
+        const double base = in_.baselineCores *
+            ipc_.ipc(m.amat(in_.baselineHitL3));
+        const double opt = in_.optimizedCores *
+            ipc_.ipc(m.amat(in_.rightsizedHitL3));
+        return opt / base - 1.0;
+    }
+
+    /**
+     * QPS improvement of rightsizing + an L4 of @p l4_bytes under
+     * @p scenario, relative to the unmodified baseline.
+     */
+    double
+    improvement(const L4Scenario &scenario, uint64_t l4_bytes) const
+    {
+        AmatModel m = amat_;
+        m.tL4Ns = scenario.tL4Ns;
+        m.l4MissExtraNs = scenario.l4MissExtraNs;
+        double h_l3_base = in_.baselineHitL3;
+        double h_l3_opt = in_.rightsizedHitL3;
+        if (scenario.future) {
+            // +10% memory latency; +10% last-level misses from larger
+            // shards.
+            m.tMemNs *= 1.10;
+            h_l3_base = 1.0 - (1.0 - h_l3_base) * 1.10;
+            h_l3_opt = 1.0 - (1.0 - h_l3_opt) * 1.10;
+        }
+        const HitRateCurve &curve =
+            scenario.associative ? in_.l4Assoc : in_.l4Direct;
+        const double h_l4 = curve.hitRate(l4_bytes);
+        const double base = in_.baselineCores *
+            ipc_.ipc(m.amat(h_l3_base));
+        const double opt = in_.optimizedCores *
+            ipc_.ipc(m.amatWithL4(h_l3_opt, h_l4));
+        return opt / base - 1.0;
+    }
+
+  private:
+    L4EvalInputs in_;
+    AmatModel amat_;
+    IpcModel ipc_;
+};
+
+} // namespace wsearch
+
+#endif // WSEARCH_CORE_L4_EVALUATOR_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The paper's first optimization (§IV-B): repurpose over-provisioned
+ * L3 transistors as cores under an iso-area constraint. Reproduces
+ * Figures 10 and 11 from an L3 hit-rate curve plus the area and IPC
+ * models.
+ */
+
+#ifndef WSEARCH_CORE_OPTIMIZER_HH
+#define WSEARCH_CORE_OPTIMIZER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/amat_model.hh"
+#include "core/area_model.hh"
+#include "core/hit_curve.hh"
+
+namespace wsearch {
+
+/** One evaluated design point of the cache-for-cores trade-off. */
+struct TradeoffPoint
+{
+    double l3MibPerCore = 0;
+    double coresIdeal = 0;     ///< fractional cores (upper bound)
+    uint32_t coresQuantized = 0;
+    double qpsIdeal = 0;       ///< relative to the baseline design
+    double qpsQuantized = 0;
+    /** Figure 11 decomposition. */
+    double gainFromCores = 0;  ///< +QPS from extra cores alone
+    double lossFromCache = 0;  ///< -QPS from the smaller L3 alone
+};
+
+/** Iso-area L3-capacity-for-cores optimizer. */
+class CacheForCoresOptimizer
+{
+  public:
+    /**
+     * @param l3_curve L3 hit rate as a function of total L3 bytes
+     *                 (from simulation at the intended SMT level)
+     */
+    CacheForCoresOptimizer(const AreaModel &area, const AmatModel &amat,
+                           const IpcModel &ipc,
+                           const HitRateCurve &l3_curve,
+                           uint32_t baseline_cores = 18,
+                           double baseline_mib_per_core = 2.5)
+        : area_(area), amat_(amat), ipc_(ipc), curve_(l3_curve),
+          nBase_(baseline_cores), cBase_(baseline_mib_per_core)
+    {
+    }
+
+    /** Relative QPS of an (n cores, c MiB/core) design vs baseline. */
+    double
+    relativeQps(double cores, double l3_mib_per_core) const
+    {
+        return cores * ipcAt(cores * l3_mib_per_core) /
+            (nBase_ * ipcAt(nBase_ * cBase_));
+    }
+
+    /** Evaluate one c (MiB of L3 per core) at baseline-equal area. */
+    TradeoffPoint
+    evaluate(double l3_mib_per_core) const
+    {
+        const double a = area_.area(nBase_, cBase_);
+        TradeoffPoint p;
+        p.l3MibPerCore = l3_mib_per_core;
+        p.coresIdeal = area_.coresForArea(a, l3_mib_per_core);
+        p.coresQuantized =
+            area_.coresForAreaQuantized(a, l3_mib_per_core);
+        p.qpsIdeal = relativeQps(p.coresIdeal, l3_mib_per_core) - 1.0;
+        p.qpsQuantized =
+            relativeQps(p.coresQuantized, l3_mib_per_core) - 1.0;
+        // Figure 11 decomposition at fixed baseline core count /
+        // fixed baseline cache.
+        p.gainFromCores = p.coresIdeal / nBase_ - 1.0;
+        p.lossFromCache = ipcAt(nBase_ * l3_mib_per_core) /
+                ipcAt(nBase_ * cBase_) - 1.0;
+        return p;
+    }
+
+    /** Sweep c from 2.25 down to 0.5 in steps of 0.25 (Figure 10). */
+    std::vector<TradeoffPoint>
+    sweep() const
+    {
+        std::vector<TradeoffPoint> out;
+        for (double c = 2.25; c >= 0.499; c -= 0.25)
+            out.push_back(evaluate(c));
+        return out;
+    }
+
+    /** The best quantized design in the sweep. */
+    TradeoffPoint
+    best() const
+    {
+        TradeoffPoint best_p;
+        double best_q = -1e9;
+        for (const auto &p : sweep()) {
+            if (p.qpsQuantized > best_q) {
+                best_q = p.qpsQuantized;
+                best_p = p;
+            }
+        }
+        return best_p;
+    }
+
+  private:
+    double
+    ipcAt(double total_l3_mib) const
+    {
+        const uint64_t bytes =
+            static_cast<uint64_t>(total_l3_mib * 1048576.0);
+        return ipc_.ipc(amat_.amat(curve_.hitRate(bytes)));
+    }
+
+    AreaModel area_;
+    AmatModel amat_;
+    IpcModel ipc_;
+    HitRateCurve curve_;
+    uint32_t nBase_;
+    double cBase_;
+};
+
+} // namespace wsearch
+
+#endif // WSEARCH_CORE_OPTIMIZER_HH

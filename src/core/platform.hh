@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Platform presets (paper Table II) and the glue that turns a
+ * (platform, workload) pair into a runnable SystemConfig. PLT1 models
+ * the Intel Haswell system, PLT2 the IBM POWER8 system.
+ */
+
+#ifndef WSEARCH_CORE_PLATFORM_HH
+#define WSEARCH_CORE_PLATFORM_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "cpu/smt.hh"
+#include "cpu/system.hh"
+#include "trace/profile.hh"
+
+namespace wsearch {
+
+/** A hardware platform (paper Table II). */
+struct PlatformConfig
+{
+    std::string name;
+    std::string microarchitecture;
+    uint32_t sockets = 2;
+    uint32_t coresPerSocket = 18;
+    uint32_t smtWays = 2;
+    uint32_t cacheBlockBytes = 64;
+    uint64_t l1iBytes = 32 * KiB;
+    uint64_t l1dBytes = 32 * KiB;
+    uint64_t l2Bytes = 256 * KiB;
+    uint64_t l3Bytes = 45 * MiB; ///< per socket
+    uint32_t l3Ways = 20;
+    uint32_t width = 4;
+    double freqGhz = 2.5;
+    double l3HitNs = 23.0;
+    double memNs = 123.0;
+    SmtParams smt;
+    TlbConfig tlbBase;
+    TlbConfig tlbHuge;
+    /** The platform's hardware prefetch engine when enabled. PLT2's
+     *  (POWER8) engine streams much deeper, which combined with its
+     *  128 B blocks makes pollution dominate on search (paper
+     *  Figure 2c). */
+    PrefetchConfig prefetchEngine = PrefetchConfig::allOn();
+
+    /** Intel Haswell platform (PLT1). */
+    static PlatformConfig plt1();
+
+    /** IBM POWER8 platform (PLT2). */
+    static PlatformConfig plt2();
+
+    /**
+     * Build a single-socket hierarchy using @p cores cores and
+     * @p smt_ways hardware threads per core.
+     *
+     * @param l3_partition_ways CAT partition (0 = all ways)
+     */
+    HierarchyConfig
+    hierarchy(uint32_t cores, uint32_t smt_ways,
+              uint32_t l3_partition_ways = 0) const;
+
+    /** Core-model parameters with @p profile's exposures applied. */
+    CoreModelParams coreParams(const WorkloadProfile &profile) const;
+
+    /**
+     * Full system config for @p profile on @p cores cores.
+     * Threads are expected to equal cores * smt_ways.
+     */
+    SystemConfig
+    system(const WorkloadProfile &profile, uint32_t cores,
+           uint32_t smt_ways = 1, uint32_t l3_partition_ways = 0,
+           std::optional<L4Config> l4 = std::nullopt) const;
+};
+
+} // namespace wsearch
+
+#endif // WSEARCH_CORE_PLATFORM_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Power and energy model for the paper's "Power and Energy"
+ * discussion (§IV-C): each core contributes 3.77% of baseline socket
+ * power; the cache-for-cores trade is energy-neutral (linear power
+ * and linear performance cancel); and the L4 slightly reduces memory
+ * power because eDRAM accesses cost much less energy than DRAM while
+ * most of the L4's energy benefit comes through performance
+ * (joules/query = power / QPS).
+ */
+
+#ifndef WSEARCH_CORE_POWER_MODEL_HH
+#define WSEARCH_CORE_POWER_MODEL_HH
+
+#include <cstdint>
+
+namespace wsearch {
+
+/** Socket-level power/energy accounting. */
+struct PowerModel
+{
+    double baselineSocketWatts = 145.0; ///< 18-core PLT1-class TDP
+    double corePowerShare = 0.0377;     ///< per paper: 3.77% per core
+    /** Memory-system power at the baseline (DRAM channels). */
+    double memorySystemWatts = 18.0;
+    /** Energy per 64 B access (pJ -> relative units suffice). */
+    double dramAccessNj = 20.0;
+    double edramAccessNj = 5.0; ///< eDRAM is far cheaper [10][54]
+
+    /** Socket power with @p cores active (L3 not power-gated, per
+     *  the paper's measurement caveat). */
+    double
+    socketWatts(uint32_t cores) const
+    {
+        const double non_core =
+            baselineSocketWatts * (1.0 - corePowerShare * 18.0);
+        return non_core + baselineSocketWatts * corePowerShare * cores;
+    }
+
+    /** Power increase of an n-core design over the 18-core baseline. */
+    double
+    powerIncrease(uint32_t cores) const
+    {
+        return socketWatts(cores) / socketWatts(18) - 1.0;
+    }
+
+    /**
+     * Memory-system power scale when an L4 filters @p l4_hit_rate of
+     * DRAM accesses (those become eDRAM accesses).
+     */
+    double
+    memoryPowerScale(double l4_hit_rate) const
+    {
+        return (1.0 - l4_hit_rate) +
+            l4_hit_rate * (edramAccessNj / dramAccessNj);
+    }
+
+    /**
+     * Relative energy per query: (relative power) / (relative QPS).
+     * < 1 means the design is more energy-efficient than baseline.
+     */
+    double
+    energyPerQuery(uint32_t cores, double relative_qps,
+                   double l4_hit_rate = 0.0) const
+    {
+        const double core_power = socketWatts(cores);
+        const double mem_power =
+            memorySystemWatts * memoryPowerScale(l4_hit_rate);
+        const double base_power =
+            socketWatts(18) + memorySystemWatts;
+        const double rel_power =
+            (core_power + mem_power) / base_power;
+        return rel_power / relative_qps;
+    }
+};
+
+} // namespace wsearch
+
+#endif // WSEARCH_CORE_POWER_MODEL_HH

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Branch direction predictors: bimodal, gshare, and a tournament
+ * combination (Alpha 21264-style). Production search's branch MPKI is
+ * dominated by data-dependent branches whose outcomes are effectively
+ * coin flips; the predictors recover everything else (loops, biased
+ * conditionals), so the calibrated misprediction rate is emergent.
+ */
+
+#ifndef WSEARCH_CPU_BRANCH_HH
+#define WSEARCH_CPU_BRANCH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace wsearch {
+
+/** Direction predictor interface. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /** Predict the direction of the branch at @p pc. */
+    virtual bool predict(uint64_t pc) const = 0;
+
+    /** Train with the resolved direction. */
+    virtual void update(uint64_t pc, bool taken) = 0;
+
+    virtual std::string name() const = 0;
+
+    /** Predict, train, and return whether the prediction was correct. */
+    bool
+    predictAndUpdate(uint64_t pc, bool taken)
+    {
+        const bool predicted = predict(pc);
+        update(pc, taken);
+        return predicted == taken;
+    }
+};
+
+/** Table of saturating 2-bit counters indexed by hashed PC. */
+class BimodalPredictor : public BranchPredictor
+{
+  public:
+    explicit BimodalPredictor(uint32_t entries = 16384)
+        : table_(entries, 2) // init weakly-taken (static predict-taken)
+    {
+        wsearch_assert(isPow2(entries));
+    }
+
+    bool
+    predict(uint64_t pc) const override
+    {
+        return table_[index(pc)] >= 2;
+    }
+
+    void
+    update(uint64_t pc, bool taken) override
+    {
+        uint8_t &c = table_[index(pc)];
+        if (taken && c < 3)
+            ++c;
+        else if (!taken && c > 0)
+            --c;
+    }
+
+    std::string name() const override { return "bimodal"; }
+
+  private:
+    size_t
+    index(uint64_t pc) const
+    {
+        return (pc >> 2) & (table_.size() - 1);
+    }
+
+    mutable std::vector<uint8_t> table_;
+};
+
+/** Global-history predictor: counters indexed by GHR xor PC. */
+class GSharePredictor : public BranchPredictor
+{
+  public:
+    explicit GSharePredictor(uint32_t entries = 16384,
+                             uint32_t history_bits = 12)
+        : table_(entries, 2), // init weakly-taken
+          histMask_((1ull << history_bits) - 1)
+    {
+        wsearch_assert(isPow2(entries));
+    }
+
+    bool
+    predict(uint64_t pc) const override
+    {
+        return table_[index(pc)] >= 2;
+    }
+
+    void
+    update(uint64_t pc, bool taken) override
+    {
+        uint8_t &c = table_[index(pc)];
+        if (taken && c < 3)
+            ++c;
+        else if (!taken && c > 0)
+            --c;
+        ghr_ = ((ghr_ << 1) | (taken ? 1 : 0)) & histMask_;
+    }
+
+    std::string name() const override { return "gshare"; }
+
+  private:
+    size_t
+    index(uint64_t pc) const
+    {
+        return ((pc >> 2) ^ ghr_) & (table_.size() - 1);
+    }
+
+    std::vector<uint8_t> table_;
+    uint64_t histMask_;
+    uint64_t ghr_ = 0;
+};
+
+/** Chooser-based tournament of bimodal and gshare. */
+class TournamentPredictor : public BranchPredictor
+{
+  public:
+    explicit TournamentPredictor(uint32_t entries = 16384)
+        : bimodal_(entries), gshare_(entries),
+          // Prefer the bimodal until the global-history component
+          // proves itself: cold gshare entries are noise.
+          chooser_(entries, 1)
+    {
+        wsearch_assert(isPow2(entries));
+    }
+
+    bool
+    predict(uint64_t pc) const override
+    {
+        const bool use_gshare =
+            chooser_[(pc >> 2) & (chooser_.size() - 1)] >= 2;
+        return use_gshare ? gshare_.predict(pc) : bimodal_.predict(pc);
+    }
+
+    void
+    update(uint64_t pc, bool taken) override
+    {
+        const bool b_correct = bimodal_.predict(pc) == taken;
+        const bool g_correct = gshare_.predict(pc) == taken;
+        uint8_t &c = chooser_[(pc >> 2) & (chooser_.size() - 1)];
+        if (g_correct && !b_correct && c < 3)
+            ++c;
+        else if (b_correct && !g_correct && c > 0)
+            --c;
+        bimodal_.update(pc, taken);
+        gshare_.update(pc, taken);
+    }
+
+    std::string name() const override { return "tournament"; }
+
+  private:
+    BimodalPredictor bimodal_;
+    GSharePredictor gshare_;
+    std::vector<uint8_t> chooser_;
+};
+
+} // namespace wsearch
+
+#endif // WSEARCH_CPU_BRANCH_HH

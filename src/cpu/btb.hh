@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Branch target buffer: a set-associative cache of branch targets.
+ * A taken branch whose target is absent (or stale) costs a front-end
+ * redirect bubble even when the direction was predicted correctly.
+ * Available as an optional front-end component of the system
+ * simulator; the calibrated Figure 3 runs keep it off because its
+ * effect is folded into the front-end exposure factors.
+ */
+
+#ifndef WSEARCH_CPU_BTB_HH
+#define WSEARCH_CPU_BTB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace wsearch {
+
+/** Branch target buffer. */
+class Btb
+{
+  public:
+    /**
+     * @param entries total entries (power of two)
+     * @param ways    associativity
+     */
+    explicit Btb(uint32_t entries = 4096, uint32_t ways = 4)
+        : ways_(ways), sets_(entries / ways)
+    {
+        wsearch_assert(isPow2(entries));
+        wsearch_assert(ways >= 1 && entries % ways == 0);
+        tags_.assign(entries, kInvalid);
+        targets_.assign(entries, 0);
+        stamps_.assign(entries, 0);
+    }
+
+    /**
+     * Look up the predicted target of the branch at @p pc.
+     * @return true with @p target filled on a hit.
+     */
+    bool
+    predict(uint64_t pc, uint64_t *target) const
+    {
+        const size_t base = setBase(pc);
+        for (uint32_t w = 0; w < ways_; ++w) {
+            if (tags_[base + w] == pc) {
+                *target = targets_[base + w];
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Install/refresh the resolved target of a taken branch. */
+    void
+    update(uint64_t pc, uint64_t target)
+    {
+        const size_t base = setBase(pc);
+        ++tick_;
+        uint32_t victim = 0;
+        uint64_t oldest = ~0ull;
+        for (uint32_t w = 0; w < ways_; ++w) {
+            if (tags_[base + w] == pc) {
+                targets_[base + w] = target;
+                stamps_[base + w] = tick_;
+                return;
+            }
+            if (tags_[base + w] == kInvalid) {
+                victim = w;
+                oldest = 0;
+                break;
+            }
+            if (stamps_[base + w] < oldest) {
+                oldest = stamps_[base + w];
+                victim = w;
+            }
+        }
+        tags_[base + victim] = pc;
+        targets_[base + victim] = target;
+        stamps_[base + victim] = tick_;
+    }
+
+    /**
+     * Full front-end step for a resolved branch: predict, train, and
+     * report whether the taken-path target was correctly provided.
+     * Not-taken branches never need the BTB.
+     */
+    bool
+    lookupAndUpdate(uint64_t pc, bool taken, uint64_t target)
+    {
+        if (!taken)
+            return true;
+        uint64_t predicted = 0;
+        const bool hit = predict(pc, &predicted) && predicted == target;
+        update(pc, target);
+        return hit;
+    }
+
+    uint32_t ways() const { return ways_; }
+    uint32_t sets() const { return sets_; }
+
+  private:
+    static constexpr uint64_t kInvalid = ~0ull;
+
+    size_t
+    setBase(uint64_t pc) const
+    {
+        return (static_cast<size_t>(pc >> 2) & (sets_ - 1)) * ways_;
+    }
+
+    uint32_t ways_;
+    uint32_t sets_;
+    uint64_t tick_ = 0;
+    std::vector<uint64_t> tags_;
+    std::vector<uint64_t> targets_;
+    std::vector<uint64_t> stamps_;
+};
+
+} // namespace wsearch
+
+#endif // WSEARCH_CPU_BTB_HH

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Slot-based core performance model with Top-Down accounting
+ * (Yasin [60], as used in paper §II-F). An n-wide core has n issue
+ * slots per cycle; every slot is attributed to Retiring, Bad
+ * Speculation, Front-End (latency / bandwidth), or Back-End (memory /
+ * core). The model charges miss events from the functional cache,
+ * branch, and TLB simulations with calibrated exposure factors; IPC
+ * and the Figure 3 breakdown fall out of the same accounting.
+ *
+ * The paper's key empirical finding -- IPC is linear in L3 AMAT
+ * because search has low memory-level parallelism (§III-D, Eq. 1) --
+ * is emergent here: post-L2 data latency has a high exposure factor,
+ * so back-end memory slots scale linearly with AMAT.
+ */
+
+#ifndef WSEARCH_CPU_CORE_MODEL_HH
+#define WSEARCH_CPU_CORE_MODEL_HH
+
+#include <cstdint>
+
+#include "memsim/hierarchy.hh"
+#include "trace/profile.hh"
+
+namespace wsearch {
+
+/** Latency and exposure parameters of the core model. */
+struct CoreModelParams
+{
+    uint32_t width = 4;       ///< issue slots per cycle
+    double freqGhz = 2.5;
+
+    // Load-to-use latencies beyond the L1 (ns).
+    double l2HitNs = 4.8;     ///< ~12 cycles
+    double l3HitNs = 23.0;    ///< measured t_L3 in the paper's model
+    double l4HitNs = 40.0;    ///< paper's optimized eDRAM L4
+    double memNs = 123.0;     ///< measured round-trip t_MEM
+    double l4MissExtraNs = 0.0; ///< serialization penalty (pessimistic)
+
+    double bpPenaltyCycles = 13.0; ///< mispredict flush + refill
+
+    /** Fraction of instruction-fetch miss latency exposed. */
+    double feExposure = 0.095;
+
+    // Workload-dependent exposures (copied from WorkloadProfile).
+    CpuTweaks tweaks;
+
+    double tlbWalkNs = 42.0;
+    /** Page walks serialize address translation; far less of their
+     *  latency is hidden than for ordinary loads. */
+    double tlbWalkExposure = 0.45;
+
+    /** Cycles for a given latency in ns. */
+    double
+    cycles(double ns) const
+    {
+        return ns * freqGhz;
+    }
+};
+
+/** Slot totals per Top-Down category. */
+struct TopDown
+{
+    double retiring = 0;
+    double badSpeculation = 0;
+    double frontendLatency = 0;
+    double frontendBandwidth = 0;
+    double backendMemory = 0;
+    double backendCore = 0;
+
+    double
+    total() const
+    {
+        return retiring + badSpeculation + frontendLatency +
+            frontendBandwidth + backendMemory + backendCore;
+    }
+
+    double retiringFrac() const { return retiring / total(); }
+    double badSpecFrac() const { return badSpeculation / total(); }
+    double feLatFrac() const { return frontendLatency / total(); }
+    double feBwFrac() const { return frontendBandwidth / total(); }
+    double beMemFrac() const { return backendMemory / total(); }
+    double beCoreFrac() const { return backendCore / total(); }
+};
+
+/**
+ * Per-thread accounting engine. Feed one event call per instruction;
+ * read off the Top-Down breakdown and IPC.
+ */
+class CoreModel
+{
+  public:
+    explicit CoreModel(const CoreModelParams &p) : p_(p) {}
+
+    /** Every instruction retires exactly once. */
+    void
+    onInstruction()
+    {
+        ++instructions_;
+        td_.retiring += 1.0;
+        td_.frontendBandwidth += p_.tweaks.feBwSlotsPerInstr;
+        td_.backendCore += p_.tweaks.beCoreSlotsPerInstr;
+    }
+
+    /** Charge a branch misprediction. */
+    void
+    onBranchMispredict()
+    {
+        ++mispredicts_;
+        td_.badSpeculation += p_.width * p_.bpPenaltyCycles;
+    }
+
+    /** Charge an instruction fetch that missed the L1-I. */
+    void
+    onInstrFetch(HitLevel level)
+    {
+        if (level == HitLevel::L1)
+            return;
+        td_.frontendLatency +=
+            p_.width * p_.cycles(levelNs(level)) * p_.feExposure;
+    }
+
+    /** Charge a data access that missed the L1-D. */
+    void
+    onDataAccess(HitLevel level)
+    {
+        if (level == HitLevel::L1)
+            return;
+        if (level == HitLevel::L2) {
+            td_.backendMemory += p_.width * p_.cycles(p_.l2HitNs) *
+                p_.tweaks.l2Exposure;
+            return;
+        }
+        td_.backendMemory += p_.width * p_.cycles(levelNs(level)) *
+            p_.tweaks.postL2Exposure;
+    }
+
+    /** Charge a TLB page walk (data side). */
+    void
+    onTlbWalk()
+    {
+        td_.backendMemory += p_.width * p_.cycles(p_.tlbWalkNs) *
+            p_.tlbWalkExposure;
+    }
+
+    /** Charge an instruction-side TLB page walk. */
+    void
+    onItlbWalk()
+    {
+        td_.frontendLatency += p_.width * p_.cycles(p_.tlbWalkNs) *
+            p_.tlbWalkExposure;
+    }
+
+    const TopDown &topDown() const { return td_; }
+    uint64_t instructions() const { return instructions_; }
+    uint64_t mispredicts() const { return mispredicts_; }
+
+    /** Cycles implied by the slot accounting. */
+    double
+    cycles() const
+    {
+        return td_.total() / p_.width;
+    }
+
+    /** Instructions per cycle. */
+    double
+    ipc() const
+    {
+        const double c = cycles();
+        return c > 0 ? static_cast<double>(instructions_) / c : 0.0;
+    }
+
+    void
+    reset()
+    {
+        td_ = TopDown{};
+        instructions_ = 0;
+        mispredicts_ = 0;
+    }
+
+  private:
+    double
+    levelNs(HitLevel level) const
+    {
+        switch (level) {
+          case HitLevel::L1: return 0.0;
+          case HitLevel::L2: return p_.l2HitNs;
+          case HitLevel::L3: return p_.l3HitNs;
+          case HitLevel::L4: return p_.l4HitNs;
+          case HitLevel::Memory: return p_.memNs + p_.l4MissExtraNs;
+        }
+        return 0.0;
+    }
+
+    CoreModelParams p_;
+    TopDown td_;
+    uint64_t instructions_ = 0;
+    uint64_t mispredicts_ = 0;
+};
+
+} // namespace wsearch
+
+#endif // WSEARCH_CPU_CORE_MODEL_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * SMT throughput model (paper Figure 2b). Cache contention between
+ * hardware threads is emergent from the functional simulation (threads
+ * share L1/L2); this model converts the contention-adjusted
+ * single-thread issue utilization into multi-thread core IPC using a
+ * utilization-overlap formula with an issue-contention efficiency
+ * factor per thread count.
+ */
+
+#ifndef WSEARCH_CPU_SMT_HH
+#define WSEARCH_CPU_SMT_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace wsearch {
+
+/** Issue-contention efficiency per SMT level (1.0 = no contention). */
+struct SmtParams
+{
+    double eta2 = 0.86;
+    double eta4 = 0.76;
+    double eta8 = 0.66;
+
+    double
+    eta(uint32_t threads) const
+    {
+        if (threads <= 1)
+            return 1.0;
+        if (threads == 2)
+            return eta2;
+        if (threads <= 4)
+            return eta4;
+        return eta8;
+    }
+};
+
+/**
+ * Core IPC with @p threads hardware threads.
+ *
+ * @param per_thread_ipc single-thread IPC measured *with* the cache
+ *                       contention of the target SMT level (i.e. from
+ *                       a simulation where the threads share L1/L2)
+ * @param width          issue width
+ */
+inline double
+smtCoreIpc(double per_thread_ipc, uint32_t width, uint32_t threads,
+           const SmtParams &p = SmtParams{})
+{
+    const double u = per_thread_ipc / width;
+    const double busy = 1.0 - std::pow(1.0 - u,
+                                       static_cast<double>(threads));
+    return width * busy * p.eta(threads);
+}
+
+} // namespace wsearch
+
+#endif // WSEARCH_CPU_SMT_HH

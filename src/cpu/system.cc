@@ -1,0 +1,132 @@
+#include "cpu/system.hh"
+
+#include <algorithm>
+
+namespace wsearch {
+
+SystemSimulator::SystemSimulator(const SystemConfig &cfg)
+    : cfg_(cfg), hier_(cfg.hierarchy), core_(cfg.core)
+{
+    for (uint32_t c = 0; c < cfg.hierarchy.numCores; ++c) {
+        predictors_.emplace_back(cfg.predictorEntries);
+        if (cfg.modelTlb) {
+            dtlbs_.emplace_back(cfg.dtlb);
+            itlbs_.emplace_back(cfg.dtlb);
+        }
+    }
+}
+
+void
+SystemSimulator::resetStats()
+{
+    hier_.resetStats();
+    core_.reset();
+    branches_ = 0;
+    mispredicts_ = 0;
+    itlbWalks_ = 0;
+    dtlbWalks_ = 0;
+    dtlbAccesses_ = 0;
+    for (auto &t : dtlbs_)
+        t.resetStats();
+    for (auto &t : itlbs_)
+        t.resetStats();
+}
+
+void
+SystemSimulator::pump(TraceSource &src, uint64_t count)
+{
+    constexpr size_t kBatch = 8192;
+    TraceRecord buf[kBatch];
+    uint64_t done = 0;
+    const bool tlb = cfg_.modelTlb;
+    while (done < count) {
+        const size_t want = static_cast<size_t>(
+            std::min<uint64_t>(kBatch, count - done));
+        const size_t got = src.fill(buf, want);
+        if (got == 0)
+            break;
+        for (size_t i = 0; i < got; ++i) {
+            const TraceRecord &r = buf[i];
+            const uint32_t c = hier_.coreOf(r.tid);
+            core_.onInstruction();
+
+            if (tlb && itlbs_[c].access(r.pc) == TlbLevel::Walk) {
+                ++itlbWalks_;
+                core_.onItlbWalk();
+            }
+            const HitLevel il = hier_.accessInstr(r.tid, r.pc);
+            core_.onInstrFetch(il);
+
+            if (r.isBranch()) {
+                ++branches_;
+                if (!predictors_[c].predictAndUpdate(r.pc,
+                                                     r.isTaken())) {
+                    ++mispredicts_;
+                    core_.onBranchMispredict();
+                }
+            }
+            if (r.hasData()) {
+                if (tlb) {
+                    ++dtlbAccesses_;
+                    if (dtlbs_[c].access(r.addr) == TlbLevel::Walk) {
+                        ++dtlbWalks_;
+                        core_.onTlbWalk();
+                    }
+                }
+                const HitLevel dl = hier_.accessData(
+                    r.tid, r.pc, r.addr, r.isStore(), r.kind);
+                core_.onDataAccess(dl);
+            }
+        }
+        done += got;
+    }
+}
+
+SystemResult
+SystemSimulator::run(TraceSource &src, uint64_t warmup, uint64_t measure)
+{
+    pump(src, warmup);
+    resetStats();
+    pump(src, measure);
+
+    SystemResult res;
+    res.instructions = core_.instructions();
+    res.l1i = hier_.l1iStats();
+    res.l1d = hier_.l1dStats();
+    res.l2 = hier_.l2Stats();
+    res.l3 = hier_.l3Stats();
+    res.l4 = hier_.l4Stats();
+    res.l3Evictions = hier_.l3Evictions();
+    res.writebacks = hier_.writebacks();
+    res.backInvalidations = hier_.backInvalidations();
+    res.branches = branches_;
+    res.mispredicts = mispredicts_;
+    res.dtlbAccesses = dtlbAccesses_;
+    res.dtlbWalks = dtlbWalks_;
+    res.itlbWalks = itlbWalks_;
+    res.topdown = core_.topDown();
+
+    // Per-thread IPC: the slot accounting aggregates all threads, so
+    // divide the implied cycles evenly (threads are symmetric).
+    const uint32_t threads =
+        cfg_.hierarchy.numCores * cfg_.hierarchy.smtWays;
+    const double cycles_per_thread = core_.cycles() / threads;
+    const double instr_per_thread =
+        static_cast<double>(res.instructions) / threads;
+    res.ipcPerThread = cycles_per_thread > 0
+        ? instr_per_thread / cycles_per_thread : 0.0;
+
+    // Average memory access time seen at the L3 (paper §III-D),
+    // over data accesses as in the paper's CAT measurements.
+    const double h_l3 = res.l3DataHitRate();
+    double miss_path = cfg_.core.memNs;
+    if (cfg_.hierarchy.l4) {
+        const double h_l4 = res.l4.hitRateTotal();
+        miss_path = h_l4 * cfg_.core.l4HitNs +
+            (1.0 - h_l4) * (cfg_.core.memNs + cfg_.core.l4MissExtraNs);
+    }
+    res.amatL3Ns = h_l3 * cfg_.core.l3HitNs + (1.0 - h_l3) * miss_path;
+    return res;
+}
+
+} // namespace wsearch

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Full-system trace simulation: cache hierarchy + branch predictors +
+ * TLBs + Top-Down core model in one loop. This is the engine behind
+ * Table I, Figures 2, 3, and 8: one pass produces MPKIs, branch
+ * behaviour, TLB walks, the Top-Down breakdown, IPC, and AMAT.
+ */
+
+#ifndef WSEARCH_CPU_SYSTEM_HH
+#define WSEARCH_CPU_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cpu/branch.hh"
+#include "cpu/core_model.hh"
+#include "cpu/tlb.hh"
+#include "memsim/hierarchy.hh"
+#include "memsim/simulator.hh"
+#include "trace/record.hh"
+
+namespace wsearch {
+
+/** Configuration of a full system simulation. */
+struct SystemConfig
+{
+    HierarchyConfig hierarchy;
+    CoreModelParams core;
+    bool modelTlb = false;
+    TlbConfig dtlb;  ///< data-side TLB (also used for instruction side)
+    /** Direction-predictor capacity; production cores have far more
+     *  predictor state than an academic 16K bimodal, which matters
+     *  against search's ~4 MiB code footprint. */
+    uint32_t predictorEntries = 128 * 1024;
+};
+
+/** Everything one system run produces. */
+struct SystemResult
+{
+    uint64_t instructions = 0;
+    CacheLevelStats l1i, l1d, l2, l3, l4;
+    uint64_t l3Evictions = 0;
+    uint64_t writebacks = 0;
+    uint64_t backInvalidations = 0;
+
+    uint64_t branches = 0;
+    uint64_t mispredicts = 0;
+
+    uint64_t dtlbAccesses = 0;
+    uint64_t dtlbWalks = 0;
+    uint64_t itlbWalks = 0;
+
+    TopDown topdown;
+    double ipcPerThread = 0;  ///< per-hardware-thread IPC
+    double amatL3Ns = 0;      ///< hL3*tL3 + (1-hL3)*t_miss-path
+
+    double
+    branchMpki() const
+    {
+        return instructions
+            ? 1000.0 * static_cast<double>(mispredicts) /
+                  static_cast<double>(instructions)
+            : 0.0;
+    }
+
+    double
+    l3LoadMpki() const
+    {
+        return l3.mpkiData(instructions);
+    }
+
+    double
+    l2InstrMpki() const
+    {
+        return l2.mpki(AccessKind::Code, instructions);
+    }
+
+    /**
+     * L3 hit rate over data accesses only -- what CAT-style
+     * load-counter measurements (paper Figure 8a) observe, and the
+     * input to the AMAT/Eq.1 models.
+     */
+    double
+    l3DataHitRate() const
+    {
+        const uint64_t code_acc = l3.accessesOf(AccessKind::Code);
+        const uint64_t code_miss = l3.missesOf(AccessKind::Code);
+        const uint64_t acc = l3.totalAccesses() - code_acc;
+        const uint64_t miss = l3.totalMisses() - code_miss;
+        if (acc == 0)
+            return 1.0;
+        return 1.0 - static_cast<double>(miss) /
+                     static_cast<double>(acc);
+    }
+};
+
+/** The combined simulator. */
+class SystemSimulator
+{
+  public:
+    explicit SystemSimulator(const SystemConfig &cfg);
+
+    /**
+     * Simulate @p warmup then @p measure records from @p src.
+     * Statistics cover the measurement phase only.
+     */
+    SystemResult run(TraceSource &src, uint64_t warmup,
+                     uint64_t measure);
+
+    CacheHierarchy &hierarchy() { return hier_; }
+
+  private:
+    void pump(TraceSource &src, uint64_t count);
+    void resetStats();
+
+    SystemConfig cfg_;
+    CacheHierarchy hier_;
+    std::vector<TournamentPredictor> predictors_; ///< one per core
+    std::vector<Tlb> dtlbs_;
+    std::vector<Tlb> itlbs_;
+    CoreModel core_; ///< aggregated slot accounting across threads
+    uint64_t branches_ = 0;
+    uint64_t mispredicts_ = 0;
+    uint64_t itlbWalks_ = 0;
+    uint64_t dtlbWalks_ = 0;
+    uint64_t dtlbAccesses_ = 0;
+};
+
+} // namespace wsearch
+
+#endif // WSEARCH_CPU_SYSTEM_HH

@@ -1,0 +1,279 @@
+#include "memsim/hierarchy.hh"
+
+namespace wsearch {
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig &cfg) : cfg_(cfg)
+{
+    wsearch_assert(cfg.numCores >= 1);
+    wsearch_assert(cfg.smtWays >= 1);
+    wsearch_assert(cfg.l2InstrPartitionWays < cfg.l2.ways);
+    for (uint32_t c = 0; c < cfg.numCores; ++c) {
+        l1i_c_.push_back(std::make_unique<SetAssocCache>(cfg.l1i));
+        l1d_c_.push_back(std::make_unique<SetAssocCache>(cfg.l1d));
+        if (cfg.l2InstrPartitionWays) {
+            // Way-partitioned split L2: instructions get the first
+            // l2InstrPartitionWays ways, data the remainder.
+            CacheConfig data_part = cfg.l2;
+            data_part.partitionWays =
+                cfg.l2.ways - cfg.l2InstrPartitionWays;
+            CacheConfig instr_part = cfg.l2;
+            instr_part.partitionWays = cfg.l2InstrPartitionWays;
+            l2_c_.push_back(
+                std::make_unique<SetAssocCache>(data_part));
+            l2i_c_.push_back(
+                std::make_unique<SetAssocCache>(instr_part));
+        } else {
+            l2_c_.push_back(std::make_unique<SetAssocCache>(cfg.l2));
+        }
+        stride_.emplace_back(256);
+        stream_.emplace_back(cfg.prefetch.streamDegree);
+    }
+    if (cfg.hasL3)
+        l3_c_ = std::make_unique<SetAssocCache>(cfg.l3);
+    if (cfg.l4) {
+        wsearch_assert(cfg.hasL3); // the L4 backs the L3 in this design
+        if (cfg.l4->fullyAssociative) {
+            l4fa_ = std::make_unique<FullyAssocLruCache>(
+                cfg.l4->sizeBytes, cfg.l4->blockBytes);
+        } else {
+            CacheConfig dm;
+            dm.sizeBytes = cfg.l4->sizeBytes;
+            dm.blockBytes = cfg.l4->blockBytes;
+            dm.ways = 1; // direct-mapped, Alloy-style
+            l4sa_ = std::make_unique<SetAssocCache>(dm);
+        }
+    }
+}
+
+void
+CacheHierarchy::resetStats()
+{
+    l1i_.reset();
+    l1d_.reset();
+    l2_.reset();
+    l3_.reset();
+    l4_.reset();
+    l3Evictions_ = 0;
+    writebacks_ = 0;
+    backInvalidations_ = 0;
+}
+
+bool
+CacheHierarchy::l4Probe(uint64_t addr) const
+{
+    if (l4sa_)
+        return l4sa_->probe(addr);
+    if (l4fa_)
+        return l4fa_->probe(addr);
+    return false;
+}
+
+void
+CacheHierarchy::l4Insert(uint64_t addr)
+{
+    if (l4sa_)
+        l4sa_->insert(addr, false, false);
+    else if (l4fa_)
+        l4fa_->insert(addr);
+}
+
+bool
+CacheHierarchy::l4Access(uint64_t addr)
+{
+    if (l4sa_)
+        return l4sa_->access(addr, false);
+    if (l4fa_)
+        return l4fa_->access(addr);
+    return false;
+}
+
+bool
+CacheHierarchy::l4Touch(uint64_t addr)
+{
+    if (l4sa_)
+        return l4sa_->touch(addr);
+    if (l4fa_)
+        return l4fa_->touch(addr);
+    return false;
+}
+
+void
+CacheHierarchy::handleL3Eviction(uint64_t evicted, bool dirty)
+{
+    ++l3Evictions_;
+    if (dirty)
+        ++writebacks_;
+    // The paper's L4 is a victim cache for L3 evictions (clean and
+    // dirty): the only fill path in VictimOfL3 mode.
+    if (cfg_.l4 && cfg_.l4->fill == L4Config::Fill::VictimOfL3)
+        l4Insert(evicted);
+    if (cfg_.inclusiveL3) {
+        // Inclusion: the block may no longer live in any private cache.
+        for (uint32_t c = 0; c < cfg_.numCores; ++c) {
+            bool inv = false;
+            inv |= l1i_c_[c]->invalidate(evicted);
+            inv |= l1d_c_[c]->invalidate(evicted);
+            inv |= l2_c_[c]->invalidate(evicted);
+            if (inv)
+                ++backInvalidations_;
+        }
+    }
+}
+
+HitLevel
+CacheHierarchy::accessSharedLevels(uint64_t addr, bool is_store,
+                                   AccessKind kind)
+{
+    if (!cfg_.hasL3) {
+        // No shared levels: misses go straight to memory.
+        return HitLevel::Memory;
+    }
+    uint64_t evicted = kNoBlock;
+    bool evicted_dirty = false;
+    const bool l3_hit =
+        l3_c_->access(addr, is_store, &evicted, &evicted_dirty);
+    l3_.record(kind, !l3_hit);
+    if (evicted != kNoBlock)
+        handleL3Eviction(evicted, evicted_dirty);
+    if (l3_hit)
+        return HitLevel::L3;
+
+    if (!cfg_.l4)
+        return HitLevel::Memory;
+
+    if (cfg_.l4->fill == L4Config::Fill::VictimOfL3) {
+        // Memory-side victim cache: a hit serves the data and the line
+        // stays resident (it caches memory, not the L3); a miss does
+        // NOT allocate -- fills come only from L3 evictions.
+        const bool l4_hit = l4Touch(addr);
+        l4_.record(kind, !l4_hit);
+        return l4_hit ? HitLevel::L4 : HitLevel::Memory;
+    }
+    // Conventional fill-on-miss L4.
+    const bool l4_hit = l4Access(addr);
+    l4_.record(kind, !l4_hit);
+    return l4_hit ? HitLevel::L4 : HitLevel::Memory;
+}
+
+HitLevel
+CacheHierarchy::missPathInstr(uint32_t core, uint64_t pc)
+{
+    SetAssocCache &l2 = l2i_c_.empty() ? *l2_c_[core]
+                                       : *l2i_c_[core];
+    uint64_t evicted = kNoBlock;
+    bool evicted_dirty = false;
+    bool was_pf = false;
+    const bool l2_hit =
+        l2.accessTrackPf(pc, false, &was_pf, &evicted, &evicted_dirty);
+    l2_.record(AccessKind::Code, !l2_hit);
+    if (was_pf)
+        ++l2_.prefetchUseful;
+    if (evicted != kNoBlock && evicted_dirty) {
+        ++writebacks_;
+        if (cfg_.hasL3)
+            l3_c_->insert(evicted, true, false);
+    }
+    if (l2_hit)
+        return HitLevel::L2;
+
+    if (cfg_.prefetch.l2Stream) {
+        uint64_t blocks[8];
+        const uint64_t block = pc / cfg_.l2.blockBytes;
+        const uint32_t n = stream_[core].observeMiss(block, blocks);
+        for (uint32_t i = 0; i < n; ++i) {
+            l2.insert(blocks[i] * cfg_.l2.blockBytes, false, true);
+            ++l2_.prefetchIssued;
+        }
+    }
+    return accessSharedLevels(pc, false, AccessKind::Code);
+}
+
+HitLevel
+CacheHierarchy::accessInstr(uint32_t tid, uint64_t pc)
+{
+    const uint32_t core = coreOf(tid);
+    SetAssocCache &l1i = *l1i_c_[core];
+    const bool hit = l1i.access(pc, false);
+    l1i_.record(AccessKind::Code, !hit);
+    if (hit)
+        return HitLevel::L1;
+    const HitLevel level = missPathInstr(core, pc);
+    return level;
+}
+
+HitLevel
+CacheHierarchy::missPathData(uint32_t core, uint64_t addr, bool is_store,
+                             AccessKind kind)
+{
+    SetAssocCache &l2 = *l2_c_[core];
+    uint64_t evicted = kNoBlock;
+    bool evicted_dirty = false;
+    bool was_pf = false;
+    const bool l2_hit = l2.accessTrackPf(addr, is_store, &was_pf,
+                                         &evicted, &evicted_dirty);
+    l2_.record(kind, !l2_hit);
+    if (was_pf)
+        ++l2_.prefetchUseful;
+    if (evicted != kNoBlock && evicted_dirty) {
+        ++writebacks_;
+        if (cfg_.hasL3)
+            l3_c_->insert(evicted, true, false);
+    }
+    if (l2_hit)
+        return HitLevel::L2;
+
+    if (cfg_.prefetch.l2Adjacent) {
+        // Buddy (adjacent-line) prefetch into the L2.
+        const uint64_t buddy =
+            (addr ^ cfg_.l2.blockBytes) & ~(uint64_t(
+                cfg_.l2.blockBytes) - 1);
+        if (!l2.probe(buddy)) {
+            l2.insert(buddy, false, true);
+            ++l2_.prefetchIssued;
+        }
+    }
+    if (cfg_.prefetch.l2Stream) {
+        uint64_t blocks[8];
+        const uint64_t block = addr / cfg_.l2.blockBytes;
+        const uint32_t n = stream_[core].observeMiss(block, blocks);
+        for (uint32_t i = 0; i < n; ++i) {
+            l2.insert(blocks[i] * cfg_.l2.blockBytes, false, true);
+            ++l2_.prefetchIssued;
+        }
+    }
+    return accessSharedLevels(addr, is_store, kind);
+}
+
+HitLevel
+CacheHierarchy::accessData(uint32_t tid, uint64_t pc, uint64_t addr,
+                           bool is_store, AccessKind kind)
+{
+    const uint32_t core = coreOf(tid);
+    SetAssocCache &l1d = *l1d_c_[core];
+    bool was_pf = false;
+    const bool hit = l1d.accessTrackPf(addr, is_store, &was_pf);
+    l1d_.record(kind, !hit);
+    if (was_pf)
+        ++l1d_.prefetchUseful;
+
+    // L1 prefetchers train on every demand access.
+    if (cfg_.prefetch.l1Stride) {
+        const uint64_t predicted = stride_[core].train(pc, addr);
+        if (predicted && !l1d.probe(predicted)) {
+            l1d.insert(predicted, false, true);
+            ++l1d_.prefetchIssued;
+        }
+    }
+    if (cfg_.prefetch.l1NextLine && !hit) {
+        const uint64_t next = addr + cfg_.l1d.blockBytes;
+        if (!l1d.probe(next)) {
+            l1d.insert(next, false, true);
+            ++l1d_.prefetchIssued;
+        }
+    }
+    if (hit)
+        return HitLevel::L1;
+    return missPathData(core, addr, is_store, kind);
+}
+
+} // namespace wsearch

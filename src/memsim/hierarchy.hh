@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Multi-core cache hierarchy: per-core private L1-I/L1-D/L2, a shared
+ * L3 (inclusive or non-inclusive), and an optional L4 modeled after the
+ * paper's proposal (§IV-C): a direct-mapped, memory-side eDRAM cache
+ * that acts as a victim cache for L3 evictions (with fully-associative
+ * and fill-on-miss variants for the sensitivity studies).
+ *
+ * SMT is modeled by mapping multiple hardware threads onto the same
+ * private caches (contention is emergent). Coherence is not modeled —
+ * the paper validates this as acceptable because production search has
+ * negligible read-write sharing (§III-A).
+ */
+
+#ifndef WSEARCH_MEMSIM_HIERARCHY_HH
+#define WSEARCH_MEMSIM_HIERARCHY_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "memsim/cache.hh"
+#include "memsim/fully_assoc.hh"
+#include "memsim/prefetch.hh"
+#include "stats/counters.hh"
+
+namespace wsearch {
+
+/** Configuration of the optional L4 cache. */
+struct L4Config
+{
+    uint64_t sizeBytes = 1 * GiB;
+    uint32_t blockBytes = 64;    ///< same as L3 (victim-cache design)
+    bool fullyAssociative = false;
+
+    /** How the L4 is filled. */
+    enum class Fill : uint8_t {
+        VictimOfL3, ///< paper design: filled by L3 evictions only
+        OnMiss,     ///< conventional: allocated on every L4 miss
+    };
+    Fill fill = Fill::VictimOfL3;
+};
+
+/** Configuration of a full hierarchy. */
+struct HierarchyConfig
+{
+    uint32_t numCores = 1;
+    uint32_t smtWays = 1; ///< hardware threads sharing one core's L1/L2
+
+    CacheConfig l1i{32 * KiB, 64, 8};
+    CacheConfig l1d{32 * KiB, 64, 8};
+    CacheConfig l2{256 * KiB, 64, 8};
+    /**
+     * Split the unified L2 by reserving this many ways for
+     * instructions (CAT-style I/D partitioning, paper §V). 0 keeps
+     * the L2 unified.
+     */
+    uint32_t l2InstrPartitionWays = 0;
+    CacheConfig l3{40 * MiB, 64, 20};
+    bool hasL3 = true;
+    bool inclusiveL3 = false; ///< back-invalidate L1/L2 on L3 eviction
+    std::optional<L4Config> l4;
+    PrefetchConfig prefetch;
+};
+
+/** Where an access was serviced. */
+enum class HitLevel : uint8_t {
+    L1 = 1,
+    L2 = 2,
+    L3 = 3,
+    L4 = 4,
+    Memory = 5,
+};
+
+/**
+ * The hierarchy. All stats are aggregated per level across cores
+ * (matching how the paper reports level MPKI).
+ */
+class CacheHierarchy
+{
+  public:
+    explicit CacheHierarchy(const HierarchyConfig &cfg);
+
+    /** Instruction fetch by hardware thread @p tid. */
+    HitLevel accessInstr(uint32_t tid, uint64_t pc);
+
+    /** Data access by hardware thread @p tid (pc trains prefetchers). */
+    HitLevel accessData(uint32_t tid, uint64_t pc, uint64_t addr,
+                        bool is_store, AccessKind kind);
+
+    const HierarchyConfig &config() const { return cfg_; }
+    uint32_t numCores() const { return cfg_.numCores; }
+
+    /** Map a hardware thread to its core. */
+    uint32_t
+    coreOf(uint32_t tid) const
+    {
+        return (tid / cfg_.smtWays) % cfg_.numCores;
+    }
+
+    // Aggregated per-level statistics.
+    const CacheLevelStats &l1iStats() const { return l1i_; }
+    const CacheLevelStats &l1dStats() const { return l1d_; }
+    const CacheLevelStats &l2Stats() const { return l2_; }
+    const CacheLevelStats &l3Stats() const { return l3_; }
+    const CacheLevelStats &l4Stats() const { return l4_; }
+
+    /** Combined L1 (I+D) stats. */
+    CacheLevelStats
+    l1Stats() const
+    {
+        CacheLevelStats s = l1i_;
+        s += l1d_;
+        return s;
+    }
+
+    uint64_t l3Evictions() const { return l3Evictions_; }
+    uint64_t writebacks() const { return writebacks_; }
+    uint64_t backInvalidations() const { return backInvalidations_; }
+
+    /** Clear statistics (keeps cache contents; used after warmup). */
+    void resetStats();
+
+    /** Direct cache handles for tests. */
+    SetAssocCache &l1iCache(uint32_t core) { return *l1i_c_[core]; }
+    SetAssocCache &l1dCache(uint32_t core) { return *l1d_c_[core]; }
+    SetAssocCache &l2Cache(uint32_t core) { return *l2_c_[core]; }
+    SetAssocCache &l3Cache() { return *l3_c_; }
+    bool hasL4() const { return l4sa_ != nullptr || l4fa_ != nullptr; }
+
+  private:
+    HitLevel missPathData(uint32_t core, uint64_t addr, bool is_store,
+                          AccessKind kind);
+    HitLevel missPathInstr(uint32_t core, uint64_t pc);
+    /** L3 lookup + fill; returns the servicing level (L3/L4/Memory). */
+    HitLevel accessSharedLevels(uint64_t addr, bool is_store,
+                                AccessKind kind);
+    void handleL3Eviction(uint64_t evicted, bool dirty);
+    bool l4Probe(uint64_t addr) const;
+    void l4Insert(uint64_t addr);
+    bool l4Access(uint64_t addr);
+    bool l4Touch(uint64_t addr);
+
+    HierarchyConfig cfg_;
+
+    std::vector<std::unique_ptr<SetAssocCache>> l1i_c_;
+    std::vector<std::unique_ptr<SetAssocCache>> l1d_c_;
+    std::vector<std::unique_ptr<SetAssocCache>> l2_c_;
+    std::vector<std::unique_ptr<SetAssocCache>> l2i_c_; ///< split mode
+    std::unique_ptr<SetAssocCache> l3_c_;
+    std::unique_ptr<SetAssocCache> l4sa_;      ///< direct-mapped L4
+    std::unique_ptr<FullyAssocLruCache> l4fa_; ///< associative variant
+
+    std::vector<StridePrefetcher> stride_;
+    std::vector<StreamPrefetcher> stream_;
+
+    CacheLevelStats l1i_, l1d_, l2_, l3_, l4_;
+    uint64_t l3Evictions_ = 0;
+    uint64_t writebacks_ = 0;
+    uint64_t backInvalidations_ = 0;
+};
+
+} // namespace wsearch
+
+#endif // WSEARCH_MEMSIM_HIERARCHY_HH

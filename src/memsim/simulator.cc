@@ -1,0 +1,57 @@
+#include "memsim/simulator.hh"
+
+#include <algorithm>
+
+namespace wsearch {
+
+namespace {
+
+constexpr size_t kBatch = 8192;
+
+/** Process @p count records; returns how many were actually consumed. */
+uint64_t
+pump(TraceSource &src, CacheHierarchy &hier, uint64_t count)
+{
+    TraceRecord buf[kBatch];
+    uint64_t done = 0;
+    while (done < count) {
+        const size_t want = static_cast<size_t>(
+            std::min<uint64_t>(kBatch, count - done));
+        const size_t got = src.fill(buf, want);
+        if (got == 0)
+            break;
+        for (size_t i = 0; i < got; ++i) {
+            const TraceRecord &r = buf[i];
+            hier.accessInstr(r.tid, r.pc);
+            if (r.hasData()) {
+                hier.accessData(r.tid, r.pc, r.addr, r.isStore(),
+                                r.kind);
+            }
+        }
+        done += got;
+    }
+    return done;
+}
+
+} // namespace
+
+SimResult
+runTrace(TraceSource &src, CacheHierarchy &hier, uint64_t warmup,
+         uint64_t measure)
+{
+    pump(src, hier, warmup);
+    hier.resetStats();
+    SimResult res;
+    res.instructions = pump(src, hier, measure);
+    res.l1i = hier.l1iStats();
+    res.l1d = hier.l1dStats();
+    res.l2 = hier.l2Stats();
+    res.l3 = hier.l3Stats();
+    res.l4 = hier.l4Stats();
+    res.l3Evictions = hier.l3Evictions();
+    res.writebacks = hier.writebacks();
+    res.backInvalidations = hier.backInvalidations();
+    return res;
+}
+
+} // namespace wsearch

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Trace-driven functional simulation driver: pushes records from a
+ * TraceSource through a CacheHierarchy with a warmup phase, then
+ * measures. Used directly by the pure miss-rate experiments (Figures
+ * 6, 7, 13); the CPU-level experiments use cpu/system.hh which layers
+ * branch prediction, TLBs, and Top-Down accounting on the same loop.
+ */
+
+#ifndef WSEARCH_MEMSIM_SIMULATOR_HH
+#define WSEARCH_MEMSIM_SIMULATOR_HH
+
+#include <cstdint>
+
+#include "memsim/hierarchy.hh"
+#include "trace/record.hh"
+
+namespace wsearch {
+
+/** Result of a functional cache simulation. */
+struct SimResult
+{
+    uint64_t instructions = 0; ///< measured instruction count
+    CacheLevelStats l1i, l1d, l2, l3, l4;
+    uint64_t l3Evictions = 0;
+    uint64_t writebacks = 0;
+    uint64_t backInvalidations = 0;
+
+    /** Combined L1 stats. */
+    CacheLevelStats
+    l1() const
+    {
+        CacheLevelStats s = l1i;
+        s += l1d;
+        return s;
+    }
+};
+
+/**
+ * Run @p warmup records (stats discarded), then @p measure records.
+ * The source must not be exhausted before warmup + measure records.
+ */
+SimResult runTrace(TraceSource &src, CacheHierarchy &hier,
+                   uint64_t warmup, uint64_t measure);
+
+} // namespace wsearch
+
+#endif // WSEARCH_MEMSIM_SIMULATOR_HH

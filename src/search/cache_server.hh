@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Query-result cache server (paper Figure 1). Popular queries are
+ * absorbed at this tier, so leaf servers see the cache-missed tail of
+ * the traffic with very little repetition -- the reason the shard
+ * working set shows no temporal locality at the leaf (paper §III-B).
+ */
+
+#ifndef WSEARCH_SEARCH_CACHE_SERVER_HH
+#define WSEARCH_SEARCH_CACHE_SERVER_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "search/types.hh"
+
+namespace wsearch {
+
+/** LRU cache of query results keyed by canonical query id. */
+class QueryCacheServer
+{
+  public:
+    explicit QueryCacheServer(size_t capacity) : capacity_(capacity) {}
+
+    /** @return true and fill @p out on a hit (refreshes LRU). */
+    bool
+    lookup(uint64_t query_id, std::vector<ScoredDoc> *out)
+    {
+        ++lookups_;
+        auto it = map_.find(query_id);
+        if (it == map_.end())
+            return false;
+        ++hits_;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        if (out)
+            *out = it->second->second;
+        return true;
+    }
+
+    /** Install results for a missed query. */
+    void
+    insert(uint64_t query_id, std::vector<ScoredDoc> results)
+    {
+        auto it = map_.find(query_id);
+        if (it != map_.end()) {
+            it->second->second = std::move(results);
+            lru_.splice(lru_.begin(), lru_, it->second);
+            return;
+        }
+        if (capacity_ == 0)
+            return;
+        if (lru_.size() >= capacity_) {
+            map_.erase(lru_.back().first);
+            lru_.pop_back();
+        }
+        lru_.emplace_front(query_id, std::move(results));
+        map_[query_id] = lru_.begin();
+    }
+
+    uint64_t lookups() const { return lookups_; }
+    uint64_t hits() const { return hits_; }
+    size_t size() const { return lru_.size(); }
+    size_t capacity() const { return capacity_; }
+
+    double
+    hitRate() const
+    {
+        return lookups_
+            ? static_cast<double>(hits_) / static_cast<double>(lookups_)
+            : 0.0;
+    }
+
+    /** Approximate resident bytes (for footprint accounting). */
+    uint64_t
+    residentBytes() const
+    {
+        // id + list node + ~10 results.
+        return lru_.size() * (16 + 32 + 10 * sizeof(ScoredDoc));
+    }
+
+  private:
+    using Entry = std::pair<uint64_t, std::vector<ScoredDoc>>;
+    size_t capacity_;
+    std::list<Entry> lru_;
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> map_;
+    uint64_t lookups_ = 0;
+    uint64_t hits_ = 0;
+};
+
+} // namespace wsearch
+
+#endif // WSEARCH_SEARCH_CACHE_SERVER_HH

@@ -1,0 +1,136 @@
+#include "search/engine_trace.hh"
+
+#include <algorithm>
+
+#include "search/touch.hh"
+
+namespace wsearch {
+
+/** Sink that appends touches to the active thread's queue. */
+class EngineTraceSource::QueueSink : public TouchSink
+{
+  public:
+    void
+    touch(uint64_t addr, uint32_t bytes, AccessKind kind,
+          bool is_write) override
+    {
+        queue_->push_back(PendingTouch{addr, bytes, kind, is_write});
+    }
+
+    void setQueue(std::deque<PendingTouch> *q) { queue_ = q; }
+
+  private:
+    std::deque<PendingTouch> *queue_ = nullptr;
+};
+
+EngineTraceSource::EngineTraceSource(const IndexShard &shard,
+                                     const EngineTraceConfig &cfg)
+    : shard_(shard), cfg_(cfg), cache_(cfg.queryCacheEntries)
+{
+    wsearch_assert(cfg.numThreads >= 1);
+    wsearch_assert(cfg.touchGranularity >= 1);
+    sink_ = std::make_unique<QueueSink>();
+    LeafServer::Config lc;
+    lc.numThreads = cfg.numThreads;
+    lc.codeBytes = cfg.code.footprintBytes;
+    leaf_ = std::make_unique<LeafServer>(shard, lc, sink_.get());
+    threads_.resize(cfg.numThreads);
+    for (uint32_t t = 0; t < cfg.numThreads; ++t) {
+        uint64_t sm = cfg.seed + t * 0x9177ull;
+        const uint64_t tseed = splitmix64(sm);
+        threads_[t].code = std::make_unique<CodeModel>(
+            cfg.code, vaddr::kCodeBase, cfg.seed, tseed);
+        threads_[t].queries =
+            std::make_unique<QueryGenerator>(cfg.queries, tseed);
+        threads_[t].rng = Rng(tseed ^ 0x9a9ull);
+    }
+}
+
+EngineTraceSource::~EngineTraceSource() = default;
+
+void
+EngineTraceSource::reset()
+{
+    // Rebuild per-thread state and drop cache contents.
+    cache_ = QueryCacheServer(cfg_.queryCacheEntries);
+    queriesExecuted_ = 0;
+    cacheAbsorbed_ = 0;
+    rr_ = 0;
+    for (uint32_t t = 0; t < cfg_.numThreads; ++t) {
+        uint64_t sm = cfg_.seed + t * 0x9177ull;
+        const uint64_t tseed = splitmix64(sm);
+        threads_[t].code = std::make_unique<CodeModel>(
+            cfg_.code, vaddr::kCodeBase, cfg_.seed, tseed);
+        threads_[t].queries =
+            std::make_unique<QueryGenerator>(cfg_.queries, tseed);
+        threads_[t].pending.clear();
+        threads_[t].chunkPos = 0;
+        threads_[t].codeGap = 0;
+        threads_[t].rng = Rng(tseed ^ 0x9a9ull);
+    }
+}
+
+void
+EngineTraceSource::refillThread(uint32_t tid)
+{
+    ThreadState &t = threads_[tid];
+    while (t.pending.empty()) {
+        const Query q = t.queries->next();
+        if (cache_.lookup(q.id, nullptr)) {
+            // Absorbed by the cache tier; the leaf never sees it.
+            ++cacheAbsorbed_;
+            continue;
+        }
+        sink_->setQueue(&t.pending);
+        std::vector<ScoredDoc> results = leaf_->serve(tid, q);
+        cache_.insert(q.id, std::move(results));
+        ++queriesExecuted_;
+    }
+}
+
+void
+EngineTraceSource::emitRecord(TraceRecord &rec, uint32_t tid)
+{
+    ThreadState &t = threads_[tid];
+    const FetchedInstr fi = t.code->next();
+    rec.pc = fi.pc;
+    rec.tid = static_cast<uint16_t>(tid);
+    rec.branch = fi.isBranch
+        ? (fi.taken ? BranchKind::Taken : BranchKind::NotTaken)
+        : BranchKind::NotBranch;
+    rec.target = fi.target;
+    rec.op = MemOp::None;
+    rec.addr = 0;
+    rec.kind = AccessKind::Heap;
+
+    if (t.codeGap > 0) {
+        --t.codeGap;
+        return;
+    }
+    if (t.pending.empty())
+        refillThread(tid);
+    PendingTouch &front = t.pending.front();
+    rec.op = front.write ? MemOp::Store : MemOp::Load;
+    rec.addr = front.addr + t.chunkPos;
+    rec.kind = front.kind;
+    t.chunkPos += cfg_.touchGranularity;
+    if (t.chunkPos >= front.bytes) {
+        t.pending.pop_front();
+        t.chunkPos = 0;
+    }
+    const uint64_t span = std::max<uint64_t>(
+        1, static_cast<uint64_t>(2.0 * cfg_.codeGapMean));
+    t.codeGap = static_cast<uint32_t>(t.rng.nextRange(span + 1));
+}
+
+size_t
+EngineTraceSource::fill(TraceRecord *buf, size_t max)
+{
+    for (size_t i = 0; i < max; ++i) {
+        emitRecord(buf[i], rr_);
+        rr_ = rr_ + 1 == cfg_.numThreads ? 0 : rr_ + 1;
+    }
+    return max;
+}
+
+} // namespace wsearch

@@ -1,0 +1,183 @@
+#include "search/executor.hh"
+
+#include <algorithm>
+
+namespace wsearch {
+
+namespace {
+
+/** Scratch layout offsets within a thread's per-query region. */
+constexpr uint64_t kTopKOffset = 0;
+constexpr uint64_t kAccumOffset = 64 * KiB;
+constexpr uint32_t kAccumEntryBytes = 16;
+constexpr uint64_t kAccumSlots = (8ull << 20) / kAccumEntryBytes;
+
+} // namespace
+
+QueryExecutor::QueryExecutor(const IndexShard &shard, uint32_t tid,
+                             TouchSink *sink)
+    : shard_(shard), scorer_(shard.numDocs(), shard.avgDocLen()),
+      tid_(tid), sink_(sink)
+{
+    wsearch_assert(sink != nullptr);
+}
+
+void
+QueryExecutor::loadTerm(TermId term, TermCursorData &out)
+{
+    out.term = term;
+    out.info = shard_.termInfo(term);
+    // Dictionary lookup: one heap touch per probe step (model a
+    // two-probe hash lookup).
+    sink_->touch(engine_vaddr::lexiconAddr(term),
+                 engine_vaddr::kLexiconEntryBytes, AccessKind::Heap,
+                 false);
+    shard_.postingBytes(term, out.bytes);
+}
+
+double
+QueryExecutor::scoreCandidate(DocId doc, uint32_t tf, uint32_t doc_freq)
+{
+    // Document metadata read (length + static rank).
+    sink_->touch(engine_vaddr::docMetaAddr(doc), 8, AccessKind::Heap,
+                 false);
+    ++lastStats_.candidatesScored;
+    return scorer_.score(tf, shard_.docLen(doc), doc_freq);
+}
+
+void
+QueryExecutor::executeConjunctive(const Query &q, TopK &topk)
+{
+    std::vector<TermCursorData> terms(q.terms.size());
+    for (size_t i = 0; i < q.terms.size(); ++i)
+        loadTerm(q.terms[i], terms[i]);
+    // Drive the rarest list; seek the others.
+    std::sort(terms.begin(), terms.end(),
+              [](const TermCursorData &a, const TermCursorData &b) {
+                  return a.info.docFreq < b.info.docFreq;
+              });
+
+    std::vector<PostingCursor> cursors;
+    cursors.reserve(terms.size());
+    for (const auto &t : terms) {
+        cursors.emplace_back(t.bytes.data(),
+                             t.bytes.data() + t.bytes.size(),
+                             t.info.docFreq, shard_.payloadBytes());
+    }
+    std::vector<size_t> consumed(terms.size(), 0);
+    auto account = [&](size_t i) {
+        const size_t now = cursors[i].bytesConsumed(
+            terms[i].bytes.data());
+        if (now > consumed[i]) {
+            touchShard(terms[i],
+                       consumed[i],
+                       static_cast<uint32_t>(now - consumed[i]));
+            lastStats_.shardBytesRead += now - consumed[i];
+            lastStats_.postingsDecoded +=
+                (now - consumed[i] + 2) / 3;
+            consumed[i] = now;
+        }
+    };
+
+    bool exhausted = false;
+    while (cursors[0].valid() && !exhausted) {
+        const DocId cand = cursors[0].doc();
+        bool all = true;
+        for (size_t i = 1; i < cursors.size(); ++i) {
+            cursors[i].seek(cand);
+            account(i);
+            if (!cursors[i].valid()) {
+                exhausted = true; // no further matches possible
+                all = false;
+                break;
+            }
+            if (cursors[i].doc() != cand) {
+                all = false;
+                break;
+            }
+        }
+        if (all) {
+            double score = 0;
+            for (size_t i = 0; i < cursors.size(); ++i) {
+                score += scoreCandidate(cand, cursors[i].tf(),
+                                        terms[i].info.docFreq);
+            }
+            // Top-k heap update in scratch.
+            sink_->touch(engine_vaddr::scratchAddr(tid_, kTopKOffset +
+                             (topk.size() % 64) * 16),
+                         16, AccessKind::Heap, true);
+            topk.offer({cand, static_cast<float>(score)});
+        }
+        cursors[0].next();
+        account(0);
+    }
+}
+
+void
+QueryExecutor::executeDisjunctive(const Query &q, TopK &topk)
+{
+    accum_.clear();
+    std::vector<TermCursorData> terms(q.terms.size());
+    for (size_t i = 0; i < q.terms.size(); ++i)
+        loadTerm(q.terms[i], terms[i]);
+
+    for (const auto &t : terms) {
+        PostingCursor cur(t.bytes.data(),
+                          t.bytes.data() + t.bytes.size(),
+                          t.info.docFreq, shard_.payloadBytes());
+        size_t consumed = 0;
+        while (cur.valid()) {
+            const DocId doc = cur.doc();
+            const double s =
+                scoreCandidate(doc, cur.tf(), t.info.docFreq);
+            // Accumulator update: hashed slot in scratch.
+            const uint64_t slot =
+                mix64(doc * 0x9e3779b97f4a7c15ull) % kAccumSlots;
+            sink_->touch(engine_vaddr::scratchAddr(tid_, kAccumOffset +
+                             slot * kAccumEntryBytes),
+                         kAccumEntryBytes, AccessKind::Heap, true);
+            accum_[doc] += static_cast<float>(s);
+            cur.next();
+            const size_t now = cur.bytesConsumed(t.bytes.data());
+            touchShard(t, consumed,
+                       static_cast<uint32_t>(now - consumed));
+            lastStats_.shardBytesRead += now - consumed;
+            ++lastStats_.postingsDecoded;
+            consumed = now;
+        }
+    }
+    const uint64_t scratch_bytes = kAccumOffset +
+        std::min<uint64_t>(accum_.size(), kAccumSlots) *
+            kAccumEntryBytes;
+    scratchHighWater_ = std::max(scratchHighWater_, scratch_bytes);
+    // Drain in doc order: unordered_map iteration order depends on
+    // bucket history, which would make traces non-deterministic.
+    drain_.assign(accum_.begin(), accum_.end());
+    std::sort(drain_.begin(), drain_.end());
+    for (const auto &[doc, score] : drain_) {
+        sink_->touch(engine_vaddr::scratchAddr(tid_, kTopKOffset +
+                         (doc % 64) * 16),
+                     16, AccessKind::Heap, false);
+        topk.offer({doc, score});
+    }
+}
+
+std::vector<ScoredDoc>
+QueryExecutor::execute(const Query &query)
+{
+    lastStats_ = ExecStats{};
+    // Query parse / setup frames on the stack.
+    for (uint64_t off = 0; off < 256; off += 64)
+        sink_->touch(engine_vaddr::stackAddr(tid_, off), 64,
+                     AccessKind::Stack, true);
+    TopK topk(query.topK);
+    if (query.terms.empty())
+        return {};
+    if (query.conjunctive && query.terms.size() > 1)
+        executeConjunctive(query, topk);
+    else
+        executeDisjunctive(query, topk);
+    return topk.results();
+}
+
+} // namespace wsearch

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Query execution over an index shard: conjunctive (AND) evaluation
+ * by driving the rarest posting list and seeking the others, and
+ * disjunctive (OR) evaluation via score accumulators, both feeding a
+ * bounded top-k with BM25 scores. Every logical memory reference is
+ * reported to the TouchSink with its segment-tagged canonical address
+ * (shard for posting bytes, heap for lexicon/metadata/accumulators,
+ * stack for frames), which is what makes the engine usable as a
+ * production-like trace source.
+ */
+
+#ifndef WSEARCH_SEARCH_EXECUTOR_HH
+#define WSEARCH_SEARCH_EXECUTOR_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "search/index.hh"
+#include "search/query.hh"
+#include "search/scorer.hh"
+#include "search/topk.hh"
+#include "search/touch.hh"
+
+namespace wsearch {
+
+/** Per-query execution statistics. */
+struct ExecStats
+{
+    uint64_t postingsDecoded = 0;
+    uint64_t candidatesScored = 0;
+    uint64_t shardBytesRead = 0;
+};
+
+/** Executes queries on one shard for one logical thread. */
+class QueryExecutor
+{
+  public:
+    /**
+     * @param tid  logical thread id (selects scratch/stack regions)
+     * @param sink touch receiver (never null; use NullTouchSink)
+     */
+    QueryExecutor(const IndexShard &shard, uint32_t tid,
+                  TouchSink *sink);
+
+    /** Execute and return the top-k best-first. */
+    std::vector<ScoredDoc> execute(const Query &query);
+
+    const ExecStats &lastStats() const { return lastStats_; }
+
+    /** Peak per-query scratch bytes observed (for footprint stats). */
+    uint64_t scratchHighWater() const { return scratchHighWater_; }
+
+  private:
+    struct TermCursorData
+    {
+        TermId term;
+        TermInfo info;
+        std::vector<uint8_t> bytes;
+    };
+
+    void loadTerm(TermId term, TermCursorData &out);
+    double scoreCandidate(DocId doc, uint32_t tf, uint32_t doc_freq);
+    void executeConjunctive(const Query &q, TopK &topk);
+    void executeDisjunctive(const Query &q, TopK &topk);
+
+    /** Shard touch helper: one touch per decoded posting entry. */
+    void
+    touchShard(const TermCursorData &t, uint64_t byte_pos,
+               uint32_t bytes)
+    {
+        sink_->touch(engine_vaddr::shardAddr(t.info.shardOffset +
+                                             byte_pos),
+                     bytes, AccessKind::Shard, false);
+    }
+
+    const IndexShard &shard_;
+    Bm25Scorer scorer_;
+    uint32_t tid_;
+    TouchSink *sink_;
+    ExecStats lastStats_;
+    uint64_t scratchHighWater_ = 0;
+    std::unordered_map<DocId, float> accum_; ///< OR-mode accumulators
+    std::vector<std::pair<DocId, float>> drain_; ///< sorted drain scratch
+};
+
+} // namespace wsearch
+
+#endif // WSEARCH_SEARCH_EXECUTOR_HH

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The index shard. Two implementations behind one interface:
+ *
+ *  - MaterializedIndex: a real inverted index built from a corpus
+ *    (term -> encoded posting list), with document metadata. Exact
+ *    and fully functional; used by correctness tests and the small
+ *    examples.
+ *
+ *  - ProceduralIndex: posting content is a deterministic function of
+ *    (term, position), generated on demand. Physically tiny, but its
+ *    *nominal* shard layout spans many GiB, so the instrumented
+ *    engine produces shard access streams with production-scale
+ *    footprints -- the substitution for the paper's proprietary
+ *    shards (DESIGN.md §1).
+ *
+ * Both report nominal shard byte offsets for every posting-list read
+ * so the memory-touch instrumentation can emit canonical shard
+ * addresses.
+ */
+
+#ifndef WSEARCH_SEARCH_INDEX_HH
+#define WSEARCH_SEARCH_INDEX_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "search/corpus.hh"
+#include "search/postings.hh"
+#include "search/types.hh"
+#include "util/scramble.hh"
+
+namespace wsearch {
+
+/** Per-term shard placement and statistics. */
+struct TermInfo
+{
+    uint64_t shardOffset = 0; ///< nominal byte offset in the shard
+    uint64_t byteLength = 0;  ///< encoded length
+    uint32_t docFreq = 0;     ///< number of documents containing it
+};
+
+/** Abstract shard interface used by the query executor. */
+class IndexShard
+{
+  public:
+    virtual ~IndexShard() = default;
+
+    virtual uint32_t numDocs() const = 0;
+    virtual uint32_t numTerms() const = 0;
+    virtual double avgDocLen() const = 0;
+
+    /** Term placement/stats (nominal offsets). */
+    virtual TermInfo termInfo(TermId term) const = 0;
+
+    /** Document length in terms (for BM25). */
+    virtual uint32_t docLen(DocId doc) const = 0;
+
+    /**
+     * Materialize the encoded posting bytes for @p term into @p out.
+     * For the procedural index this *generates* them; the bytes are
+     * identical on every call.
+     */
+    virtual void postingBytes(TermId term,
+                              std::vector<uint8_t> &out) const = 0;
+
+    /** Total nominal shard size in bytes. */
+    virtual uint64_t shardBytes() const = 0;
+
+    /** Fixed per-posting payload bytes (0 for plain (gap, tf)). */
+    virtual uint32_t payloadBytes() const { return 0; }
+};
+
+/** Real inverted index built from a corpus. */
+class MaterializedIndex : public IndexShard
+{
+  public:
+    /** Build from @p corpus (generates all numDocs documents). */
+    explicit MaterializedIndex(const CorpusGenerator &corpus);
+
+    uint32_t numDocs() const override { return numDocs_; }
+    uint32_t
+    numTerms() const override
+    {
+        return static_cast<uint32_t>(terms_.size());
+    }
+    double avgDocLen() const override { return avgDocLen_; }
+    TermInfo termInfo(TermId term) const override;
+    uint32_t docLen(DocId doc) const override { return docLen_[doc]; }
+    void postingBytes(TermId term,
+                      std::vector<uint8_t> &out) const override;
+    uint64_t shardBytes() const override { return shardBytes_; }
+
+  private:
+    struct TermData
+    {
+        TermInfo info;
+        std::vector<uint8_t> bytes;
+    };
+    std::vector<TermData> terms_;
+    std::vector<uint32_t> docLen_;
+    uint32_t numDocs_ = 0;
+    double avgDocLen_ = 0;
+    uint64_t shardBytes_ = 0;
+};
+
+/** Procedurally backed shard with production-scale nominal layout. */
+class ProceduralIndex : public IndexShard
+{
+  public:
+    struct Config
+    {
+        uint32_t numDocs = 1u << 24;  ///< 16M docs
+        uint32_t numTerms = 1u << 23; ///< 8M terms
+        double dfTheta = 0.80;        ///< skew of document frequency
+                                      ///< over term rank
+        uint32_t maxDocFreq = 32768;
+        uint32_t minDocFreq = 16;
+        /** Per-posting payload (positions/features); part of the
+         *  shard layout, skipped on decode. The default makes the
+         *  nominal shard GiB-scale. */
+        uint32_t payloadBytes = 8;
+        uint64_t seed = 0x54a4dull;
+    };
+
+    explicit ProceduralIndex(const Config &cfg);
+
+    uint32_t numDocs() const override { return cfg_.numDocs; }
+    uint32_t numTerms() const override { return cfg_.numTerms; }
+    double avgDocLen() const override { return 120.0; }
+    TermInfo termInfo(TermId term) const override;
+    uint32_t
+    docLen(DocId doc) const override
+    {
+        return 60 + static_cast<uint32_t>(mix64(doc ^ cfg_.seed) % 120);
+    }
+    void postingBytes(TermId term,
+                      std::vector<uint8_t> &out) const override;
+    uint64_t shardBytes() const override { return shardBytes_; }
+    uint32_t payloadBytes() const override { return cfg_.payloadBytes; }
+
+  private:
+    uint32_t docFreqOf(TermId term) const;
+
+    Config cfg_;
+    uint64_t shardBytes_ = 0;
+    std::vector<uint64_t> offsets_; ///< per-term shard offsets
+};
+
+} // namespace wsearch
+
+#endif // WSEARCH_SEARCH_INDEX_HH

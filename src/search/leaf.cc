@@ -1,0 +1,51 @@
+#include "search/leaf.hh"
+
+namespace wsearch {
+
+LeafServer::LeafServer(const IndexShard &shard, const Config &cfg,
+                       TouchSink *sink)
+    : shard_(shard), cfg_(cfg)
+{
+    wsearch_assert(cfg.numThreads >= 1);
+    TouchSink *effective = sink ? sink : &nullSink_;
+    for (uint32_t t = 0; t < cfg.numThreads; ++t) {
+        executors_.push_back(
+            std::make_unique<QueryExecutor>(shard, t, effective));
+    }
+}
+
+std::vector<ScoredDoc>
+LeafServer::serve(uint32_t tid, const Query &query)
+{
+    wsearch_assert(tid < executors_.size());
+    std::vector<ScoredDoc> results = executors_[tid]->execute(query);
+    if (cfg_.docIdStride != 1 || cfg_.docIdOffset != 0) {
+        for (auto &r : results)
+            r.doc = r.doc * cfg_.docIdStride + cfg_.docIdOffset;
+    }
+    ++queriesServed_;
+    return results;
+}
+
+FootprintStats
+LeafServer::footprint() const
+{
+    FootprintStats f;
+    f.codeBytes = cfg_.codeBytes;
+    f.stackBytes =
+        static_cast<uint64_t>(cfg_.numThreads) * cfg_.stackBytesPerThread;
+    // Shared heap: document metadata and the term dictionary. The
+    // shard itself is NOT heap (the paper accounts it separately).
+    f.heapSharedBytes =
+        static_cast<uint64_t>(shard_.numDocs()) *
+            engine_vaddr::kDocMetaBytes +
+        static_cast<uint64_t>(shard_.numTerms()) *
+            engine_vaddr::kLexiconEntryBytes;
+    uint64_t per_thread = 0;
+    for (const auto &e : executors_)
+        per_thread += e->scratchHighWater() + cfg_.perThreadBufferBytes;
+    f.heapPerThreadBytes = per_thread;
+    return f;
+}
+
+} // namespace wsearch

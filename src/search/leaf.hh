@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Leaf server: owns one index shard and a per-thread executor pool,
+ * answers queries with BM25 top-k, and accounts its memory footprint
+ * by segment (paper Figure 4's code/stack/heap breakdown).
+ */
+
+#ifndef WSEARCH_SEARCH_LEAF_HH
+#define WSEARCH_SEARCH_LEAF_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "search/executor.hh"
+#include "search/index.hh"
+#include "search/touch.hh"
+
+namespace wsearch {
+
+/** Allocated-bytes breakdown (paper Figure 4). */
+struct FootprintStats
+{
+    uint64_t codeBytes = 0;
+    uint64_t stackBytes = 0;
+    uint64_t heapSharedBytes = 0;    ///< metadata, lexicon, caches
+    uint64_t heapPerThreadBytes = 0; ///< arenas, buffers
+
+    uint64_t
+    heapBytes() const
+    {
+        return heapSharedBytes + heapPerThreadBytes;
+    }
+};
+
+/** One leaf of the serving tree. */
+class LeafServer
+{
+  public:
+    struct Config
+    {
+        uint32_t numThreads = 1;
+        /** Nominal per-thread buffers (network, decompression, ...);
+         *  part of the Figure 4 heap accounting. */
+        uint64_t perThreadBufferBytes = 24ull << 20;
+        uint64_t codeBytes = 4ull << 20;
+        uint64_t stackBytesPerThread = 64 * KiB;
+        /**
+         * Doc ids returned are local * docIdStride + docIdOffset so
+         * multiple leaves can serve disjoint partitions of a global
+         * document space.
+         */
+        uint32_t docIdStride = 1;
+        uint32_t docIdOffset = 0;
+    };
+
+    /**
+     * @param sink touch receiver shared by all threads (may be null
+     *             for untraced runs)
+     */
+    LeafServer(const IndexShard &shard, const Config &cfg,
+               TouchSink *sink = nullptr);
+
+    /** Serve a query on logical thread @p tid; best-first results. */
+    std::vector<ScoredDoc> serve(uint32_t tid, const Query &query);
+
+    /** Figure 4 accounting. */
+    FootprintStats footprint() const;
+
+    const IndexShard &shard() const { return shard_; }
+    uint32_t numThreads() const { return cfg_.numThreads; }
+    uint64_t queriesServed() const { return queriesServed_; }
+
+    const ExecStats &
+    lastStats(uint32_t tid) const
+    {
+        return executors_[tid]->lastStats();
+    }
+
+  private:
+    const IndexShard &shard_;
+    Config cfg_;
+    NullTouchSink nullSink_;
+    std::vector<std::unique_ptr<QueryExecutor>> executors_;
+    uint64_t queriesServed_ = 0;
+};
+
+} // namespace wsearch
+
+#endif // WSEARCH_SEARCH_LEAF_HH

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Posting lists: delta + varint encoded (docid gap, term frequency)
+ * pairs, the core of the index shard. Two backends expose the same
+ * cursor interface:
+ *
+ *  - MaterializedPostings: real encoded bytes built by the indexer
+ *    (used by the functional engine and all correctness tests).
+ *  - Procedural postings (see shard.hh): deterministic content
+ *    generated on demand, so a nominal multi-GiB shard can be walked
+ *    without materializing it -- the substitution that stands in for
+ *    the paper's proprietary 100s-of-GiB production shards.
+ */
+
+#ifndef WSEARCH_SEARCH_POSTINGS_HH
+#define WSEARCH_SEARCH_POSTINGS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "search/types.hh"
+#include "search/varint.hh"
+#include "util/logging.hh"
+
+namespace wsearch {
+
+/** One decoded posting. */
+struct Posting
+{
+    DocId doc = kInvalidDoc;
+    uint32_t tf = 0;
+};
+
+/** Builder for an encoded posting list (ascending doc ids). */
+class PostingListBuilder
+{
+  public:
+    /** Append a posting; doc ids must be strictly ascending. */
+    void
+    add(DocId doc, uint32_t tf)
+    {
+        wsearch_assert(count_ == 0 || doc > lastDoc_);
+        varintEncode(count_ == 0 ? doc : doc - lastDoc_, bytes_);
+        varintEncode(tf, bytes_);
+        lastDoc_ = doc;
+        ++count_;
+    }
+
+    uint32_t count() const { return count_; }
+    const std::vector<uint8_t> &bytes() const { return bytes_; }
+
+    std::vector<uint8_t>
+    release()
+    {
+        return std::move(bytes_);
+    }
+
+  private:
+    std::vector<uint8_t> bytes_;
+    DocId lastDoc_ = 0;
+    uint32_t count_ = 0;
+};
+
+/** Sequential decoder over encoded posting bytes. */
+class PostingCursor
+{
+  public:
+    /**
+     * @param payload_bytes fixed per-posting payload (positions,
+     *        static features, ...) following the tf; skipped on
+     *        decode but part of the shard layout
+     */
+    PostingCursor(const uint8_t *begin, const uint8_t *end,
+                  uint32_t count, uint32_t payload_bytes = 0)
+        : p_(begin), end_(end), remaining_(count),
+          payloadBytes_(payload_bytes)
+    {
+        advance();
+    }
+
+    bool valid() const { return current_.doc != kInvalidDoc; }
+    const Posting &posting() const { return current_; }
+    DocId doc() const { return current_.doc; }
+    uint32_t tf() const { return current_.tf; }
+
+    /** Bytes consumed so far (for shard-access instrumentation). */
+    size_t
+    bytesConsumed(const uint8_t *begin) const
+    {
+        return static_cast<size_t>(p_ - begin);
+    }
+
+    /** Step to the next posting. */
+    void
+    next()
+    {
+        advance();
+    }
+
+    /** Advance to the first posting with doc >= @p target. */
+    void
+    seek(DocId target)
+    {
+        while (valid() && current_.doc < target)
+            advance();
+    }
+
+  private:
+    void
+    advance()
+    {
+        if (remaining_ == 0 || p_ >= end_) {
+            current_ = Posting{};
+            return;
+        }
+        const uint64_t gap = varintDecode(p_, end_);
+        const uint64_t tf = varintDecode(p_, end_);
+        current_.doc = first_ ? static_cast<DocId>(gap)
+                              : current_.doc + static_cast<DocId>(gap);
+        current_.tf = static_cast<uint32_t>(tf);
+        p_ += payloadBytes_ <= static_cast<size_t>(end_ - p_)
+            ? payloadBytes_ : static_cast<size_t>(end_ - p_);
+        first_ = false;
+        --remaining_;
+    }
+
+    const uint8_t *p_;
+    const uint8_t *end_;
+    uint32_t remaining_;
+    uint32_t payloadBytes_ = 0;
+    bool first_ = true;
+    Posting current_{kInvalidDoc, 0};
+};
+
+} // namespace wsearch
+
+#endif // WSEARCH_SEARCH_POSTINGS_HH

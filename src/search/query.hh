@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Queries and the query generator. Query popularity is Zipf: a small
+ * number of distinct queries dominate traffic, which is exactly what
+ * the intermediate cache servers absorb (paper Figure 1) -- the leaf
+ * then sees the cache-missed tail with far less repetition.
+ */
+
+#ifndef WSEARCH_SEARCH_QUERY_HH
+#define WSEARCH_SEARCH_QUERY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "search/types.hh"
+#include "util/rng.hh"
+#include "util/zipf.hh"
+
+namespace wsearch {
+
+/** A parsed query. */
+struct Query
+{
+    uint64_t id = 0;              ///< canonical query identity
+    std::vector<TermId> terms;    ///< 1..5 terms
+    bool conjunctive = true;      ///< AND (intersection) vs OR
+    uint32_t topK = 10;
+};
+
+/** Zipf-popularity query stream. */
+class QueryGenerator
+{
+  public:
+    struct Config
+    {
+        uint64_t distinctQueries = 1u << 22;
+        double popularityTheta = 0.9; ///< repeat skew of query traffic
+        uint32_t vocabSize = 1u << 20;
+        double termTheta = 0.95;      ///< skew of term choice
+        double maxTerms = 5;
+        double conjunctiveFrac = 0.7;
+        uint64_t seed = 0x9ee4ull;
+    };
+
+    explicit QueryGenerator(const Config &cfg, uint64_t salt = 0)
+        : cfg_(cfg), rng_(cfg.seed ^ salt),
+          popularity_(cfg.distinctQueries, cfg.popularityTheta),
+          term_(cfg.vocabSize, cfg.termTheta)
+    {
+    }
+
+    /** Generate the next query from the traffic distribution. */
+    Query
+    next()
+    {
+        const uint64_t qid = popularity_.sample(rng_);
+        return materialize(qid);
+    }
+
+    /**
+     * The content of query @p qid (deterministic: the same query id
+     * always has the same terms, so result caches work).
+     */
+    Query
+    materialize(uint64_t qid)
+    {
+        Query q;
+        q.id = qid;
+        uint64_t sm = cfg_.seed ^ (qid * 0x2545f4914f6cdd1dull);
+        Rng qrng(splitmix64(sm));
+        const uint32_t nterms = 1 + static_cast<uint32_t>(
+            qrng.nextRange(static_cast<uint64_t>(cfg_.maxTerms)));
+        q.terms.reserve(nterms);
+        for (uint32_t i = 0; i < nterms; ++i)
+            q.terms.push_back(
+                static_cast<TermId>(term_.sample(qrng)));
+        q.conjunctive = qrng.nextBool(cfg_.conjunctiveFrac);
+        return q;
+    }
+
+    const Config &config() const { return cfg_; }
+
+  private:
+    Config cfg_;
+    Rng rng_;
+    ZipfSampler popularity_;
+    ZipfSampler term_;
+};
+
+} // namespace wsearch
+
+#endif // WSEARCH_SEARCH_QUERY_HH

@@ -1,0 +1,94 @@
+#include "search/root.hh"
+
+#include <algorithm>
+
+#include "search/topk.hh"
+
+namespace wsearch {
+
+std::vector<ScoredDoc>
+RootServer::merge(const std::vector<std::vector<ScoredDoc>> &partials,
+                  uint32_t k)
+{
+    TopK topk(k);
+    for (const auto &partial : partials)
+        for (const auto &sd : partial)
+            topk.offer(sd);
+    return topk.results();
+}
+
+ServingTree::ServingTree(std::vector<LeafServer *> leaves,
+                         size_t cache_capacity)
+    : leaves_(std::move(leaves)), cache_(cache_capacity)
+{
+    wsearch_assert(!leaves_.empty());
+}
+
+std::vector<ScoredDoc>
+ServingTree::handle(uint32_t tid, const Query &query)
+{
+    ++stats_.queries;
+    std::vector<ScoredDoc> cached;
+    if (cache_.lookup(query.id, &cached)) {
+        ++stats_.cacheHits;
+        return cached;
+    }
+    std::vector<std::vector<ScoredDoc>> partials;
+    partials.reserve(leaves_.size());
+    for (LeafServer *leaf : leaves_) {
+        const uint32_t leaf_tid = tid % leaf->numThreads();
+        partials.push_back(leaf->serve(leaf_tid, query));
+        ++stats_.leafQueries;
+    }
+    std::vector<ScoredDoc> merged = RootServer::merge(partials,
+                                                      query.topK);
+    cache_.insert(query.id, merged);
+    return merged;
+}
+
+MultiLevelTree::MultiLevelTree(std::vector<LeafServer *> leaves,
+                               uint32_t fanout, size_t cache_capacity)
+    : cache_(cache_capacity)
+{
+    wsearch_assert(!leaves.empty());
+    wsearch_assert(fanout >= 1);
+    for (size_t i = 0; i < leaves.size(); i += fanout) {
+        std::vector<LeafServer *> group;
+        for (size_t j = i; j < std::min(leaves.size(), i + fanout); ++j)
+            group.push_back(leaves[j]);
+        groups_.push_back(std::move(group));
+    }
+}
+
+std::vector<ScoredDoc>
+MultiLevelTree::handle(uint32_t tid, const Query &query)
+{
+    ++stats_.queries;
+    std::vector<ScoredDoc> cached;
+    if (cache_.lookup(query.id, &cached)) {
+        ++stats_.cacheHits;
+        return cached;
+    }
+    // Each intermediate parent merges its group's leaf results before
+    // forwarding the group top-k to the root.
+    std::vector<std::vector<ScoredDoc>> parent_results;
+    parent_results.reserve(groups_.size());
+    for (const auto &group : groups_) {
+        std::vector<std::vector<ScoredDoc>> partials;
+        partials.reserve(group.size());
+        for (LeafServer *leaf : group) {
+            partials.push_back(
+                leaf->serve(tid % leaf->numThreads(), query));
+            ++stats_.leafQueries;
+        }
+        parent_results.push_back(
+            RootServer::merge(partials, query.topK));
+        ++stats_.parentMerges;
+    }
+    std::vector<ScoredDoc> merged =
+        RootServer::merge(parent_results, query.topK);
+    cache_.insert(query.id, merged);
+    return merged;
+}
+
+} // namespace wsearch

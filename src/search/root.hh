@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Root aggregation and the serving tree (paper Figure 1): a query
+ * enters at the front end, is filtered by the query-cache tier, fans
+ * out to every leaf (each holding a disjoint shard partition), and
+ * the root merges the per-leaf top-k into the final result page.
+ */
+
+#ifndef WSEARCH_SEARCH_ROOT_HH
+#define WSEARCH_SEARCH_ROOT_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "search/cache_server.hh"
+#include "search/leaf.hh"
+#include "search/query.hh"
+
+namespace wsearch {
+
+/** Merges per-leaf result lists into a global top-k. */
+class RootServer
+{
+  public:
+    /** Merge best-first partial results into a global top-k. */
+    static std::vector<ScoredDoc>
+    merge(const std::vector<std::vector<ScoredDoc>> &partials,
+          uint32_t k);
+};
+
+/** The full serving system: cache tier + root + leaves. */
+class ServingTree
+{
+  public:
+    struct Stats
+    {
+        uint64_t queries = 0;
+        uint64_t cacheHits = 0;
+        uint64_t leafQueries = 0; ///< queries that reached the leaves
+    };
+
+    /**
+     * @param leaves non-owning; leaf i must serve partition i of the
+     *               global document space
+     * @param cache_capacity query-result cache entries (0 disables)
+     */
+    ServingTree(std::vector<LeafServer *> leaves, size_t cache_capacity);
+
+    /**
+     * Handle one query end-to-end on logical thread @p tid.
+     * @return final merged results (served from cache when possible)
+     */
+    std::vector<ScoredDoc> handle(uint32_t tid, const Query &query);
+
+    const Stats &stats() const { return stats_; }
+    QueryCacheServer &cache() { return cache_; }
+
+  private:
+    std::vector<LeafServer *> leaves_;
+    QueryCacheServer cache_;
+    Stats stats_;
+};
+
+/**
+ * Multi-level serving tree (paper Figure 1): the root fans out to
+ * intermediate parents, each responsible for a group of leaves and
+ * performing its own score/merge step before the root's final merge.
+ */
+class MultiLevelTree
+{
+  public:
+    struct Stats
+    {
+        uint64_t queries = 0;
+        uint64_t cacheHits = 0;
+        uint64_t parentMerges = 0;
+        uint64_t leafQueries = 0;
+    };
+
+    /**
+     * @param leaves  non-owning, partitioned leaves
+     * @param fanout  leaves per intermediate parent (>= 1)
+     * @param cache_capacity front-end query cache entries (0 = none)
+     */
+    MultiLevelTree(std::vector<LeafServer *> leaves, uint32_t fanout,
+                   size_t cache_capacity);
+
+    /** Handle one query through cache -> parents -> root merge. */
+    std::vector<ScoredDoc> handle(uint32_t tid, const Query &query);
+
+    const Stats &stats() const { return stats_; }
+    uint32_t numParents() const
+    {
+        return static_cast<uint32_t>(groups_.size());
+    }
+    QueryCacheServer &cache() { return cache_; }
+
+  private:
+    std::vector<std::vector<LeafServer *>> groups_;
+    QueryCacheServer cache_;
+    Stats stats_;
+};
+
+} // namespace wsearch
+
+#endif // WSEARCH_SEARCH_ROOT_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Okapi BM25 relevance scoring, the standard ranking function for the
+ * retrieval stage of the leaf server.
+ */
+
+#ifndef WSEARCH_SEARCH_SCORER_HH
+#define WSEARCH_SEARCH_SCORER_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace wsearch {
+
+/** BM25 scorer with the usual k1/b parameters. */
+class Bm25Scorer
+{
+  public:
+    /**
+     * @param num_docs     documents in the shard
+     * @param avg_doc_len  mean document length in terms
+     */
+    Bm25Scorer(uint32_t num_docs, double avg_doc_len, double k1 = 1.2,
+               double b = 0.75)
+        : numDocs_(num_docs), avgDocLen_(avg_doc_len), k1_(k1), b_(b)
+    {
+    }
+
+    /** Robertson-Sparck-Jones IDF with the +1 smoothing. */
+    double
+    idf(uint32_t doc_freq) const
+    {
+        const double n = static_cast<double>(numDocs_);
+        const double df = static_cast<double>(doc_freq);
+        return std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+    }
+
+    /** Per-(term, doc) contribution. */
+    double
+    score(uint32_t tf, uint32_t doc_len, uint32_t doc_freq) const
+    {
+        const double tfd = static_cast<double>(tf);
+        const double norm = k1_ * (1.0 - b_ +
+            b_ * static_cast<double>(doc_len) / avgDocLen_);
+        return idf(doc_freq) * tfd * (k1_ + 1.0) / (tfd + norm);
+    }
+
+    double k1() const { return k1_; }
+    double b() const { return b_; }
+
+  private:
+    uint32_t numDocs_;
+    double avgDocLen_;
+    double k1_;
+    double b_;
+};
+
+} // namespace wsearch
+
+#endif // WSEARCH_SEARCH_SCORER_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Bounded top-k selection via a min-heap: the leaf server keeps the k
+ * best-scoring documents seen so far with O(log k) insertion.
+ */
+
+#ifndef WSEARCH_SEARCH_TOPK_HH
+#define WSEARCH_SEARCH_TOPK_HH
+
+#include <algorithm>
+#include <vector>
+
+#include "search/types.hh"
+
+namespace wsearch {
+
+/** Keeps the k largest ScoredDocs. */
+class TopK
+{
+  public:
+    explicit TopK(size_t k) : k_(k) {}
+
+    /** Offer a candidate; @return true when it entered the heap. */
+    bool
+    offer(const ScoredDoc &cand)
+    {
+        if (heap_.size() < k_) {
+            heap_.push_back(cand);
+            std::push_heap(heap_.begin(), heap_.end(), minFirst);
+            return true;
+        }
+        if (!(heap_.front() < cand))
+            return false;
+        std::pop_heap(heap_.begin(), heap_.end(), minFirst);
+        heap_.back() = cand;
+        std::push_heap(heap_.begin(), heap_.end(), minFirst);
+        return true;
+    }
+
+    /** Lowest score currently retained (0 when not full). */
+    float
+    threshold() const
+    {
+        return heap_.size() < k_ ? 0.0f : heap_.front().score;
+    }
+
+    size_t size() const { return heap_.size(); }
+    size_t capacity() const { return k_; }
+
+    /** Extract results ordered best-first. */
+    std::vector<ScoredDoc>
+    results() const
+    {
+        std::vector<ScoredDoc> out = heap_;
+        std::sort(out.begin(), out.end(),
+                  [](const ScoredDoc &a, const ScoredDoc &b) {
+                      return b < a;
+                  });
+        return out;
+    }
+
+    void
+    clear()
+    {
+        heap_.clear();
+    }
+
+  private:
+    static bool
+    minFirst(const ScoredDoc &a, const ScoredDoc &b)
+    {
+        return b < a;
+    }
+
+    size_t k_;
+    std::vector<ScoredDoc> heap_;
+};
+
+} // namespace wsearch
+
+#endif // WSEARCH_SEARCH_TOPK_HH

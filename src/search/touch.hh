@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Memory-touch instrumentation. The engine's data structures report
+ * every logical memory reference (segment-tagged canonical virtual
+ * addresses) to a TouchSink; the trace bridge (engine_trace.hh) turns
+ * these into TraceRecords for the cache simulator. A null sink makes
+ * instrumentation free when tracing is off.
+ */
+
+#ifndef WSEARCH_SEARCH_TOUCH_HH
+#define WSEARCH_SEARCH_TOUCH_HH
+
+#include <cstdint>
+
+#include "search/types.hh"
+#include "stats/access_kind.hh"
+#include "trace/record.hh"
+
+namespace wsearch {
+
+/** Receiver of instrumented memory touches. */
+class TouchSink
+{
+  public:
+    virtual ~TouchSink() = default;
+
+    /**
+     * One logical reference.
+     * @param addr  canonical virtual address (vaddr:: layout)
+     * @param bytes extent of the reference
+     */
+    virtual void touch(uint64_t addr, uint32_t bytes, AccessKind kind,
+                       bool is_write) = 0;
+};
+
+/** Sink that discards everything (functional runs). */
+class NullTouchSink : public TouchSink
+{
+  public:
+    void
+    touch(uint64_t, uint32_t, AccessKind, bool) override
+    {
+    }
+};
+
+/** Canonical engine address layout helpers. */
+namespace engine_vaddr {
+
+/** Shard bytes live at kShardBase + shard offset. */
+inline uint64_t
+shardAddr(uint64_t shard_offset)
+{
+    return vaddr::kShardBase + shard_offset;
+}
+
+/** Document metadata entries (length, static rank, ...): 32 B/doc. */
+constexpr uint32_t kDocMetaBytes = 32;
+
+inline uint64_t
+docMetaAddr(DocId doc)
+{
+    return vaddr::kHeapBase + static_cast<uint64_t>(doc) * kDocMetaBytes;
+}
+
+/** Per-term dictionary entries: 48 B/term, after doc metadata. */
+constexpr uint32_t kLexiconEntryBytes = 48;
+constexpr uint64_t kLexiconBase = vaddr::kHeapBase + (8ull << 40);
+
+inline uint64_t
+lexiconAddr(TermId term)
+{
+    return kLexiconBase +
+        static_cast<uint64_t>(term) * kLexiconEntryBytes;
+}
+
+/** Per-thread query scratch (accumulators, top-k): 32 MiB stride. */
+constexpr uint64_t kScratchBase = vaddr::kHeapBase + (16ull << 40);
+constexpr uint64_t kScratchStride = 32ull << 20;
+
+inline uint64_t
+scratchAddr(uint32_t tid, uint64_t offset)
+{
+    return kScratchBase + tid * kScratchStride + offset;
+}
+
+/** Per-thread stack frames. */
+inline uint64_t
+stackAddr(uint32_t tid, uint64_t offset)
+{
+    return vaddr::kStackBase + tid * vaddr::kStackStride + offset;
+}
+
+} // namespace engine_vaddr
+
+} // namespace wsearch
+
+#endif // WSEARCH_SEARCH_TOUCH_HH

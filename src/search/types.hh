@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Common identifier types for the mini search engine.
+ */
+
+#ifndef WSEARCH_SEARCH_TYPES_HH
+#define WSEARCH_SEARCH_TYPES_HH
+
+#include <cstdint>
+
+namespace wsearch {
+
+using DocId = uint32_t;
+using TermId = uint32_t;
+
+constexpr DocId kInvalidDoc = ~0u;
+
+/** A scored document. */
+struct ScoredDoc
+{
+    DocId doc = kInvalidDoc;
+    float score = 0.0f;
+
+    bool
+    operator<(const ScoredDoc &other) const
+    {
+        // Order by score, ties by doc id for determinism.
+        if (score != other.score)
+            return score < other.score;
+        return doc > other.doc;
+    }
+};
+
+} // namespace wsearch
+
+#endif // WSEARCH_SEARCH_TYPES_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * LEB128-style variable-length integer codec used by the posting-list
+ * format. Small values (typical document-id deltas) take one byte.
+ */
+
+#ifndef WSEARCH_SEARCH_VARINT_HH
+#define WSEARCH_SEARCH_VARINT_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace wsearch {
+
+/** Append @p value to @p out varint-encoded; returns bytes written. */
+inline uint32_t
+varintEncode(uint64_t value, std::vector<uint8_t> &out)
+{
+    uint32_t n = 0;
+    while (value >= 0x80) {
+        out.push_back(static_cast<uint8_t>(value) | 0x80);
+        value >>= 7;
+        ++n;
+    }
+    out.push_back(static_cast<uint8_t>(value));
+    return n + 1;
+}
+
+/**
+ * Decode one varint starting at @p p; advances @p p past it.
+ * @p end guards against truncated input (returns 0 and leaves p at
+ * end on overrun).
+ */
+inline uint64_t
+varintDecode(const uint8_t *&p, const uint8_t *end)
+{
+    uint64_t value = 0;
+    uint32_t shift = 0;
+    while (p < end) {
+        const uint8_t byte = *p++;
+        value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+        if (!(byte & 0x80))
+            return value;
+        shift += 7;
+        if (shift >= 64)
+            break;
+    }
+    return value;
+}
+
+/** Encoded size of @p value in bytes. */
+inline uint32_t
+varintSize(uint64_t value)
+{
+    uint32_t n = 1;
+    while (value >= 0x80) {
+        value >>= 7;
+        ++n;
+    }
+    return n;
+}
+
+} // namespace wsearch
+
+#endif // WSEARCH_SEARCH_VARINT_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Access-kind taxonomy used throughout the simulator. The paper's
+ * analysis classifies every memory reference as code (instruction
+ * fetch), heap data, index-shard data, or stack data; all cache
+ * statistics are broken down along this axis.
+ */
+
+#ifndef WSEARCH_STATS_ACCESS_KIND_HH
+#define WSEARCH_STATS_ACCESS_KIND_HH
+
+#include <cstdint>
+
+namespace wsearch {
+
+/** Classification of a memory reference (paper §III). */
+enum class AccessKind : uint8_t {
+    Code = 0,   ///< instruction fetch
+    Heap = 1,   ///< heap data (accumulators, dictionaries, metadata)
+    Shard = 2,  ///< index-shard data (posting lists)
+    Stack = 3,  ///< per-thread stack data
+};
+
+constexpr uint32_t kNumAccessKinds = 4;
+
+/** Short printable name of an access kind. */
+constexpr const char *
+accessKindName(AccessKind k)
+{
+    switch (k) {
+      case AccessKind::Code: return "code";
+      case AccessKind::Heap: return "heap";
+      case AccessKind::Shard: return "shard";
+      case AccessKind::Stack: return "stack";
+    }
+    return "?";
+}
+
+} // namespace wsearch
+
+#endif // WSEARCH_STATS_ACCESS_KIND_HH

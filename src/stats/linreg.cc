@@ -1,0 +1,43 @@
+#include "stats/linreg.hh"
+
+#include "util/logging.hh"
+
+namespace wsearch {
+
+LinearFit
+fitLinear(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    wsearch_assert(xs.size() == ys.size());
+    wsearch_assert(xs.size() >= 2);
+    const double n = static_cast<double>(xs.size());
+    double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+        sxx += xs[i] * xs[i];
+        sxy += xs[i] * ys[i];
+        syy += ys[i] * ys[i];
+    }
+    const double denom = n * sxx - sx * sx;
+    LinearFit fit;
+    if (denom == 0.0) {
+        fit.slope = 0.0;
+        fit.intercept = sy / n;
+        fit.r2 = 0.0;
+        return fit;
+    }
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+
+    const double mean_y = sy / n;
+    double ss_res = 0, ss_tot = 0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        const double pred = fit.eval(xs[i]);
+        ss_res += (ys[i] - pred) * (ys[i] - pred);
+        ss_tot += (ys[i] - mean_y) * (ys[i] - mean_y);
+    }
+    fit.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+    return fit;
+}
+
+} // namespace wsearch

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Ordinary least-squares linear regression. The paper fits
+ * IPC = a * AMAT_L3 + b (Eq. 1) from measured points; we reproduce that
+ * fit from simulated points in bench_fig8 and the performance model.
+ */
+
+#ifndef WSEARCH_STATS_LINREG_HH
+#define WSEARCH_STATS_LINREG_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace wsearch {
+
+/** Result of a least-squares fit y = slope * x + intercept. */
+struct LinearFit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+    double r2 = 0.0;       ///< coefficient of determination
+
+    double
+    eval(double x) const
+    {
+        return slope * x + intercept;
+    }
+};
+
+/** Fit y = a x + b over paired samples; requires >= 2 points. */
+LinearFit fitLinear(const std::vector<double> &xs,
+                    const std::vector<double> &ys);
+
+} // namespace wsearch
+
+#endif // WSEARCH_STATS_LINREG_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Reuse-time histogram: log2-bucketed distribution of the number of
+ * intervening references between touches of the same block, sampled
+ * by hashing (track every Nth block) so it stays cheap at trace
+ * rates. Reuse time upper-bounds LRU stack distance, so the
+ * cumulative histogram is a quick locality fingerprint of a segment
+ * (it is how the heap/shard contrast of paper §III-B shows up at a
+ * glance).
+ */
+
+#ifndef WSEARCH_STATS_REUSE_HH
+#define WSEARCH_STATS_REUSE_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/rng.hh"
+
+namespace wsearch {
+
+/** Sampled reuse-time histogram over 64-byte blocks. */
+class ReuseTimeHistogram
+{
+  public:
+    static constexpr uint32_t kBuckets = 33;
+
+    /**
+     * @param sample_shift track blocks whose hash has this many
+     *        leading zero bits (0 = every block)
+     */
+    explicit ReuseTimeHistogram(uint32_t sample_shift = 0)
+        : sampleShift_(sample_shift)
+    {
+    }
+
+    /** Observe a reference to @p addr. */
+    void
+    touch(uint64_t addr)
+    {
+        ++clock_;
+        const uint64_t block = addr >> 6;
+        if (sampleShift_ && (mix64(block) >> (64 - sampleShift_)) != 0)
+            return;
+        auto [it, fresh] = last_.try_emplace(block, clock_);
+        if (!fresh) {
+            const uint64_t gap = clock_ - it->second;
+            ++buckets_[bucketOf(gap)];
+            ++reuses_;
+            it->second = clock_;
+        } else {
+            ++coldTouches_;
+        }
+    }
+
+    /** Count in log2 bucket @p b (gap in [2^b, 2^(b+1))). */
+    uint64_t bucket(uint32_t b) const { return buckets_[b]; }
+    uint64_t reuses() const { return reuses_; }
+    uint64_t coldTouches() const { return coldTouches_; }
+    uint64_t references() const { return clock_; }
+
+    /** Fraction of (sampled) reuses with gap <= 2^b. */
+    double
+    cumulativeAt(uint32_t b) const
+    {
+        if (reuses_ == 0)
+            return 0.0;
+        uint64_t n = 0;
+        for (uint32_t i = 0; i <= b && i < kBuckets; ++i)
+            n += buckets_[i];
+        return static_cast<double>(n) / static_cast<double>(reuses_);
+    }
+
+    /** Median reuse gap (bucket midpoint), or 0 with no reuses. */
+    uint64_t
+    medianGap() const
+    {
+        if (reuses_ == 0)
+            return 0;
+        uint64_t seen = 0;
+        for (uint32_t b = 0; b < kBuckets; ++b) {
+            seen += buckets_[b];
+            if (2 * seen >= reuses_)
+                return 1ull << b;
+        }
+        return 1ull << (kBuckets - 1);
+    }
+
+  private:
+    static uint32_t
+    bucketOf(uint64_t gap)
+    {
+        uint32_t b = 0;
+        while (gap > 1 && b + 1 < kBuckets) {
+            gap >>= 1;
+            ++b;
+        }
+        return b;
+    }
+
+    uint32_t sampleShift_;
+    uint64_t clock_ = 0;
+    uint64_t reuses_ = 0;
+    uint64_t coldTouches_ = 0;
+    std::array<uint64_t, kBuckets> buckets_{};
+    std::unordered_map<uint64_t, uint64_t> last_;
+};
+
+} // namespace wsearch
+
+#endif // WSEARCH_STATS_REUSE_HH

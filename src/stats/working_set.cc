@@ -1,0 +1,25 @@
+#include "stats/working_set.hh"
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace wsearch {
+
+WorkingSetTracker::WorkingSetTracker(uint64_t base, uint64_t span_bytes,
+                                     uint32_t block_bytes)
+    : base_(base), span_(span_bytes), blockShift_(log2i(block_bytes))
+{
+    wsearch_assert(isPow2(block_bytes));
+    wsearch_assert(span_bytes > 0);
+    const uint64_t blocks = ceilDiv(span_bytes, block_bytes);
+    bits_.assign(ceilDiv(blocks, 64), 0);
+}
+
+void
+WorkingSetTracker::reset()
+{
+    std::fill(bits_.begin(), bits_.end(), 0);
+    distinct_ = 0;
+}
+
+} // namespace wsearch

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Working-set trackers: count distinct cache blocks touched inside an
+ * address region (paper Figures 4 and 5). A dense bitmap covers regions
+ * up to tens of GiB cheaply; touches outside the region are ignored.
+ */
+
+#ifndef WSEARCH_STATS_WORKING_SET_HH
+#define WSEARCH_STATS_WORKING_SET_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace wsearch {
+
+/** Dense distinct-block tracker over [base, base + span). */
+class WorkingSetTracker
+{
+  public:
+    /**
+     * @param base       region base address (block aligned)
+     * @param spanBytes  region size in bytes
+     * @param blockBytes granularity (power of two), typically 64
+     */
+    WorkingSetTracker(uint64_t base, uint64_t span_bytes,
+                      uint32_t block_bytes);
+
+    /** Record a touch; out-of-region addresses are ignored. */
+    void
+    touch(uint64_t addr)
+    {
+        if (addr < base_ || addr >= base_ + span_)
+            return;
+        const uint64_t block = (addr - base_) >> blockShift_;
+        const uint64_t word = block >> 6;
+        const uint64_t bit = 1ull << (block & 63);
+        if (!(bits_[word] & bit)) {
+            bits_[word] |= bit;
+            ++distinct_;
+        }
+    }
+
+    /** Number of distinct blocks touched so far. */
+    uint64_t distinctBlocks() const { return distinct_; }
+
+    /** Bytes covered by the distinct blocks. */
+    uint64_t
+    workingSetBytes() const
+    {
+        return distinct_ << blockShift_;
+    }
+
+    void reset();
+
+  private:
+    uint64_t base_;
+    uint64_t span_;
+    uint32_t blockShift_;
+    uint64_t distinct_ = 0;
+    std::vector<uint64_t> bits_;
+};
+
+} // namespace wsearch
+
+#endif // WSEARCH_STATS_WORKING_SET_HH

@@ -1,0 +1,36 @@
+#include "util/env.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace wsearch {
+
+uint64_t
+envU64(const char *name, uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    char *end = nullptr;
+    const unsigned long long parsed = std::strtoull(v, &end, 10);
+    if (end == v)
+        return fallback;
+    return parsed;
+}
+
+bool
+fastMode()
+{
+    return envU64("WSEARCH_FAST", 0) != 0;
+}
+
+uint64_t
+traceBudget(uint64_t nominal)
+{
+    const uint64_t override_records = envU64("WSEARCH_RECORDS", 0);
+    if (override_records)
+        return override_records;
+    return fastMode() ? nominal / 8 : nominal;
+}
+
+} // namespace wsearch

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Environment-driven experiment budgets. The bench harnesses call
+ * traceBudget() to decide how many trace records to simulate per
+ * experiment point; WSEARCH_FAST=1 shrinks budgets for smoke runs and
+ * WSEARCH_RECORDS=<n> overrides them entirely.
+ */
+
+#ifndef WSEARCH_UTIL_ENV_HH
+#define WSEARCH_UTIL_ENV_HH
+
+#include <cstdint>
+
+namespace wsearch {
+
+/** Read an unsigned integer env var, or @p fallback when unset/invalid. */
+uint64_t envU64(const char *name, uint64_t fallback);
+
+/** True when WSEARCH_FAST is set to a nonzero value. */
+bool fastMode();
+
+/**
+ * Scale a nominal record budget: full value normally, 1/8 in fast mode,
+ * or the WSEARCH_RECORDS override when present.
+ */
+uint64_t traceBudget(uint64_t nominal);
+
+} // namespace wsearch
+
+#endif // WSEARCH_UTIL_ENV_HH

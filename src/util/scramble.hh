@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Bijective address scramblers. The trace generators draw Zipf-distributed
+ * block ranks; a scrambler maps rank -> block index bijectively so that
+ * hot blocks are scattered across the address space (as in a real heap)
+ * instead of clustered, without storing a permutation table.
+ */
+
+#ifndef WSEARCH_UTIL_SCRAMBLE_HH
+#define WSEARCH_UTIL_SCRAMBLE_HH
+
+#include <cstdint>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace wsearch {
+
+/**
+ * Invertible mixing permutation over [0, 2^bits). Uses multiply by an odd
+ * constant and xor-shift folding, both invertible modulo 2^bits, so the
+ * mapping is a true permutation of the domain.
+ */
+class BitMixPermutation
+{
+  public:
+    /** @param bits domain is [0, 2^bits); bits in [1, 63]. */
+    explicit BitMixPermutation(uint32_t bits, uint64_t salt = 0)
+        : bits_(bits), mask_((bits >= 64) ? ~0ull : ((1ull << bits) - 1)),
+          mult_((0x9e3779b97f4a7c15ull ^ (salt * 0xff51afd7ed558ccdull))
+                | 1ull)
+    {
+        wsearch_assert(bits >= 1 && bits <= 63);
+    }
+
+    /** Map rank @p x to its scrambled position. */
+    uint64_t
+    apply(uint64_t x) const
+    {
+        x &= mask_;
+        x = (x * mult_) & mask_;
+        x ^= x >> (bits_ / 2 + 1);
+        x = (x * 0xc2b2ae3d27d4eb4full) & mask_;
+        x ^= x >> (bits_ / 2 + 1);
+        return x & mask_;
+    }
+
+    uint64_t domainSize() const { return mask_ + 1; }
+
+  private:
+    uint32_t bits_;
+    uint64_t mask_;
+    uint64_t mult_;
+};
+
+/**
+ * Scrambler over an arbitrary (not necessarily power-of-two) domain
+ * [0, n) via cycle-walking a power-of-two permutation: apply the
+ * permutation repeatedly until the result falls inside the domain.
+ * Expected iterations < 2.
+ */
+class DomainScrambler
+{
+  public:
+    explicit DomainScrambler(uint64_t n, uint64_t salt = 0)
+        : n_(n), perm_(n <= 2 ? 1 : log2i(nextPow2(n)), salt)
+    {
+        wsearch_assert(n >= 1);
+    }
+
+    uint64_t
+    apply(uint64_t x) const
+    {
+        wsearch_assert(x < n_);
+        uint64_t y = perm_.apply(x);
+        while (y >= n_)
+            y = perm_.apply(y);
+        return y;
+    }
+
+    uint64_t domainSize() const { return n_; }
+
+  private:
+    uint64_t n_;
+    BitMixPermutation perm_;
+};
+
+} // namespace wsearch
+
+#endif // WSEARCH_UTIL_SCRAMBLE_HH

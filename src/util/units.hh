@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Size/capacity unit helpers and small bit-manipulation utilities used
+ * throughout the wsearch libraries.
+ */
+
+#ifndef WSEARCH_UTIL_UNITS_HH
+#define WSEARCH_UTIL_UNITS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace wsearch {
+
+/** Number of bytes in one binary kilobyte. */
+constexpr uint64_t KiB = 1024ull;
+/** Number of bytes in one binary megabyte. */
+constexpr uint64_t MiB = 1024ull * KiB;
+/** Number of bytes in one binary gigabyte. */
+constexpr uint64_t GiB = 1024ull * MiB;
+
+/** Return true if @p x is a (non-zero) power of two. */
+constexpr bool
+isPow2(uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Integer log2 of a power of two (undefined for non powers of two). */
+constexpr uint32_t
+log2i(uint64_t x)
+{
+    uint32_t r = 0;
+    while (x > 1) {
+        x >>= 1;
+        ++r;
+    }
+    return r;
+}
+
+/** Round @p x down to a multiple of power-of-two @p align. */
+constexpr uint64_t
+alignDown(uint64_t x, uint64_t align)
+{
+    return x & ~(align - 1);
+}
+
+/** Round @p x up to a multiple of power-of-two @p align. */
+constexpr uint64_t
+alignUp(uint64_t x, uint64_t align)
+{
+    return (x + align - 1) & ~(align - 1);
+}
+
+/** Smallest power of two >= @p x (x must be >= 1). */
+constexpr uint64_t
+nextPow2(uint64_t x)
+{
+    uint64_t p = 1;
+    while (p < x)
+        p <<= 1;
+    return p;
+}
+
+/** Integer ceiling division. */
+constexpr uint64_t
+ceilDiv(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/**
+ * Format a byte count as a human-readable string with binary units,
+ * e.g. "45 MiB", "1.5 GiB", "512 B".
+ */
+inline std::string
+formatBytes(uint64_t bytes)
+{
+    auto fmt = [](double v, const char *unit) {
+        char buf[32];
+        if (v == static_cast<uint64_t>(v)) {
+            snprintf(buf, sizeof(buf), "%llu %s",
+                     (unsigned long long)v, unit);
+        } else {
+            snprintf(buf, sizeof(buf), "%.2f %s", v, unit);
+        }
+        return std::string(buf);
+    };
+    if (bytes >= GiB)
+        return fmt(static_cast<double>(bytes) / GiB, "GiB");
+    if (bytes >= MiB)
+        return fmt(static_cast<double>(bytes) / MiB, "MiB");
+    if (bytes >= KiB)
+        return fmt(static_cast<double>(bytes) / KiB, "KiB");
+    return fmt(static_cast<double>(bytes), "B");
+}
+
+} // namespace wsearch
+
+#endif // WSEARCH_UTIL_UNITS_HH

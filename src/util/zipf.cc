@@ -1,0 +1,82 @@
+#include "util/zipf.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace wsearch {
+
+namespace {
+
+/** (x^(1-theta) - 1) / (1 - theta), continuous at theta == 1 (-> ln x). */
+double
+hIntegral(double x, double theta)
+{
+    const double log_x = std::log(x);
+    const double t = (1.0 - theta) * log_x;
+    // expm1-based form is numerically stable near theta == 1.
+    if (std::fabs(t) < 1e-8)
+        return log_x * (1.0 + t / 2.0 + t * t / 6.0);
+    return std::expm1(t) / (1.0 - theta);
+}
+
+/** Inverse of hIntegral. */
+double
+hIntegralInverse(double x, double theta)
+{
+    double t = x * (1.0 - theta);
+    if (t < -1.0)
+        t = -1.0; // guard against rounding
+    if (std::fabs(t) < 1e-8)
+        return std::exp(x * (1.0 - t / 2.0 + t * t / 3.0));
+    return std::exp(std::log1p(t) / (1.0 - theta));
+}
+
+} // namespace
+
+ZipfSampler::ZipfSampler(uint64_t n, double theta)
+    : n_(n), theta_(theta)
+{
+    wsearch_assert(n >= 1);
+    wsearch_assert(theta > 0.0);
+    hxm_ = hIntegral(static_cast<double>(n) + 0.5, theta_);
+    hx0_ = hIntegral(1.5, theta_) - 1.0;
+    s_ = 2.0 - hIntegralInverse(hIntegral(2.5, theta_) - std::pow(2.0,
+                                -theta_), theta_);
+}
+
+double
+ZipfSampler::h(double x) const
+{
+    return hIntegral(x, theta_);
+}
+
+double
+ZipfSampler::hInverse(double x) const
+{
+    return hIntegralInverse(x, theta_);
+}
+
+uint64_t
+ZipfSampler::sample(Rng &rng) const
+{
+    if (n_ == 1)
+        return 0;
+    // Rejection-inversion main loop; expected < 2 iterations.
+    while (true) {
+        const double u = hxm_ + rng.nextDouble() * (hx0_ - hxm_);
+        const double x = hInverse(u);
+        uint64_t k = static_cast<uint64_t>(x + 0.5);
+        if (k < 1)
+            k = 1;
+        else if (k > n_)
+            k = n_;
+        const double kd = static_cast<double>(k);
+        if (kd - x <= s_ ||
+            u >= h(kd + 0.5) - std::exp(-theta_ * std::log(kd))) {
+            return k - 1; // ranks are 0-based externally
+        }
+    }
+}
+
+} // namespace wsearch

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "core/amat_model.hh"
+#include "core/area_model.hh"
+#include "core/hit_curve.hh"
+
+namespace wsearch {
+namespace {
+
+TEST(AmatModel, NoL4)
+{
+    AmatModel m;
+    m.tL3Ns = 20;
+    m.tMemNs = 120;
+    EXPECT_DOUBLE_EQ(m.amat(1.0), 20.0);
+    EXPECT_DOUBLE_EQ(m.amat(0.0), 120.0);
+    EXPECT_DOUBLE_EQ(m.amat(0.5), 70.0);
+}
+
+TEST(AmatModel, WithL4)
+{
+    AmatModel m;
+    m.tL3Ns = 20;
+    m.tL4Ns = 40;
+    m.tMemNs = 120;
+    // Perfect L4: miss path costs t_L4.
+    EXPECT_DOUBLE_EQ(m.amatWithL4(0.5, 1.0), 0.5 * 20 + 0.5 * 40);
+    // Useless L4 with parallel tag check: same as no L4.
+    EXPECT_DOUBLE_EQ(m.amatWithL4(0.5, 0.0), m.amat(0.5));
+}
+
+TEST(AmatModel, SerializedMissPenalty)
+{
+    AmatModel m;
+    m.l4MissExtraNs = 5.0;
+    EXPECT_GT(m.amatWithL4(0.5, 0.0), m.amat(0.5));
+    EXPECT_DOUBLE_EQ(m.amatWithL4(0.5, 0.0) - m.amat(0.5), 0.5 * 5.0);
+}
+
+TEST(AmatModel, FutureRaisesMemoryLatency)
+{
+    const AmatModel m;
+    const AmatModel f = m.future();
+    EXPECT_DOUBLE_EQ(f.tMemNs, m.tMemNs * 1.10);
+    EXPECT_GT(f.amat(0.5), m.amat(0.5));
+}
+
+TEST(IpcModel, PaperEq1)
+{
+    const IpcModel eq1 = IpcModel::paperEq1();
+    // Spot values from the paper's Figure 8b regime.
+    EXPECT_NEAR(eq1.ipc(50), 1.349, 1e-3);
+    EXPECT_NEAR(eq1.ipc(70), 1.1766, 1e-3);
+    EXPECT_GT(eq1.ipc(50), eq1.ipc(70));
+}
+
+TEST(IpcModel, FitRecoversLine)
+{
+    std::vector<double> amat, ipc;
+    for (double a = 45; a <= 75; a += 5) {
+        amat.push_back(a);
+        ipc.push_back(-8.62e-3 * a + 1.78);
+    }
+    const IpcModel fit = IpcModel::fit(amat, ipc);
+    EXPECT_NEAR(fit.slope, -8.62e-3, 1e-9);
+    EXPECT_NEAR(fit.intercept, 1.78, 1e-9);
+}
+
+TEST(AreaModel, PaperBaseline)
+{
+    const AreaModel a;
+    // 18 cores at 2.5 MiB/core: 18 * (4 + 2.5) = 117 L3-eq MiB.
+    EXPECT_DOUBLE_EQ(a.area(18, 2.5), 117.0);
+    // At c = 1: 117 / 5 = 23.4 -> 23 whole cores (the paper's 23).
+    EXPECT_NEAR(a.coresForArea(117.0, 1.0), 23.4, 1e-9);
+    EXPECT_EQ(a.coresForAreaQuantized(117.0, 1.0), 23u);
+}
+
+TEST(AreaModel, MoreCachePerCoreFewerCores)
+{
+    const AreaModel a;
+    EXPECT_GT(a.coresForArea(117, 0.5), a.coresForArea(117, 2.5));
+}
+
+TEST(HitRateCurve, InterpolatesAndClamps)
+{
+    HitRateCurve c;
+    c.addPoint(4 << 20, 0.4);
+    c.addPoint(16 << 20, 0.8);
+    EXPECT_DOUBLE_EQ(c.hitRate(4 << 20), 0.4);
+    EXPECT_DOUBLE_EQ(c.hitRate(16 << 20), 0.8);
+    // Log-size midpoint (8 MiB) interpolates to the middle.
+    EXPECT_NEAR(c.hitRate(8 << 20), 0.6, 1e-9);
+    // Clamping outside the range.
+    EXPECT_DOUBLE_EQ(c.hitRate(1 << 20), 0.4);
+    EXPECT_DOUBLE_EQ(c.hitRate(1u << 30), 0.8);
+}
+
+TEST(HitRateCurve, UnsortedInsertOk)
+{
+    HitRateCurve c;
+    c.addPoint(64 << 20, 0.9);
+    c.addPoint(1 << 20, 0.1);
+    c.addPoint(8 << 20, 0.5);
+    EXPECT_DOUBLE_EQ(c.hitRate(1 << 20), 0.1);
+    EXPECT_DOUBLE_EQ(c.hitRate(64 << 20), 0.9);
+    EXPECT_GT(c.hitRate(16 << 20), c.hitRate(4 << 20));
+}
+
+} // namespace
+} // namespace wsearch

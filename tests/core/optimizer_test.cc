@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "core/l4_evaluator.hh"
+#include "core/optimizer.hh"
+
+namespace wsearch {
+namespace {
+
+/** A paper-like L3 hit curve: rises from ~50% at 9 MiB to ~73% at
+ *  45 MiB (the Figure 8a CAT domain). */
+HitRateCurve
+paperLikeL3Curve()
+{
+    HitRateCurve c;
+    c.addPoint(4608ull << 10, 0.46); // 4.5 MiB
+    c.addPoint(9ull << 20, 0.53);
+    c.addPoint(18ull << 20, 0.62);
+    c.addPoint(27ull << 20, 0.67);
+    c.addPoint(36ull << 20, 0.70);
+    c.addPoint(45ull << 20, 0.73);
+    return c;
+}
+
+CacheForCoresOptimizer
+makeOptimizer()
+{
+    return CacheForCoresOptimizer(AreaModel{}, AmatModel{},
+                                  IpcModel::paperEq1(),
+                                  paperLikeL3Curve());
+}
+
+TEST(Optimizer, BaselineIsNeutral)
+{
+    const CacheForCoresOptimizer opt = makeOptimizer();
+    EXPECT_NEAR(opt.relativeQps(18, 2.5), 1.0, 1e-12);
+    const TradeoffPoint p = opt.evaluate(2.5);
+    EXPECT_EQ(p.coresQuantized, 18u);
+    EXPECT_NEAR(p.qpsQuantized, 0.0, 1e-9);
+}
+
+TEST(Optimizer, SweepCoversPaperRange)
+{
+    const auto points = makeOptimizer().sweep();
+    ASSERT_EQ(points.size(), 8u);
+    EXPECT_DOUBLE_EQ(points.front().l3MibPerCore, 2.25);
+    EXPECT_NEAR(points.back().l3MibPerCore, 0.5, 1e-9);
+}
+
+TEST(Optimizer, TradingCacheForCoresWinsOnPaperCurve)
+{
+    // With the paper-like hit curve, c = 1 MiB/core must beat the
+    // baseline and land near the paper's 23 cores / +14%.
+    const TradeoffPoint p = makeOptimizer().evaluate(1.0);
+    EXPECT_EQ(p.coresQuantized, 23u);
+    EXPECT_GT(p.qpsQuantized, 0.05);
+    EXPECT_LT(p.qpsQuantized, 0.30);
+}
+
+TEST(Optimizer, IdealUpperBoundsQuantized)
+{
+    for (const TradeoffPoint &p : makeOptimizer().sweep())
+        EXPECT_GE(p.qpsIdeal, p.qpsQuantized - 1e-12);
+}
+
+TEST(Optimizer, DecompositionSigns)
+{
+    const TradeoffPoint p = makeOptimizer().evaluate(1.0);
+    EXPECT_GT(p.gainFromCores, 0.0); // more cores at smaller c
+    EXPECT_LT(p.lossFromCache, 0.0); // smaller L3 hurts IPC
+}
+
+TEST(Optimizer, BestPicksMaxQuantized)
+{
+    const CacheForCoresOptimizer opt = makeOptimizer();
+    const TradeoffPoint best = opt.best();
+    for (const TradeoffPoint &p : opt.sweep())
+        EXPECT_GE(best.qpsQuantized, p.qpsQuantized - 1e-12);
+}
+
+L4EvalInputs
+paperLikeInputs()
+{
+    L4EvalInputs in;
+    in.baselineHitL3 = 0.73;
+    in.rightsizedHitL3 = 0.64;
+    for (uint64_t s = 128ull << 20; s <= 8ull << 30; s *= 2) {
+        // Paper-like L4 curve: ~30% at 128 MiB to ~60% at 8 GiB.
+        const double h = 0.30 + 0.05 * (log2(double(s)) - 27);
+        in.l4Direct.addPoint(s, h);
+        in.l4Assoc.addPoint(s, h + 0.01); // FA ~1pp better
+    }
+    return in;
+}
+
+TEST(L4Eval, RightsizingAloneNearPaper)
+{
+    const L4Evaluator eval(paperLikeInputs(), AmatModel{},
+                           IpcModel::paperEq1());
+    const double d = eval.rightsizeOnlyImprovement();
+    EXPECT_GT(d, 0.05);
+    EXPECT_LT(d, 0.25);
+}
+
+TEST(L4Eval, BiggerL4Better)
+{
+    const L4Evaluator eval(paperLikeInputs(), AmatModel{},
+                           IpcModel::paperEq1());
+    const L4Scenario sc = L4Scenario::baseline();
+    EXPECT_LT(eval.improvement(sc, 128ull << 20),
+              eval.improvement(sc, 1ull << 30));
+    EXPECT_LT(eval.improvement(sc, 1ull << 30),
+              eval.improvement(sc, 8ull << 30));
+}
+
+TEST(L4Eval, PessimisticWorseThanBaseline)
+{
+    const L4Evaluator eval(paperLikeInputs(), AmatModel{},
+                           IpcModel::paperEq1());
+    EXPECT_LT(eval.improvement(L4Scenario::pessimistic(), 1ull << 30),
+              eval.improvement(L4Scenario::baseline(), 1ull << 30));
+}
+
+TEST(L4Eval, AssociativeSlightlyBetter)
+{
+    const L4Evaluator eval(paperLikeInputs(), AmatModel{},
+                           IpcModel::paperEq1());
+    const double dm =
+        eval.improvement(L4Scenario::baseline(), 1ull << 30);
+    const double fa =
+        eval.improvement(L4Scenario::associativeL4(), 1ull << 30);
+    EXPECT_GT(fa, dm);
+    EXPECT_LT(fa - dm, 0.05); // ~1 percentage point in the paper
+}
+
+TEST(L4Eval, FutureScenarioAmplifiesBenefit)
+{
+    const L4Evaluator eval(paperLikeInputs(), AmatModel{},
+                           IpcModel::paperEq1());
+    EXPECT_GT(eval.improvement(L4Scenario::futureGen(), 1ull << 30),
+              eval.improvement(L4Scenario::baseline(), 1ull << 30));
+}
+
+TEST(L4Eval, L4AlwaysBeatsRightsizingAlone)
+{
+    const L4Evaluator eval(paperLikeInputs(), AmatModel{},
+                           IpcModel::paperEq1());
+    const double alone = eval.rightsizeOnlyImprovement();
+    for (uint64_t s = 128ull << 20; s <= 2ull << 30; s *= 2)
+        EXPECT_GT(eval.improvement(L4Scenario::baseline(), s), alone);
+}
+
+} // namespace
+} // namespace wsearch

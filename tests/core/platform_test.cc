@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "core/experiments.hh"
+#include "core/platform.hh"
+
+namespace wsearch {
+namespace {
+
+TEST(Platform, TableIIAttributes)
+{
+    const PlatformConfig p1 = PlatformConfig::plt1();
+    EXPECT_EQ(p1.sockets, 2u);
+    EXPECT_EQ(p1.coresPerSocket, 18u);
+    EXPECT_EQ(p1.smtWays, 2u);
+    EXPECT_EQ(p1.cacheBlockBytes, 64u);
+    EXPECT_EQ(p1.l2Bytes, 256 * KiB);
+    EXPECT_EQ(p1.l3Bytes, 45 * MiB);
+    EXPECT_EQ(p1.l3Ways, 20u);
+
+    const PlatformConfig p2 = PlatformConfig::plt2();
+    EXPECT_EQ(p2.coresPerSocket, 12u);
+    EXPECT_EQ(p2.smtWays, 8u);
+    EXPECT_EQ(p2.cacheBlockBytes, 128u);
+    EXPECT_EQ(p2.l1dBytes, 64 * KiB);
+    EXPECT_EQ(p2.l2Bytes, 512 * KiB);
+    EXPECT_EQ(p2.l3Bytes, 96 * MiB);
+}
+
+TEST(Platform, HierarchyBuilder)
+{
+    const PlatformConfig p1 = PlatformConfig::plt1();
+    const HierarchyConfig h = p1.hierarchy(16, 2, 10);
+    EXPECT_EQ(h.numCores, 16u);
+    EXPECT_EQ(h.smtWays, 2u);
+    EXPECT_EQ(h.l3.sizeBytes, 45 * MiB);
+    EXPECT_EQ(h.l3.partitionWays, 10u);
+    EXPECT_EQ(h.l1i.blockBytes, 64u);
+}
+
+TEST(Platform, CoreParamsApplyProfileTweaks)
+{
+    const PlatformConfig p1 = PlatformConfig::plt1();
+    WorkloadProfile prof = WorkloadProfile::s1Leaf();
+    prof.cpu.postL2Exposure = 0.42;
+    const CoreModelParams c = p1.coreParams(prof);
+    EXPECT_DOUBLE_EQ(c.tweaks.postL2Exposure, 0.42);
+    EXPECT_EQ(c.width, p1.width);
+    EXPECT_DOUBLE_EQ(c.memNs, p1.memNs);
+}
+
+TEST(Platform, SystemBuilderWiresL4)
+{
+    const PlatformConfig p1 = PlatformConfig::plt1();
+    L4Config l4;
+    l4.sizeBytes = 256 * MiB;
+    const SystemConfig s =
+        p1.system(WorkloadProfile::s1Leaf(), 8, 1, 0, l4);
+    ASSERT_TRUE(s.hierarchy.l4.has_value());
+    EXPECT_EQ(s.hierarchy.l4->sizeBytes, 256 * MiB);
+}
+
+TEST(Experiments, RunWorkloadRespectsOverrides)
+{
+    WorkloadProfile prof = WorkloadProfile::s1Leaf();
+    prof.code.footprintBytes = 128 * KiB;
+    prof.heapWorkingSetBytes = 4 * MiB;
+    RunOptions opt;
+    opt.cores = 2;
+    opt.l3Bytes = 1 * MiB;
+    opt.measureRecords = 300'000;
+    const SystemResult r =
+        runWorkload(prof, PlatformConfig::plt1(), opt);
+    EXPECT_EQ(r.instructions, traceBudget(300'000));
+    EXPECT_GT(r.ipcPerThread, 0.0);
+}
+
+TEST(Experiments, L3HitCurveMonotone)
+{
+    WorkloadProfile prof = WorkloadProfile::s1Leaf();
+    prof.code.footprintBytes = 256 * KiB;
+    prof.heapWorkingSetBytes = 8 * MiB;
+    prof.heapHotFrac = 0.4;
+    prof.heapWarmFrac = 0.1;
+    RunOptions opt;
+    opt.cores = 2;
+    opt.measureRecords = 600'000;
+    const HitRateCurve curve = l3HitCurve(
+        prof, PlatformConfig::plt1(), opt,
+        {512 * KiB, 2 * MiB, 8 * MiB, 32 * MiB});
+    EXPECT_GT(curve.hitRate(32 * MiB), curve.hitRate(512 * KiB));
+}
+
+TEST(Experiments, L4HitCurveGrowsWithCapacity)
+{
+    WorkloadProfile prof = WorkloadProfile::s1Leaf();
+    prof.code.footprintBytes = 128 * KiB;
+    prof.heapWorkingSetBytes = 8 * MiB;
+    prof.heapHotFrac = 0.3;
+    prof.heapWarmFrac = 0.1;
+    RunOptions opt;
+    opt.cores = 2;
+    opt.l3Bytes = 512 * KiB;
+    opt.measureRecords = 800'000;
+    opt.warmupRecords = 1'600'000;
+    const HitRateCurve curve =
+        l4HitCurve(prof, PlatformConfig::plt1(), opt,
+                   {1 * MiB, 16 * MiB}, false);
+    EXPECT_GT(curve.hitRate(16 * MiB), curve.hitRate(1 * MiB));
+}
+
+} // namespace
+} // namespace wsearch

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "core/power_model.hh"
+
+namespace wsearch {
+namespace {
+
+TEST(Power, BaselineIsSelfConsistent)
+{
+    const PowerModel p;
+    EXPECT_NEAR(p.socketWatts(18), p.baselineSocketWatts, 1e-9);
+    EXPECT_NEAR(p.powerIncrease(18), 0.0, 1e-12);
+}
+
+TEST(Power, PaperFiveExtraCores)
+{
+    // Paper: 5 additional cores -> ~18.9% socket power increase.
+    const PowerModel p;
+    EXPECT_NEAR(p.powerIncrease(23), 0.189, 0.002);
+}
+
+TEST(Power, LinearInCores)
+{
+    const PowerModel p;
+    const double d1 = p.socketWatts(19) - p.socketWatts(18);
+    const double d2 = p.socketWatts(24) - p.socketWatts(23);
+    EXPECT_NEAR(d1, d2, 1e-9);
+    EXPECT_GT(d1, 0.0);
+}
+
+TEST(Power, L4FilteringReducesMemoryPower)
+{
+    const PowerModel p;
+    EXPECT_DOUBLE_EQ(p.memoryPowerScale(0.0), 1.0);
+    EXPECT_LT(p.memoryPowerScale(0.5), 1.0);
+    EXPECT_LT(p.memoryPowerScale(0.9), p.memoryPowerScale(0.5));
+}
+
+TEST(Power, CacheForCoresIsRoughlyEnergyNeutral)
+{
+    // Linear power increase vs linear performance increase: energy
+    // per query stays near 1.0 (paper's energy-neutrality argument).
+    const PowerModel p;
+    const double e = p.energyPerQuery(23, 23.0 / 18.0);
+    EXPECT_NEAR(e, 1.0, 0.10);
+}
+
+TEST(Power, L4ImprovesEnergyPerQuery)
+{
+    const PowerModel p;
+    const double without = p.energyPerQuery(23, 1.14);
+    const double with_l4 = p.energyPerQuery(23, 1.27, 0.5);
+    EXPECT_LT(with_l4, without);
+    EXPECT_LT(with_l4, 1.0);
+}
+
+} // namespace
+} // namespace wsearch

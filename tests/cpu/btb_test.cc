@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "cpu/btb.hh"
+#include "util/rng.hh"
+
+namespace wsearch {
+namespace {
+
+TEST(Btb, MissThenHit)
+{
+    Btb btb(256, 4);
+    uint64_t target = 0;
+    EXPECT_FALSE(btb.predict(0x400100, &target));
+    btb.update(0x400100, 0x400200);
+    EXPECT_TRUE(btb.predict(0x400100, &target));
+    EXPECT_EQ(target, 0x400200u);
+}
+
+TEST(Btb, TargetUpdates)
+{
+    Btb btb(256, 4);
+    btb.update(0x400100, 0x400200);
+    btb.update(0x400100, 0x400300);
+    uint64_t target = 0;
+    ASSERT_TRUE(btb.predict(0x400100, &target));
+    EXPECT_EQ(target, 0x400300u);
+}
+
+TEST(Btb, LruEvictionWithinSet)
+{
+    Btb btb(8, 2); // 4 sets of 2
+    // Three branches in the same set (stride = 4 sets * 4 bytes).
+    const uint64_t a = 0x1000, b = a + 16, c = a + 32;
+    btb.update(a, 1);
+    btb.update(b, 2);
+    uint64_t t = 0;
+    btb.predict(a, &t); // does not refresh (read-only)
+    btb.update(c, 3);   // evicts LRU = a
+    EXPECT_FALSE(btb.predict(a, &t));
+    EXPECT_TRUE(btb.predict(b, &t));
+    EXPECT_TRUE(btb.predict(c, &t));
+}
+
+TEST(Btb, NotTakenNeverMisses)
+{
+    Btb btb(256, 4);
+    EXPECT_TRUE(btb.lookupAndUpdate(0x400100, false, 0));
+}
+
+TEST(Btb, TakenBranchTrainsThroughHelper)
+{
+    Btb btb(256, 4);
+    EXPECT_FALSE(btb.lookupAndUpdate(0x400100, true, 0x500000));
+    EXPECT_TRUE(btb.lookupAndUpdate(0x400100, true, 0x500000));
+    // Target change is a miss again.
+    EXPECT_FALSE(btb.lookupAndUpdate(0x400100, true, 0x600000));
+}
+
+TEST(Btb, StableLoopBranchesAllHitSteadyState)
+{
+    Btb btb(4096, 4);
+    Rng rng(1);
+    std::vector<std::pair<uint64_t, uint64_t>> branches;
+    for (int i = 0; i < 64; ++i)
+        branches.push_back({0x400000 + i * 24, 0x400000 + i * 24 + 96});
+    uint64_t miss = 0, total = 0;
+    for (int round = 0; round < 200; ++round) {
+        for (const auto &[pc, target] : branches) {
+            if (!btb.lookupAndUpdate(pc, true, target))
+                ++miss;
+            ++total;
+        }
+    }
+    // Only the 64 cold misses.
+    EXPECT_EQ(miss, 64u);
+}
+
+} // namespace
+} // namespace wsearch

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "cpu/core_model.hh"
+
+namespace wsearch {
+namespace {
+
+CoreModelParams
+defaultParams()
+{
+    CoreModelParams p;
+    return p;
+}
+
+TEST(CoreModel, PerfectStreamHitsWidthCeiling)
+{
+    CoreModelParams p = defaultParams();
+    p.tweaks.feBwSlotsPerInstr = 0.0;
+    p.tweaks.beCoreSlotsPerInstr = 0.0;
+    CoreModel m(p);
+    for (int i = 0; i < 1000; ++i)
+        m.onInstruction();
+    EXPECT_DOUBLE_EQ(m.ipc(), 4.0);
+    EXPECT_DOUBLE_EQ(m.topDown().retiringFrac(), 1.0);
+}
+
+TEST(CoreModel, FixedOverheadsLowerIpc)
+{
+    CoreModelParams p = defaultParams();
+    p.tweaks.feBwSlotsPerInstr = 1.0;
+    p.tweaks.beCoreSlotsPerInstr = 1.0;
+    CoreModel m(p);
+    for (int i = 0; i < 1000; ++i)
+        m.onInstruction();
+    // 3 slots per instruction -> IPC = width / 3.
+    EXPECT_NEAR(m.ipc(), 4.0 / 3.0, 1e-9);
+}
+
+TEST(CoreModel, MispredictChargesBadSpeculation)
+{
+    CoreModelParams p = defaultParams();
+    CoreModel m(p);
+    m.onInstruction();
+    m.onBranchMispredict();
+    EXPECT_DOUBLE_EQ(m.topDown().badSpeculation,
+                     p.width * p.bpPenaltyCycles);
+    EXPECT_EQ(m.mispredicts(), 1u);
+}
+
+TEST(CoreModel, MemoryLatencyChargesBackend)
+{
+    CoreModelParams p = defaultParams();
+    CoreModel m(p);
+    m.onInstruction();
+    m.onDataAccess(HitLevel::Memory);
+    const double expected =
+        p.width * p.memNs * p.freqGhz * p.tweaks.postL2Exposure;
+    EXPECT_DOUBLE_EQ(m.topDown().backendMemory, expected);
+}
+
+TEST(CoreModel, L1HitsAreFree)
+{
+    CoreModel m(defaultParams());
+    m.onInstruction();
+    m.onDataAccess(HitLevel::L1);
+    m.onInstrFetch(HitLevel::L1);
+    EXPECT_DOUBLE_EQ(m.topDown().backendMemory, 0.0);
+    EXPECT_DOUBLE_EQ(m.topDown().frontendLatency, 0.0);
+}
+
+TEST(CoreModel, DeeperMissesCostMore)
+{
+    auto cost = [](HitLevel level) {
+        CoreModel m(defaultParams());
+        m.onInstruction();
+        m.onDataAccess(level);
+        return m.topDown().backendMemory;
+    };
+    EXPECT_LT(cost(HitLevel::L2), cost(HitLevel::L3));
+    EXPECT_LT(cost(HitLevel::L3), cost(HitLevel::L4));
+    EXPECT_LT(cost(HitLevel::L4), cost(HitLevel::Memory));
+}
+
+TEST(CoreModel, L4MissExtraPenaltyApplies)
+{
+    CoreModelParams base = defaultParams();
+    CoreModelParams pess = base;
+    pess.l4MissExtraNs = 5.0;
+    CoreModel a(base), b(pess);
+    a.onInstruction();
+    b.onInstruction();
+    a.onDataAccess(HitLevel::Memory);
+    b.onDataAccess(HitLevel::Memory);
+    EXPECT_GT(b.topDown().backendMemory, a.topDown().backendMemory);
+}
+
+TEST(CoreModel, IfetchMissChargesFrontend)
+{
+    CoreModel m(defaultParams());
+    m.onInstruction();
+    m.onInstrFetch(HitLevel::L2);
+    EXPECT_GT(m.topDown().frontendLatency, 0.0);
+    EXPECT_DOUBLE_EQ(m.topDown().backendMemory, 0.0);
+}
+
+TEST(CoreModel, TlbWalkCharges)
+{
+    CoreModel m(defaultParams());
+    m.onInstruction();
+    m.onTlbWalk();
+    EXPECT_GT(m.topDown().backendMemory, 0.0);
+    m.onItlbWalk();
+    EXPECT_GT(m.topDown().frontendLatency, 0.0);
+}
+
+TEST(CoreModel, FractionsSumToOne)
+{
+    CoreModel m(defaultParams());
+    for (int i = 0; i < 100; ++i) {
+        m.onInstruction();
+        if (i % 7 == 0)
+            m.onBranchMispredict();
+        if (i % 3 == 0)
+            m.onDataAccess(HitLevel::L3);
+        if (i % 11 == 0)
+            m.onInstrFetch(HitLevel::L2);
+    }
+    const TopDown &td = m.topDown();
+    const double sum = td.retiringFrac() + td.badSpecFrac() +
+        td.feLatFrac() + td.feBwFrac() + td.beMemFrac() +
+        td.beCoreFrac();
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(CoreModel, Reset)
+{
+    CoreModel m(defaultParams());
+    m.onInstruction();
+    m.onBranchMispredict();
+    m.reset();
+    EXPECT_EQ(m.instructions(), 0u);
+    EXPECT_EQ(m.mispredicts(), 0u);
+    EXPECT_DOUBLE_EQ(m.topDown().total(), 0.0);
+}
+
+TEST(CoreModel, IpcLinearInMemoryLatency)
+{
+    // The paper's Eq. 1 regime: with a fixed miss profile, 1/IPC is
+    // linear in the post-L2 latency, so IPC over a narrow latency
+    // window is nearly linear.
+    auto ipc_at = [](double mem_ns) {
+        CoreModelParams p;
+        p.memNs = mem_ns;
+        CoreModel m(p);
+        for (int i = 0; i < 10000; ++i) {
+            m.onInstruction();
+            if (i % 100 == 0)
+                m.onDataAccess(HitLevel::Memory);
+        }
+        return m.ipc();
+    };
+    const double i50 = ipc_at(50), i60 = ipc_at(60), i70 = ipc_at(70);
+    EXPECT_GT(i50, i60);
+    EXPECT_GT(i60, i70);
+    // Near-linearity: midpoint close to the average of the endpoints.
+    EXPECT_NEAR(i60, (i50 + i70) / 2, 0.01);
+}
+
+} // namespace
+} // namespace wsearch

@@ -1,0 +1,118 @@
+/**
+ * Property tests of the branch-prediction pipeline: the code model's
+ * knobs must translate into the expected misprediction behaviour,
+ * which is what the Table I branch-MPKI calibration rests on.
+ */
+#include <gtest/gtest.h>
+
+#include "cpu/branch.hh"
+#include "trace/code_model.hh"
+#include "util/units.hh"
+
+namespace wsearch {
+namespace {
+
+double
+mispredictRate(const CodeModelConfig &cfg, int n = 1'500'000)
+{
+    CodeModel m(cfg, 0x400000, 99, 7);
+    TournamentPredictor p(1 << 17);
+    uint64_t br = 0, mis = 0;
+    for (int i = 0; i < n; ++i) {
+        const FetchedInstr f = m.next();
+        if (f.isBranch) {
+            ++br;
+            if (!p.predictAndUpdate(f.pc, f.taken))
+                ++mis;
+        }
+    }
+    return static_cast<double>(mis) / static_cast<double>(br);
+}
+
+CodeModelConfig
+baseConfig()
+{
+    CodeModelConfig c;
+    c.footprintBytes = 256 * KiB;
+    c.functionBytes = 1024;
+    c.functionTheta = 1.1;
+    c.dataDepBranchFrac = 0.0;
+    c.branchNoise = 0.0;
+    c.loopTripNoise = 0.02;
+    return c;
+}
+
+class DataDepSweep : public ::testing::TestWithParam<double>
+{
+};
+
+// Data-dependent branches are coin flips: each unit of dataDep
+// fraction adds ~0.5 units of misprediction.
+TEST_P(DataDepSweep, MispredictTracksDataDepFraction)
+{
+    const double frac = GetParam();
+    CodeModelConfig cfg = baseConfig();
+    const double floor_rate = mispredictRate(cfg);
+    cfg.dataDepBranchFrac = frac;
+    const double rate = mispredictRate(cfg);
+    const double added = rate - floor_rate;
+    // Conditional branches are a subset of all branches, so the
+    // contribution is somewhat below frac/2.
+    EXPECT_GT(added, 0.12 * frac);
+    EXPECT_LT(added, 0.65 * frac);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fracs, DataDepSweep,
+                         ::testing::Values(0.05, 0.10, 0.20, 0.40));
+
+class NoiseSweep : public ::testing::TestWithParam<double>
+{
+};
+
+// Per-visit flip noise on regular branches adds roughly its own
+// magnitude of mispredictions.
+TEST_P(NoiseSweep, MispredictTracksNoise)
+{
+    const double noise = GetParam();
+    CodeModelConfig cfg = baseConfig();
+    const double floor_rate = mispredictRate(cfg);
+    cfg.branchNoise = noise;
+    const double rate = mispredictRate(cfg);
+    EXPECT_GT(rate, floor_rate);
+    EXPECT_LT(rate - floor_rate, 1.3 * noise);
+}
+
+INSTANTIATE_TEST_SUITE_P(Noises, NoiseSweep,
+                         ::testing::Values(0.01, 0.03, 0.06));
+
+TEST(PredictorFloor, DeterministicBranchesArePredictable)
+{
+    // With no data-dependence and no noise, the warmed predictor
+    // should be well under 10% mispredicts despite loops and calls.
+    EXPECT_LT(mispredictRate(baseConfig(), 3'000'000), 0.10);
+}
+
+TEST(PredictorFloor, MoreEntriesNeverMuchWorse)
+{
+    CodeModelConfig cfg = baseConfig();
+    cfg.dataDepBranchFrac = 0.08;
+    CodeModel m1(cfg, 0x400000, 99, 7), m2(cfg, 0x400000, 99, 7);
+    TournamentPredictor small(1 << 12), big(1 << 18);
+    uint64_t mis_small = 0, mis_big = 0, br = 0;
+    for (int i = 0; i < 1'500'000; ++i) {
+        const FetchedInstr a = m1.next();
+        const FetchedInstr b = m2.next();
+        if (a.isBranch) {
+            ++br;
+            if (!small.predictAndUpdate(a.pc, a.taken))
+                ++mis_small;
+            if (!big.predictAndUpdate(b.pc, b.taken))
+                ++mis_big;
+        }
+    }
+    EXPECT_LT(static_cast<double>(mis_big),
+              static_cast<double>(mis_small) * 1.1);
+}
+
+} // namespace
+} // namespace wsearch

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "cpu/system.hh"
+#include "trace/synthetic.hh"
+
+namespace wsearch {
+namespace {
+
+WorkloadProfile
+tinyProfile()
+{
+    WorkloadProfile p = WorkloadProfile::s1Leaf();
+    p.code.footprintBytes = 128 * KiB;
+    p.heapWorkingSetBytes = 4 * MiB;
+    p.shardSpanBytes = 256 * MiB;
+    return p;
+}
+
+SystemConfig
+smallSystem(uint32_t cores = 1)
+{
+    SystemConfig s;
+    s.hierarchy.numCores = cores;
+    s.hierarchy.l1i = {8 * KiB, 64, 4};
+    s.hierarchy.l1d = {8 * KiB, 64, 4};
+    s.hierarchy.l2 = {64 * KiB, 64, 8};
+    s.hierarchy.l3 = {1 * MiB, 64, 8};
+    return s;
+}
+
+TEST(System, ProducesSaneMetrics)
+{
+    SyntheticSearchTrace trace(tinyProfile(), 1);
+    SystemSimulator sim(smallSystem());
+    const SystemResult r = sim.run(trace, 100000, 400000);
+    EXPECT_EQ(r.instructions, 400000u);
+    EXPECT_GT(r.ipcPerThread, 0.1);
+    EXPECT_LT(r.ipcPerThread, 4.0);
+    EXPECT_GT(r.branches, 0u);
+    EXPECT_GT(r.mispredicts, 0u);
+    EXPECT_LE(r.mispredicts, r.branches);
+    EXPECT_GT(r.l2InstrMpki(), 0.0);
+    EXPECT_GT(r.amatL3Ns, 0.0);
+}
+
+TEST(System, TopDownFractionsSumToOne)
+{
+    SyntheticSearchTrace trace(tinyProfile(), 1);
+    SystemSimulator sim(smallSystem());
+    const SystemResult r = sim.run(trace, 50000, 200000);
+    const TopDown &td = r.topdown;
+    EXPECT_NEAR(td.retiringFrac() + td.badSpecFrac() + td.feLatFrac() +
+                    td.feBwFrac() + td.beMemFrac() + td.beCoreFrac(),
+                1.0, 1e-9);
+    // The tiny test hierarchy thrashes badly, so retiring is low, but
+    // it must stay a visible share of the slot budget.
+    EXPECT_GT(td.retiringFrac(), 0.01);
+    EXPECT_LT(td.retiringFrac(), 0.95);
+}
+
+TEST(System, BiggerL3ImprovesIpc)
+{
+    auto ipc_with_l3 = [](uint64_t l3) {
+        SyntheticSearchTrace trace(tinyProfile(), 1);
+        SystemConfig cfg = smallSystem();
+        cfg.hierarchy.l3 = {l3, 64, 8};
+        SystemSimulator sim(cfg);
+        return sim.run(trace, 200000, 600000).ipcPerThread;
+    };
+    EXPECT_GT(ipc_with_l3(8 * MiB), ipc_with_l3(256 * KiB));
+}
+
+TEST(System, L4ReducesAmat)
+{
+    auto amat_with = [](bool l4) {
+        WorkloadProfile p = tinyProfile();
+        p.heapHotFrac = 0.4;
+        p.heapWarmFrac = 0.1; // plenty of shared-heap reuse beyond L3
+        p.heapWorkingSetBytes = 2 * MiB;
+        SyntheticSearchTrace trace(p, 1);
+        SystemConfig cfg = smallSystem();
+        if (l4) {
+            L4Config l4cfg;
+            l4cfg.sizeBytes = 8 * MiB;
+            cfg.hierarchy.l4 = l4cfg;
+        }
+        SystemSimulator sim(cfg);
+        return sim.run(trace, 400000, 800000).amatL3Ns;
+    };
+    EXPECT_LT(amat_with(true), amat_with(false));
+}
+
+TEST(System, TlbWalksCountedWhenModeled)
+{
+    SyntheticSearchTrace trace(tinyProfile(), 1);
+    SystemConfig cfg = smallSystem();
+    cfg.modelTlb = true;
+    SystemSimulator sim(cfg);
+    const SystemResult r = sim.run(trace, 50000, 200000);
+    EXPECT_GT(r.dtlbAccesses, 0u);
+    EXPECT_GT(r.dtlbWalks, 0u);
+}
+
+TEST(System, HugePagesImprovePerf)
+{
+    auto ipc_with = [](const TlbConfig &tlb) {
+        WorkloadProfile p = tinyProfile();
+        p.heapWorkingSetBytes = 64 * MiB; // TLB-hostile at 4 KiB pages
+        SyntheticSearchTrace trace(p, 1);
+        SystemConfig cfg = smallSystem();
+        cfg.modelTlb = true;
+        cfg.dtlb = tlb;
+        SystemSimulator sim(cfg);
+        return sim.run(trace, 200000, 600000).ipcPerThread;
+    };
+    EXPECT_GT(ipc_with(TlbConfig::huge2M()), ipc_with(TlbConfig{}));
+}
+
+TEST(System, MultiCoreSplitsThreads)
+{
+    SyntheticSearchTrace trace(tinyProfile(), 4);
+    SystemConfig cfg = smallSystem(4);
+    SystemSimulator sim(cfg);
+    const SystemResult r = sim.run(trace, 100000, 400000);
+    EXPECT_EQ(r.instructions, 400000u);
+    EXPECT_GT(r.ipcPerThread, 0.1);
+}
+
+TEST(System, SmtContentionRaisesMissRates)
+{
+    // Two threads sharing one core's L1/L2 must miss more (per
+    // instruction) than two threads on two cores.
+    auto l2_mpki = [](uint32_t cores, uint32_t smt) {
+        SyntheticSearchTrace trace(tinyProfile(), 2);
+        SystemConfig cfg = smallSystem(cores);
+        cfg.hierarchy.smtWays = smt;
+        SystemSimulator sim(cfg);
+        const SystemResult r = sim.run(trace, 200000, 600000);
+        return r.l2.mpkiTotal(r.instructions);
+    };
+    EXPECT_GT(l2_mpki(1, 2), l2_mpki(2, 1));
+}
+
+TEST(System, DeterministicAcrossRuns)
+{
+    auto run_once = []() {
+        SyntheticSearchTrace trace(tinyProfile(), 2);
+        SystemSimulator sim(smallSystem(2));
+        return sim.run(trace, 50000, 200000);
+    };
+    const SystemResult a = run_once();
+    const SystemResult b = run_once();
+    EXPECT_EQ(a.mispredicts, b.mispredicts);
+    EXPECT_EQ(a.l3.totalMisses(), b.l3.totalMisses());
+    EXPECT_DOUBLE_EQ(a.ipcPerThread, b.ipcPerThread);
+}
+
+} // namespace
+} // namespace wsearch

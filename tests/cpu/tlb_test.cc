@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "cpu/tlb.hh"
+#include "util/rng.hh"
+#include "util/zipf.hh"
+
+namespace wsearch {
+namespace {
+
+TEST(Tlb, FirstAccessWalks)
+{
+    Tlb t(TlbConfig{});
+    EXPECT_EQ(t.access(0x100000), TlbLevel::Walk);
+    EXPECT_EQ(t.walks(), 1u);
+}
+
+TEST(Tlb, SecondAccessHitsL1)
+{
+    Tlb t(TlbConfig{});
+    t.access(0x100000);
+    EXPECT_EQ(t.access(0x100000), TlbLevel::L1);
+    EXPECT_EQ(t.access(0x100FFF), TlbLevel::L1); // same 4 KiB page
+    EXPECT_EQ(t.walks(), 1u);
+}
+
+TEST(Tlb, DifferentPagesWalkSeparately)
+{
+    Tlb t(TlbConfig{});
+    t.access(0x100000);
+    EXPECT_EQ(t.access(0x101000), TlbLevel::Walk); // next page
+    EXPECT_EQ(t.walks(), 2u);
+}
+
+TEST(Tlb, L2CatchesL1Evictions)
+{
+    TlbConfig cfg;
+    cfg.l1Entries = 8;
+    cfg.l1Ways = 8; // fully associative L1 TLB of 8 entries
+    cfg.l2Entries = 512;
+    Tlb t(cfg);
+    // Touch 9 pages; the first one falls to L2 but not to a walk.
+    for (uint64_t p = 0; p <= 8; ++p)
+        t.access(p * 4096);
+    EXPECT_EQ(t.access(0), TlbLevel::L2);
+}
+
+TEST(Tlb, HugePagesCutWalksOnLargeFootprint)
+{
+    // The paper's Figure 2c mechanism: a GiB-scale footprint has 256K
+    // 4 KiB pages (TLB-hostile) but only 512 x 2 MiB pages.
+    auto walks = [](const TlbConfig &cfg) {
+        Tlb t(cfg);
+        ZipfSampler z(1 << 18, 0.8); // 256K distinct 4 KiB pages
+        Rng rng(3);
+        for (int i = 0; i < 300000; ++i)
+            t.access(z.sample(rng) * 4096);
+        return t.walks();
+    };
+    const uint64_t small_pages = walks(TlbConfig{});
+    const uint64_t huge_pages = walks(TlbConfig::huge2M());
+    EXPECT_LT(huge_pages, small_pages / 20);
+}
+
+TEST(Tlb, Power8PageSizes)
+{
+    const TlbConfig base = TlbConfig::base64K();
+    const TlbConfig huge = TlbConfig::huge16M();
+    EXPECT_EQ(base.pageBytes, 64 * KiB);
+    EXPECT_EQ(huge.pageBytes, 16 * MiB);
+}
+
+TEST(Tlb, ResetStats)
+{
+    Tlb t(TlbConfig{});
+    t.access(0);
+    t.resetStats();
+    EXPECT_EQ(t.walks(), 0u);
+    EXPECT_EQ(t.accesses(), 0u);
+    // Translation is still cached.
+    EXPECT_EQ(t.access(0), TlbLevel::L1);
+}
+
+} // namespace
+} // namespace wsearch

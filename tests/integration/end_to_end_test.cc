@@ -1,0 +1,131 @@
+/**
+ * Cross-module integration tests: the full pipelines the benches rely
+ * on, at miniature scale so they run in seconds.
+ */
+#include <gtest/gtest.h>
+
+#include "core/experiments.hh"
+#include "core/l4_evaluator.hh"
+#include "core/optimizer.hh"
+#include "search/engine_trace.hh"
+
+namespace wsearch {
+namespace {
+
+TEST(EndToEnd, EngineTraceThroughFullSystem)
+{
+    // Instrumented search engine -> cache + branch + core model.
+    ProceduralIndex::Config pc;
+    pc.numDocs = 100000;
+    pc.numTerms = 10000;
+    pc.maxDocFreq = 1000;
+    pc.minDocFreq = 8;
+    ProceduralIndex shard(pc);
+    EngineTraceConfig tc;
+    tc.numThreads = 2;
+    tc.queries.vocabSize = shard.numTerms();
+    tc.code.footprintBytes = 128 * KiB;
+    EngineTraceSource trace(shard, tc);
+
+    SystemConfig cfg;
+    cfg.hierarchy.numCores = 2;
+    cfg.hierarchy.l3 = {4 * MiB, 64, 16};
+    SystemSimulator sim(cfg);
+    const SystemResult r = sim.run(trace, 300'000, 1'000'000);
+
+    EXPECT_EQ(r.instructions, 1'000'000u);
+    EXPECT_GT(r.ipcPerThread, 0.05);
+    EXPECT_LT(r.ipcPerThread, 4.0);
+    EXPECT_GT(r.l3.mpki(AccessKind::Shard, r.instructions), 0.0);
+    EXPECT_GT(r.branches, 0u);
+    EXPECT_GT(trace.queriesExecuted(), 0u);
+}
+
+TEST(EndToEnd, SweepProfileHitCurveIsMonotone)
+{
+    // The property every §IV model consumes: bigger L3, higher data
+    // hit rate, on the actual sweep profile.
+    WorkloadProfile prof = WorkloadProfile::s1LeafSweep();
+    RunOptions opt;
+    opt.cores = 4;
+    opt.measureRecords = 1'500'000;
+    opt.warmupRecords = 3'000'000;
+    double prev = -1.0;
+    for (const uint64_t size :
+         {256 * KiB, 1 * MiB, 4 * MiB}) {
+        opt.l3Bytes = size;
+        const SystemResult r =
+            runWorkload(prof, PlatformConfig::plt1(), opt);
+        EXPECT_GT(r.l3DataHitRate(), prev - 0.01)
+            << "size " << size;
+        prev = r.l3DataHitRate();
+    }
+    EXPECT_GT(prev, 0.3);
+}
+
+TEST(EndToEnd, VictimL4CutsDramTraffic)
+{
+    WorkloadProfile prof = WorkloadProfile::s1LeafCapacitySweep();
+    RunOptions opt;
+    opt.cores = 4;
+    opt.l3Bytes = 736 * KiB;
+    opt.measureRecords = 2'000'000;
+    opt.warmupRecords = 4'000'000;
+    const SystemResult no_l4 =
+        runWorkload(prof, PlatformConfig::plt1(), opt);
+    L4Config l4;
+    l4.sizeBytes = 32 * MiB;
+    opt.l4 = l4;
+    const SystemResult with_l4 =
+        runWorkload(prof, PlatformConfig::plt1(), opt);
+    // DRAM accesses = L3 misses without L4, L4 misses with it.
+    EXPECT_LT(with_l4.l4.totalMisses(), no_l4.l3.totalMisses());
+    EXPECT_GT(with_l4.l4.hitRateTotal(), 0.15);
+}
+
+TEST(EndToEnd, OptimizerOnSimulatedCurveFindsInteriorOptimum)
+{
+    // Miniature fig-10 pipeline: simulate a hit curve, run the
+    // optimizer, expect an interior optimum (not the extremes).
+    WorkloadProfile prof = WorkloadProfile::s1LeafSweep();
+    RunOptions opt;
+    opt.cores = 8;
+    opt.measureRecords = 2'000'000;
+    opt.warmupRecords = 5'000'000;
+    HitRateCurve curve;
+    for (const uint64_t paper :
+         {9ull * MiB, 18ull * MiB, 27ull * MiB, 36ull * MiB,
+          45ull * MiB}) {
+        opt.l3Bytes = paper / prof.sweepScale;
+        const SystemResult r =
+            runWorkload(prof, PlatformConfig::plt1(), opt);
+        curve.addPoint(paper, r.l3DataHitRate());
+    }
+    CacheForCoresOptimizer optimizer(AreaModel{}, AmatModel{},
+                                     IpcModel::paperEq1(), curve);
+    const TradeoffPoint best = optimizer.best();
+    EXPECT_GT(best.qpsQuantized, 0.0);
+    EXPECT_GT(best.l3MibPerCore, 0.4);
+    EXPECT_LT(best.l3MibPerCore, 2.3);
+}
+
+TEST(EndToEnd, DeterministicBenchPipeline)
+{
+    // The same configuration twice must produce identical metrics
+    // (all benches rely on this for reproducibility).
+    auto run_once = []() {
+        RunOptions opt;
+        opt.cores = 4;
+        opt.measureRecords = 500'000;
+        return runWorkload(WorkloadProfile::s1Leaf(),
+                           PlatformConfig::plt1(), opt);
+    };
+    const SystemResult a = run_once();
+    const SystemResult b = run_once();
+    EXPECT_EQ(a.l3.totalMisses(), b.l3.totalMisses());
+    EXPECT_EQ(a.mispredicts, b.mispredicts);
+    EXPECT_DOUBLE_EQ(a.ipcPerThread, b.ipcPerThread);
+}
+
+} // namespace
+} // namespace wsearch

@@ -1,0 +1,185 @@
+/**
+ * Property-based tests of cache invariants, using parameterized sweeps
+ * over geometry and randomized (seeded) reference streams.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "memsim/cache.hh"
+#include "memsim/fully_assoc.hh"
+#include "util/rng.hh"
+#include "util/zipf.hh"
+
+namespace wsearch {
+namespace {
+
+/** A reusable Zipf-over-blocks reference stream. */
+std::vector<uint64_t>
+zipfStream(uint64_t blocks, double theta, int n, uint64_t seed)
+{
+    ZipfSampler z(blocks, theta);
+    Rng rng(seed);
+    std::vector<uint64_t> out;
+    out.reserve(n);
+    for (int i = 0; i < n; ++i)
+        out.push_back(z.sample(rng) * 64);
+    return out;
+}
+
+// --- LRU stack property: a larger fully-associative LRU cache never
+// misses more than a smaller one on any trace. Strict inclusion. ---
+
+class LruStackProperty
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>>
+{
+};
+
+TEST_P(LruStackProperty, LargerFaCacheNeverWorse)
+{
+    const auto [small_blocks, theta] = GetParam();
+    const auto stream = zipfStream(4096, theta, 60000, 42);
+    FullyAssocLruCache small(small_blocks * 64, 64);
+    FullyAssocLruCache large(small_blocks * 2 * 64, 64);
+    uint64_t small_misses = 0, large_misses = 0;
+    for (auto a : stream) {
+        const bool small_hit = small.access(a);
+        const bool large_hit = large.access(a);
+        if (!small_hit)
+            ++small_misses;
+        if (!large_hit)
+            ++large_misses;
+        // Strict per-access inclusion: a hit in the small cache
+        // implies a hit in the large cache.
+        ASSERT_FALSE(small_hit && !large_hit);
+    }
+    EXPECT_LE(large_misses, small_misses);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LruStackProperty,
+    ::testing::Combine(::testing::Values(32, 128, 512),
+                       ::testing::Values(0.4, 0.8, 1.1)));
+
+// --- More ways with the same set count never hurt under LRU. ---
+
+class WaysProperty : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(WaysProperty, MoreWaysNeverWorse)
+{
+    const uint32_t base_ways = GetParam();
+    const auto stream = zipfStream(2048, 0.7, 60000, 7);
+    CacheConfig small_cfg{/*size*/ 64 * base_ways * 64, 64, base_ways};
+    CacheConfig big_cfg{64 * base_ways * 2 * 64, 64, base_ways * 2};
+    SetAssocCache small(small_cfg), big(big_cfg);
+    ASSERT_EQ(small.numSets(), big.numSets());
+    uint64_t small_misses = 0, big_misses = 0;
+    for (auto a : stream) {
+        const bool sh = small.access(a, false);
+        const bool bh = big.access(a, false);
+        if (!sh)
+            ++small_misses;
+        if (!bh)
+            ++big_misses;
+        ASSERT_FALSE(sh && !bh); // per-set LRU inclusion
+    }
+    EXPECT_LE(big_misses, small_misses);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WaysProperty,
+                         ::testing::Values(1, 2, 4, 8));
+
+// --- CAT partitioning to k ways is equivalent to a k-way cache with
+// the same set count. ---
+
+class CatEquivalence : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(CatEquivalence, PartitionEqualsSmallerCache)
+{
+    const uint32_t part = GetParam();
+    const auto stream = zipfStream(2048, 0.8, 40000, 11);
+    CacheConfig full{64 * 8 * 64, 64, 8};
+    full.partitionWays = part;
+    CacheConfig equiv{64 * part * 64, 64, part};
+    SetAssocCache a(full), b(equiv);
+    ASSERT_EQ(a.numSets(), b.numSets());
+    for (auto addr : stream)
+        ASSERT_EQ(a.access(addr, false), b.access(addr, false));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CatEquivalence,
+                         ::testing::Values(1, 2, 4, 6));
+
+// --- Larger blocks capture more spatial locality on sequential
+// streams and hurt on random single-word streams. ---
+
+TEST(BlockSize, SequentialStreamBenefits)
+{
+    auto misses_with_block = [](uint32_t block) {
+        SetAssocCache c({8 * KiB, block, 8});
+        uint64_t misses = 0;
+        for (uint64_t a = 0; a < 512 * KiB; a += 8)
+            if (!c.access(a, false))
+                ++misses;
+        return misses;
+    };
+    EXPECT_GT(misses_with_block(32), misses_with_block(64));
+    EXPECT_GT(misses_with_block(64), misses_with_block(128));
+    EXPECT_GT(misses_with_block(128), misses_with_block(256));
+}
+
+TEST(BlockSize, RandomWordsPreferSmallBlocks)
+{
+    // With a fixed byte capacity, larger blocks mean fewer lines and
+    // more capacity misses on a random word stream over a working set
+    // larger than the cache.
+    auto hit_rate = [](uint32_t block) {
+        SetAssocCache c({16 * KiB, block, 8});
+        ZipfSampler z(16384, 0.6);
+        Rng rng(3);
+        uint64_t hits = 0;
+        const int n = 100000;
+        for (int i = 0; i < n; ++i)
+            if (c.access(z.sample(rng) * 64, false))
+                ++hits;
+        return static_cast<double>(hits) / n;
+    };
+    EXPECT_GT(hit_rate(64), hit_rate(512));
+}
+
+// --- Zipf hit-rate monotonicity in capacity (statistical, set-assoc).
+class CapacityMonotonic : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(CapacityMonotonic, HitRateGrowsWithCapacity)
+{
+    const double theta = GetParam();
+    auto hit_rate = [&](uint64_t size) {
+        SetAssocCache c({size, 64, 8});
+        ZipfSampler z(32768, theta);
+        Rng rng(9);
+        uint64_t hits = 0;
+        const int n = 200000;
+        for (int i = 0; i < n; ++i)
+            if (c.access(z.sample(rng) * 64, false))
+                ++hits;
+        return static_cast<double>(hits) / n;
+    };
+    double prev = -1.0;
+    for (uint64_t size = 16 * KiB; size <= 1 * MiB; size *= 4) {
+        const double h = hit_rate(size);
+        EXPECT_GE(h, prev - 0.005) << "size " << size;
+        prev = h;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CapacityMonotonic,
+                         ::testing::Values(0.5, 0.8, 1.05));
+
+} // namespace
+} // namespace wsearch

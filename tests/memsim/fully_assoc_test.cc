@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "memsim/fully_assoc.hh"
+#include "util/rng.hh"
+
+namespace wsearch {
+namespace {
+
+TEST(FullyAssoc, MissThenHit)
+{
+    FullyAssocLruCache c(4 * KiB, 64);
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x103F));
+}
+
+TEST(FullyAssoc, ExactLruOrder)
+{
+    FullyAssocLruCache c(4 * 64, 64); // 4 blocks
+    for (uint64_t i = 0; i < 4; ++i)
+        c.access(i * 64);
+    c.access(0); // 0 is now MRU; LRU is 1
+    uint64_t evicted = FullyAssocLruCache::kNoBlockFa;
+    c.access(4 * 64, &evicted);
+    EXPECT_EQ(evicted, 64u);
+    EXPECT_TRUE(c.probe(0));
+    EXPECT_FALSE(c.probe(64));
+}
+
+TEST(FullyAssoc, CapacityRespected)
+{
+    FullyAssocLruCache c(16 * 64, 64);
+    for (uint64_t i = 0; i < 1000; ++i)
+        c.access(i * 64);
+    EXPECT_EQ(c.population(), 16u);
+    // The 16 most recent blocks are resident.
+    for (uint64_t i = 984; i < 1000; ++i)
+        EXPECT_TRUE(c.probe(i * 64));
+    EXPECT_FALSE(c.probe(983 * 64));
+}
+
+TEST(FullyAssoc, NoConflictMisses)
+{
+    // Any working set <= capacity never misses after first touch,
+    // regardless of address pattern (the defining FA property).
+    FullyAssocLruCache c(64 * 64, 64);
+    Rng rng(2);
+    std::vector<uint64_t> blocks;
+    for (int i = 0; i < 64; ++i)
+        blocks.push_back(rng.nextRange(1ull << 40) * 64);
+    for (auto b : blocks)
+        c.access(b);
+    for (int round = 0; round < 10; ++round)
+        for (auto b : blocks)
+            EXPECT_TRUE(c.access(b));
+}
+
+TEST(FullyAssoc, TouchDoesNotAllocate)
+{
+    FullyAssocLruCache c(4 * KiB, 64);
+    EXPECT_FALSE(c.touch(0x7000));
+    EXPECT_FALSE(c.probe(0x7000));
+    c.insert(0x7000);
+    EXPECT_TRUE(c.touch(0x7000));
+}
+
+TEST(FullyAssoc, TouchRefreshesLru)
+{
+    FullyAssocLruCache c(2 * 64, 64);
+    c.access(0);
+    c.access(64);
+    c.touch(0); // 64 becomes LRU
+    uint64_t evicted = FullyAssocLruCache::kNoBlockFa;
+    c.access(128, &evicted);
+    EXPECT_EQ(evicted, 64u);
+}
+
+TEST(FullyAssoc, InvalidateAndReuse)
+{
+    FullyAssocLruCache c(4 * 64, 64);
+    c.access(0);
+    c.access(64);
+    EXPECT_TRUE(c.invalidate(0));
+    EXPECT_FALSE(c.probe(0));
+    EXPECT_EQ(c.population(), 1u);
+    // Free node must be reusable.
+    c.access(128);
+    c.access(192);
+    c.access(256);
+    EXPECT_EQ(c.population(), 4u);
+}
+
+TEST(FullyAssoc, InsertIdempotent)
+{
+    FullyAssocLruCache c(4 * 64, 64);
+    c.insert(0);
+    c.insert(0);
+    EXPECT_EQ(c.population(), 1u);
+}
+
+TEST(FullyAssoc, StressAgainstCapacity)
+{
+    FullyAssocLruCache c(256 * 64, 64);
+    Rng rng(3);
+    for (int i = 0; i < 100000; ++i) {
+        c.access(rng.nextRange(512) * 64);
+        ASSERT_LE(c.population(), 256u);
+    }
+}
+
+} // namespace
+} // namespace wsearch

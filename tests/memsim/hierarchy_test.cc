@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "memsim/hierarchy.hh"
+
+namespace wsearch {
+namespace {
+
+HierarchyConfig
+tinyConfig(uint32_t cores = 1)
+{
+    HierarchyConfig h;
+    h.numCores = cores;
+    h.l1i = {1 * KiB, 64, 4};
+    h.l1d = {1 * KiB, 64, 4};
+    h.l2 = {4 * KiB, 64, 4};
+    h.l3 = {16 * KiB, 64, 4};
+    return h;
+}
+
+TEST(Hierarchy, ColdMissGoesToMemory)
+{
+    CacheHierarchy h(tinyConfig());
+    EXPECT_EQ(h.accessData(0, 0x100, 0x9000, false, AccessKind::Heap),
+              HitLevel::Memory);
+}
+
+TEST(Hierarchy, SecondAccessHitsL1)
+{
+    CacheHierarchy h(tinyConfig());
+    h.accessData(0, 0x100, 0x9000, false, AccessKind::Heap);
+    EXPECT_EQ(h.accessData(0, 0x100, 0x9000, false, AccessKind::Heap),
+              HitLevel::L1);
+}
+
+TEST(Hierarchy, InstrFetchFillsPath)
+{
+    CacheHierarchy h(tinyConfig());
+    EXPECT_EQ(h.accessInstr(0, 0x400000), HitLevel::Memory);
+    EXPECT_EQ(h.accessInstr(0, 0x400000), HitLevel::L1);
+    EXPECT_EQ(h.l1iStats().totalAccesses(), 2u);
+    EXPECT_EQ(h.l1iStats().totalMisses(), 1u);
+    EXPECT_EQ(h.l2Stats().missesOf(AccessKind::Code), 1u);
+    EXPECT_EQ(h.l3Stats().missesOf(AccessKind::Code), 1u);
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction)
+{
+    CacheHierarchy h(tinyConfig());
+    // L1D is 1 KiB (16 blocks, 4 sets x 4 ways); L2 is 4 KiB.
+    // Touch block A, then evict it from L1 by filling its set.
+    const uint64_t a = 0x10000;
+    h.accessData(0, 0, a, false, AccessKind::Heap);
+    for (int i = 1; i <= 4; ++i) {
+        h.accessData(0, 0, a + i * 4 * 64ull, false,
+                     AccessKind::Heap); // same L1 set
+    }
+    EXPECT_EQ(h.accessData(0, 0, a, false, AccessKind::Heap),
+              HitLevel::L2);
+}
+
+TEST(Hierarchy, SeparateCoresHavePrivateL1)
+{
+    CacheHierarchy h(tinyConfig(2));
+    h.accessData(0, 0, 0x9000, false, AccessKind::Heap);
+    // Core 1 misses its L1/L2 but finds the block in the shared L3.
+    EXPECT_EQ(h.accessData(1, 0, 0x9000, false, AccessKind::Heap),
+              HitLevel::L3);
+}
+
+TEST(Hierarchy, SmtThreadsShareL1)
+{
+    HierarchyConfig cfg = tinyConfig(1);
+    cfg.smtWays = 2;
+    CacheHierarchy h(cfg);
+    EXPECT_EQ(h.coreOf(0), 0u);
+    EXPECT_EQ(h.coreOf(1), 0u);
+    h.accessData(0, 0, 0x9000, false, AccessKind::Heap);
+    EXPECT_EQ(h.accessData(1, 0, 0x9000, false, AccessKind::Heap),
+              HitLevel::L1);
+}
+
+TEST(Hierarchy, ThreadToCoreMapping)
+{
+    HierarchyConfig cfg = tinyConfig(4);
+    cfg.smtWays = 2;
+    CacheHierarchy h(cfg);
+    EXPECT_EQ(h.coreOf(0), 0u);
+    EXPECT_EQ(h.coreOf(1), 0u);
+    EXPECT_EQ(h.coreOf(2), 1u);
+    EXPECT_EQ(h.coreOf(7), 3u);
+}
+
+TEST(Hierarchy, StatsTagByKind)
+{
+    CacheHierarchy h(tinyConfig());
+    h.accessData(0, 0, 0x9000, false, AccessKind::Shard);
+    h.accessData(0, 0, 0xA0000, false, AccessKind::Heap);
+    EXPECT_EQ(h.l1dStats().missesOf(AccessKind::Shard), 1u);
+    EXPECT_EQ(h.l1dStats().missesOf(AccessKind::Heap), 1u);
+    EXPECT_EQ(h.l3Stats().missesOf(AccessKind::Shard), 1u);
+}
+
+TEST(Hierarchy, ResetStatsKeepsContents)
+{
+    CacheHierarchy h(tinyConfig());
+    h.accessData(0, 0, 0x9000, false, AccessKind::Heap);
+    h.resetStats();
+    EXPECT_EQ(h.l1dStats().totalAccesses(), 0u);
+    // Contents survive: the block still hits.
+    EXPECT_EQ(h.accessData(0, 0, 0x9000, false, AccessKind::Heap),
+              HitLevel::L1);
+}
+
+TEST(Hierarchy, InclusiveL3BackInvalidates)
+{
+    HierarchyConfig cfg = tinyConfig();
+    cfg.inclusiveL3 = true;
+    // Make the L3 direct-mapped and tiny so evictions are easy to force.
+    cfg.l3 = {4 * 64, 64, 1}; // 4 sets
+    CacheHierarchy h(cfg);
+    const uint64_t a = 0;
+    const uint64_t conflict = 4 * 64; // same L3 set as a
+    h.accessData(0, 0, a, false, AccessKind::Heap);
+    EXPECT_EQ(h.accessData(0, 0, a, false, AccessKind::Heap),
+              HitLevel::L1);
+    // This evicts a from the L3 and must back-invalidate L1/L2.
+    h.accessData(0, 0, conflict, false, AccessKind::Heap);
+    EXPECT_GT(h.backInvalidations(), 0u);
+    EXPECT_NE(h.accessData(0, 0, a, false, AccessKind::Heap),
+              HitLevel::L1);
+}
+
+TEST(Hierarchy, NonInclusiveKeepsL1OnL3Eviction)
+{
+    HierarchyConfig cfg = tinyConfig();
+    cfg.inclusiveL3 = false;
+    cfg.l3 = {4 * 64, 64, 1};
+    CacheHierarchy h(cfg);
+    const uint64_t a = 0;
+    h.accessData(0, 0, a, false, AccessKind::Heap);
+    h.accessData(0, 0, 4 * 64, false, AccessKind::Heap); // evict a in L3
+    EXPECT_EQ(h.accessData(0, 0, a, false, AccessKind::Heap),
+              HitLevel::L1);
+}
+
+TEST(Hierarchy, DirtyL2EvictionWritesBack)
+{
+    HierarchyConfig cfg = tinyConfig();
+    CacheHierarchy h(cfg);
+    // Store to a block, then stream enough blocks through the L2 to
+    // evict it; the writeback counter must increase.
+    h.accessData(0, 0, 0, true, AccessKind::Heap);
+    for (uint64_t i = 1; i <= 256; ++i)
+        h.accessData(0, 0, i * 64, false, AccessKind::Heap);
+    EXPECT_GT(h.writebacks(), 0u);
+}
+
+TEST(Hierarchy, NoL3Mode)
+{
+    HierarchyConfig cfg = tinyConfig();
+    cfg.hasL3 = false;
+    CacheHierarchy h(cfg);
+    EXPECT_EQ(h.accessData(0, 0, 0x9000, false, AccessKind::Heap),
+              HitLevel::Memory);
+    h.accessData(0, 0, 0x9000, false, AccessKind::Heap);
+    EXPECT_EQ(h.l3Stats().totalAccesses(), 0u);
+}
+
+} // namespace
+} // namespace wsearch

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "memsim/miss_class.hh"
+
+namespace wsearch {
+namespace {
+
+TEST(MissClass, FirstTouchIsCold)
+{
+    MissClassifier mc({4 * KiB, 64, 4});
+    mc.access(0x1000, AccessKind::Heap);
+    EXPECT_EQ(mc.breakdown().totalCold(), 1u);
+    EXPECT_EQ(mc.breakdown().totalCapacity(), 0u);
+    EXPECT_EQ(mc.breakdown().totalConflict(), 0u);
+}
+
+TEST(MissClass, HitCountsNoMiss)
+{
+    MissClassifier mc({4 * KiB, 64, 4});
+    mc.access(0x1000, AccessKind::Heap);
+    mc.access(0x1000, AccessKind::Heap);
+    EXPECT_EQ(mc.breakdown().hits, 1u);
+    EXPECT_EQ(mc.breakdown().accesses, 2u);
+}
+
+TEST(MissClass, ConflictWhenFaWouldHit)
+{
+    // Direct-mapped cache with two blocks mapping to the same set but
+    // total working set far below capacity: pure conflict misses.
+    MissClassifier mc({4 * KiB, 64, 1}); // 64 sets
+    const uint64_t a = 0;
+    const uint64_t b = 64 * 64; // same set as a
+    mc.access(a, AccessKind::Heap);
+    mc.access(b, AccessKind::Heap);
+    mc.access(a, AccessKind::Heap); // would hit in FA: conflict
+    mc.access(b, AccessKind::Heap);
+    EXPECT_EQ(mc.breakdown().totalCold(), 2u);
+    EXPECT_EQ(mc.breakdown().totalConflict(), 2u);
+    EXPECT_EQ(mc.breakdown().totalCapacity(), 0u);
+}
+
+TEST(MissClass, CapacityWhenWorkingSetExceedsCache)
+{
+    // Cyclic sweep over 2x the capacity: after the cold pass, LRU
+    // misses everything; FA shadow also misses => capacity.
+    MissClassifier mc({4 * KiB, 64, 64}); // fully assoc 64 blocks
+    const int blocks = 128;
+    for (int round = 0; round < 3; ++round)
+        for (int i = 0; i < blocks; ++i)
+            mc.access(i * 64, AccessKind::Shard);
+    const auto &b = mc.breakdown();
+    EXPECT_EQ(b.totalCold(), 128u);
+    EXPECT_EQ(b.totalConflict(), 0u);
+    EXPECT_EQ(b.totalCapacity(), 2u * 128);
+}
+
+TEST(MissClass, PerKindAttribution)
+{
+    MissClassifier mc({4 * KiB, 64, 4});
+    mc.access(0x1000, AccessKind::Heap);
+    mc.access(0x2000, AccessKind::Shard);
+    mc.access(0x3000, AccessKind::Code);
+    const auto &b = mc.breakdown();
+    EXPECT_EQ(b.cold[static_cast<int>(AccessKind::Heap)], 1u);
+    EXPECT_EQ(b.cold[static_cast<int>(AccessKind::Shard)], 1u);
+    EXPECT_EQ(b.cold[static_cast<int>(AccessKind::Code)], 1u);
+}
+
+TEST(MissClass, TotalsConsistent)
+{
+    MissClassifier mc({2 * KiB, 64, 2});
+    Rng rng(5);
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        mc.access(rng.nextRange(256) * 64, AccessKind::Heap);
+    const auto &b = mc.breakdown();
+    EXPECT_EQ(b.accesses, static_cast<uint64_t>(n));
+    EXPECT_EQ(b.hits + b.totalCold() + b.totalCapacity() +
+                  b.totalConflict(),
+              b.accesses);
+}
+
+} // namespace
+} // namespace wsearch

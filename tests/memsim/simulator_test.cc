@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "memsim/simulator.hh"
+
+namespace wsearch {
+namespace {
+
+/** Source replaying a fixed record vector once. */
+class VectorSource : public TraceSource
+{
+  public:
+    explicit VectorSource(std::vector<TraceRecord> recs)
+        : recs_(std::move(recs))
+    {
+    }
+
+    size_t
+    fill(TraceRecord *buf, size_t max) override
+    {
+        size_t n = 0;
+        while (n < max && pos_ < recs_.size())
+            buf[n++] = recs_[pos_++];
+        return n;
+    }
+
+    void reset() override { pos_ = 0; }
+
+  private:
+    std::vector<TraceRecord> recs_;
+    size_t pos_ = 0;
+};
+
+TraceRecord
+load(uint64_t pc, uint64_t addr, AccessKind kind = AccessKind::Heap)
+{
+    TraceRecord r;
+    r.pc = pc;
+    r.addr = addr;
+    r.op = MemOp::Load;
+    r.kind = kind;
+    return r;
+}
+
+HierarchyConfig
+tiny()
+{
+    HierarchyConfig h;
+    h.l1i = {1 * KiB, 64, 4};
+    h.l1d = {1 * KiB, 64, 4};
+    h.l2 = {4 * KiB, 64, 4};
+    h.l3 = {16 * KiB, 64, 4};
+    return h;
+}
+
+TEST(RunTrace, CountsMeasuredInstructionsOnly)
+{
+    std::vector<TraceRecord> recs;
+    for (int i = 0; i < 100; ++i)
+        recs.push_back(load(0x400000 + i * 4, 0x9000 + i * 64));
+    VectorSource src(recs);
+    CacheHierarchy hier(tiny());
+    const SimResult res = runTrace(src, hier, 30, 70);
+    EXPECT_EQ(res.instructions, 70u);
+    EXPECT_EQ(res.l1i.totalAccesses(), 70u);
+    EXPECT_EQ(res.l1d.totalAccesses(), 70u);
+}
+
+TEST(RunTrace, WarmupStateSurvivesStatReset)
+{
+    // Access the same block during warmup and measurement: the
+    // measured access must be a hit (contents preserved).
+    std::vector<TraceRecord> recs = {load(0x400000, 0x9000),
+                                     load(0x400000, 0x9000)};
+    VectorSource src(recs);
+    CacheHierarchy hier(tiny());
+    const SimResult res = runTrace(src, hier, 1, 1);
+    EXPECT_EQ(res.instructions, 1u);
+    EXPECT_EQ(res.l1d.totalMisses(), 0u);
+}
+
+TEST(RunTrace, StopsAtSourceExhaustion)
+{
+    std::vector<TraceRecord> recs(10, load(0x400000, 0x9000));
+    VectorSource src(recs);
+    CacheHierarchy hier(tiny());
+    const SimResult res = runTrace(src, hier, 0, 1000);
+    EXPECT_EQ(res.instructions, 10u);
+}
+
+TEST(RunTrace, InstrOnlyRecordsSkipDataPath)
+{
+    std::vector<TraceRecord> recs;
+    TraceRecord r;
+    r.pc = 0x400000;
+    r.op = MemOp::None;
+    recs.assign(50, r);
+    VectorSource src(recs);
+    CacheHierarchy hier(tiny());
+    const SimResult res = runTrace(src, hier, 0, 50);
+    EXPECT_EQ(res.l1d.totalAccesses(), 0u);
+    EXPECT_EQ(res.l1i.totalAccesses(), 50u);
+}
+
+TEST(RunTrace, StoresMarkDirtyAndWriteBack)
+{
+    std::vector<TraceRecord> recs;
+    TraceRecord st = load(0x400000, 0);
+    st.op = MemOp::Store;
+    recs.push_back(st);
+    // Stream enough blocks to push the dirty line out of the L2.
+    for (int i = 1; i <= 300; ++i)
+        recs.push_back(load(0x400000, i * 64ull));
+    VectorSource src(recs);
+    CacheHierarchy hier(tiny());
+    const SimResult res = runTrace(src, hier, 0, recs.size());
+    EXPECT_GT(res.writebacks, 0u);
+}
+
+TEST(RunTrace, BatchBoundaryExactness)
+{
+    // More records than one internal batch (8192) to cover the
+    // batching loop.
+    std::vector<TraceRecord> recs;
+    for (int i = 0; i < 20000; ++i)
+        recs.push_back(load(0x400000, (i % 64) * 64ull));
+    VectorSource src(recs);
+    CacheHierarchy hier(tiny());
+    const SimResult res = runTrace(src, hier, 0, 20000);
+    EXPECT_EQ(res.instructions, 20000u);
+    EXPECT_EQ(res.l1d.totalAccesses(), 20000u);
+}
+
+} // namespace
+} // namespace wsearch

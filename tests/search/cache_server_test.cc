@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "search/cache_server.hh"
+
+namespace wsearch {
+namespace {
+
+std::vector<ScoredDoc>
+someResults(uint32_t n)
+{
+    std::vector<ScoredDoc> r;
+    for (uint32_t i = 0; i < n; ++i)
+        r.push_back({i, static_cast<float>(n - i)});
+    return r;
+}
+
+TEST(QueryCache, MissThenHit)
+{
+    QueryCacheServer c(10);
+    std::vector<ScoredDoc> out;
+    EXPECT_FALSE(c.lookup(1, &out));
+    c.insert(1, someResults(3));
+    EXPECT_TRUE(c.lookup(1, &out));
+    EXPECT_EQ(out.size(), 3u);
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.lookups(), 2u);
+}
+
+TEST(QueryCache, LruEviction)
+{
+    QueryCacheServer c(2);
+    c.insert(1, someResults(1));
+    c.insert(2, someResults(1));
+    c.lookup(1, nullptr); // 1 is now MRU
+    c.insert(3, someResults(1)); // evicts 2
+    EXPECT_TRUE(c.lookup(1, nullptr));
+    EXPECT_FALSE(c.lookup(2, nullptr));
+    EXPECT_TRUE(c.lookup(3, nullptr));
+}
+
+TEST(QueryCache, CapacityRespected)
+{
+    QueryCacheServer c(16);
+    for (uint64_t q = 0; q < 1000; ++q)
+        c.insert(q, someResults(1));
+    EXPECT_EQ(c.size(), 16u);
+}
+
+TEST(QueryCache, ReinsertUpdates)
+{
+    QueryCacheServer c(4);
+    c.insert(1, someResults(1));
+    c.insert(1, someResults(5));
+    std::vector<ScoredDoc> out;
+    EXPECT_TRUE(c.lookup(1, &out));
+    EXPECT_EQ(out.size(), 5u);
+    EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(QueryCache, ZeroCapacityNeverCaches)
+{
+    QueryCacheServer c(0);
+    c.insert(1, someResults(1));
+    EXPECT_FALSE(c.lookup(1, nullptr));
+    EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(QueryCache, HitRateComputed)
+{
+    QueryCacheServer c(10);
+    c.insert(1, someResults(1));
+    c.lookup(1, nullptr);
+    c.lookup(2, nullptr);
+    EXPECT_DOUBLE_EQ(c.hitRate(), 0.5);
+}
+
+} // namespace
+} // namespace wsearch

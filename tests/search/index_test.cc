@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "search/index.hh"
+
+namespace wsearch {
+namespace {
+
+CorpusConfig
+tinyCorpus()
+{
+    CorpusConfig c;
+    c.numDocs = 500;
+    c.vocabSize = 800;
+    c.avgDocLen = 40;
+    return c;
+}
+
+TEST(Corpus, Deterministic)
+{
+    CorpusGenerator g(tinyCorpus());
+    const Document a = g.document(42);
+    const Document b = g.document(42);
+    EXPECT_EQ(a.terms, b.terms);
+    EXPECT_NE(g.document(43).terms, a.terms);
+}
+
+TEST(Corpus, LengthsInRange)
+{
+    CorpusGenerator g(tinyCorpus());
+    for (DocId d = 0; d < 100; ++d) {
+        const Document doc = g.document(d);
+        EXPECT_GE(doc.terms.size(), 20u);
+        EXPECT_LT(doc.terms.size(), 60u);
+        for (const TermId t : doc.terms)
+            EXPECT_LT(t, 800u);
+    }
+}
+
+TEST(MaterializedIndex, MatchesCorpusExactly)
+{
+    CorpusGenerator g(tinyCorpus());
+    MaterializedIndex idx(g);
+    // Recount term frequencies independently.
+    std::map<TermId, std::map<DocId, uint32_t>> ref;
+    for (DocId d = 0; d < 500; ++d)
+        for (const TermId t : g.document(d).terms)
+            ++ref[t][d];
+    for (const auto &[term, docs] : ref) {
+        const TermInfo info = idx.termInfo(term);
+        ASSERT_EQ(info.docFreq, docs.size()) << "term " << term;
+        std::vector<uint8_t> bytes;
+        idx.postingBytes(term, bytes);
+        PostingCursor c(bytes.data(), bytes.data() + bytes.size(),
+                        info.docFreq);
+        for (const auto &[doc, tf] : docs) {
+            ASSERT_TRUE(c.valid());
+            ASSERT_EQ(c.doc(), doc);
+            ASSERT_EQ(c.tf(), tf);
+            c.next();
+        }
+        ASSERT_FALSE(c.valid());
+    }
+}
+
+TEST(MaterializedIndex, OffsetsAreContiguous)
+{
+    CorpusGenerator g(tinyCorpus());
+    MaterializedIndex idx(g);
+    uint64_t expected = 0;
+    for (TermId t = 0; t < idx.numTerms(); ++t) {
+        const TermInfo info = idx.termInfo(t);
+        EXPECT_EQ(info.shardOffset, expected);
+        expected += info.byteLength;
+    }
+    EXPECT_EQ(idx.shardBytes(), expected);
+}
+
+TEST(MaterializedIndex, DocLenMatchesCorpus)
+{
+    CorpusGenerator g(tinyCorpus());
+    MaterializedIndex idx(g);
+    for (DocId d = 0; d < 100; ++d)
+        EXPECT_EQ(idx.docLen(d), g.document(d).terms.size());
+    EXPECT_GT(idx.avgDocLen(), 20.0);
+    EXPECT_LT(idx.avgDocLen(), 60.0);
+}
+
+ProceduralIndex::Config
+smallProc()
+{
+    ProceduralIndex::Config c;
+    c.numDocs = 100000;
+    c.numTerms = 2000;
+    c.maxDocFreq = 5000;
+    c.minDocFreq = 4;
+    c.payloadBytes = 0;
+    return c;
+}
+
+TEST(ProceduralIndex, ByteLengthMatchesGeneratedBytes)
+{
+    ProceduralIndex idx(smallProc());
+    std::vector<uint8_t> bytes;
+    for (TermId t = 0; t < 2000; t += 97) {
+        const TermInfo info = idx.termInfo(t);
+        idx.postingBytes(t, bytes);
+        ASSERT_EQ(bytes.size(), info.byteLength) << "term " << t;
+    }
+}
+
+TEST(ProceduralIndex, OffsetsAreContiguous)
+{
+    ProceduralIndex idx(smallProc());
+    uint64_t expected = 0;
+    for (TermId t = 0; t < idx.numTerms(); ++t) {
+        const TermInfo info = idx.termInfo(t);
+        ASSERT_EQ(info.shardOffset, expected);
+        expected += info.byteLength;
+    }
+    EXPECT_EQ(idx.shardBytes(), expected);
+}
+
+TEST(ProceduralIndex, PostingsAscendAndDecode)
+{
+    ProceduralIndex idx(smallProc());
+    std::vector<uint8_t> bytes;
+    for (TermId t : {0u, 1u, 50u, 1999u}) {
+        const TermInfo info = idx.termInfo(t);
+        idx.postingBytes(t, bytes);
+        PostingCursor c(bytes.data(), bytes.data() + bytes.size(),
+                        info.docFreq);
+        DocId prev = 0;
+        uint32_t count = 0;
+        bool first = true;
+        while (c.valid()) {
+            if (!first) {
+                ASSERT_GT(c.doc(), prev);
+            }
+            ASSERT_GE(c.tf(), 1u);
+            prev = c.doc();
+            first = false;
+            ++count;
+            c.next();
+        }
+        ASSERT_EQ(count, info.docFreq);
+    }
+}
+
+TEST(ProceduralIndex, Deterministic)
+{
+    ProceduralIndex a(smallProc()), b(smallProc());
+    std::vector<uint8_t> ba, bb;
+    a.postingBytes(123, ba);
+    b.postingBytes(123, bb);
+    EXPECT_EQ(ba, bb);
+}
+
+TEST(ProceduralIndex, DocFreqDecreasesWithRank)
+{
+    ProceduralIndex idx(smallProc());
+    EXPECT_GE(idx.termInfo(0).docFreq, idx.termInfo(10).docFreq);
+    EXPECT_GE(idx.termInfo(10).docFreq, idx.termInfo(100).docFreq);
+    EXPECT_GE(idx.termInfo(1999).docFreq, 4u); // never below the floor
+    EXPECT_EQ(idx.termInfo(0).docFreq, 5000u); // cap
+}
+
+TEST(ProceduralIndex, PayloadBytesAreSkippedByCursor)
+{
+    ProceduralIndex::Config c = smallProc();
+    c.payloadBytes = 8;
+    ProceduralIndex idx(c);
+    std::vector<uint8_t> bytes;
+    const TermInfo info = idx.termInfo(7);
+    idx.postingBytes(7, bytes);
+    ASSERT_EQ(bytes.size(), info.byteLength);
+    PostingCursor cur(bytes.data(), bytes.data() + bytes.size(),
+                      info.docFreq, 8);
+    DocId prev = 0;
+    uint32_t count = 0;
+    while (cur.valid()) {
+        if (count) {
+            ASSERT_GT(cur.doc(), prev);
+        }
+        prev = cur.doc();
+        ++count;
+        cur.next();
+    }
+    ASSERT_EQ(count, info.docFreq);
+}
+
+TEST(ProceduralIndex, DefaultShardIsProductionScale)
+{
+    // The default configuration must give a GiB-scale nominal shard
+    // (the paper's leaves hold 100s of GiB; we need at least enough
+    // to dwarf any cache under study).
+    ProceduralIndex idx(ProceduralIndex::Config{});
+    EXPECT_GT(idx.shardBytes(), 1ull << 30);
+}
+
+} // namespace
+} // namespace wsearch

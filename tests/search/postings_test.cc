@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "search/postings.hh"
+#include "util/rng.hh"
+
+namespace wsearch {
+namespace {
+
+TEST(Postings, RoundTrip)
+{
+    PostingListBuilder b;
+    b.add(5, 2);
+    b.add(9, 1);
+    b.add(1000, 7);
+    const auto bytes = b.bytes();
+    PostingCursor c(bytes.data(), bytes.data() + bytes.size(), 3);
+    ASSERT_TRUE(c.valid());
+    EXPECT_EQ(c.doc(), 5u);
+    EXPECT_EQ(c.tf(), 2u);
+    c.next();
+    EXPECT_EQ(c.doc(), 9u);
+    c.next();
+    EXPECT_EQ(c.doc(), 1000u);
+    EXPECT_EQ(c.tf(), 7u);
+    c.next();
+    EXPECT_FALSE(c.valid());
+}
+
+TEST(Postings, EmptyList)
+{
+    PostingListBuilder b;
+    const auto bytes = b.bytes();
+    PostingCursor c(bytes.data(), bytes.data() + bytes.size(), 0);
+    EXPECT_FALSE(c.valid());
+}
+
+TEST(Postings, FirstDocZero)
+{
+    PostingListBuilder b;
+    b.add(0, 3);
+    b.add(1, 4);
+    const auto bytes = b.bytes();
+    PostingCursor c(bytes.data(), bytes.data() + bytes.size(), 2);
+    EXPECT_EQ(c.doc(), 0u);
+    c.next();
+    EXPECT_EQ(c.doc(), 1u);
+}
+
+TEST(Postings, SeekForward)
+{
+    PostingListBuilder b;
+    for (DocId d = 0; d < 1000; d += 10)
+        b.add(d, 1);
+    const auto bytes = b.bytes();
+    PostingCursor c(bytes.data(), bytes.data() + bytes.size(), 100);
+    c.seek(500);
+    EXPECT_EQ(c.doc(), 500u);
+    c.seek(505); // between postings -> lands on next
+    EXPECT_EQ(c.doc(), 510u);
+    c.seek(505); // seek backwards is a no-op (already past)
+    EXPECT_EQ(c.doc(), 510u);
+    c.seek(100000); // past the end
+    EXPECT_FALSE(c.valid());
+}
+
+TEST(Postings, LargeRandomRoundTrip)
+{
+    Rng rng(7);
+    PostingListBuilder b;
+    std::vector<Posting> ref;
+    DocId doc = 0;
+    for (int i = 0; i < 50000; ++i) {
+        doc += 1 + static_cast<DocId>(rng.nextRange(1000));
+        const uint32_t tf = 1 + static_cast<uint32_t>(rng.nextRange(20));
+        b.add(doc, tf);
+        ref.push_back({doc, tf});
+    }
+    const auto bytes = b.bytes();
+    PostingCursor c(bytes.data(), bytes.data() + bytes.size(),
+                    static_cast<uint32_t>(ref.size()));
+    for (const auto &p : ref) {
+        ASSERT_TRUE(c.valid());
+        ASSERT_EQ(c.doc(), p.doc);
+        ASSERT_EQ(c.tf(), p.tf);
+        c.next();
+    }
+    EXPECT_FALSE(c.valid());
+    EXPECT_EQ(c.bytesConsumed(bytes.data()), bytes.size());
+}
+
+TEST(Postings, DeltaEncodingIsCompact)
+{
+    // Dense postings (small gaps) should take ~2 bytes per entry.
+    PostingListBuilder b;
+    for (DocId d = 0; d < 10000; ++d)
+        b.add(d, 1);
+    EXPECT_LE(b.bytes().size(), 10000u * 2);
+}
+
+} // namespace
+} // namespace wsearch

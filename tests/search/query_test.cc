@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "search/query.hh"
+
+namespace wsearch {
+namespace {
+
+QueryGenerator::Config
+smallConfig()
+{
+    QueryGenerator::Config c;
+    c.distinctQueries = 4096;
+    c.vocabSize = 1000;
+    return c;
+}
+
+TEST(QueryGen, MaterializeIsDeterministic)
+{
+    QueryGenerator a(smallConfig()), b(smallConfig());
+    for (uint64_t qid : {0ull, 7ull, 4095ull}) {
+        const Query qa = a.materialize(qid);
+        const Query qb = b.materialize(qid);
+        EXPECT_EQ(qa.terms, qb.terms);
+        EXPECT_EQ(qa.conjunctive, qb.conjunctive);
+        EXPECT_EQ(qa.id, qid);
+    }
+}
+
+TEST(QueryGen, TermCountInRange)
+{
+    QueryGenerator g(smallConfig());
+    for (int i = 0; i < 5000; ++i) {
+        const Query q = g.next();
+        EXPECT_GE(q.terms.size(), 1u);
+        EXPECT_LE(q.terms.size(), 5u);
+        for (const TermId t : q.terms)
+            EXPECT_LT(t, 1000u);
+    }
+}
+
+TEST(QueryGen, TrafficIsZipfSkewed)
+{
+    QueryGenerator g(smallConfig());
+    std::map<uint64_t, int> counts;
+    for (int i = 0; i < 50000; ++i)
+        ++counts[g.next().id];
+    // Far fewer distinct queries than draws, with a heavy head.
+    EXPECT_LT(counts.size(), 20000u);
+    int max_count = 0;
+    for (const auto &[qid, c] : counts)
+        max_count = std::max(max_count, c);
+    EXPECT_GT(max_count, 200);
+}
+
+TEST(QueryGen, SaltedStreamsDiffer)
+{
+    QueryGenerator a(smallConfig(), 1), b(smallConfig(), 2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next().id == b.next().id)
+            ++same;
+    EXPECT_LT(same, 50);
+}
+
+TEST(QueryGen, NextMatchesMaterialize)
+{
+    QueryGenerator g(smallConfig());
+    QueryGenerator ref(smallConfig());
+    for (int i = 0; i < 100; ++i) {
+        const Query q = g.next();
+        const Query m = ref.materialize(q.id);
+        EXPECT_EQ(q.terms, m.terms);
+        EXPECT_EQ(q.conjunctive, m.conjunctive);
+    }
+}
+
+} // namespace
+} // namespace wsearch

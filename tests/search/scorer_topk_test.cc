@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "search/scorer.hh"
+#include "search/topk.hh"
+#include "util/rng.hh"
+
+namespace wsearch {
+namespace {
+
+TEST(Bm25, IdfDecreasesWithDocFreq)
+{
+    Bm25Scorer s(100000, 100.0);
+    EXPECT_GT(s.idf(10), s.idf(100));
+    EXPECT_GT(s.idf(100), s.idf(10000));
+    EXPECT_GT(s.idf(99999), 0.0); // smoothed: never negative
+}
+
+TEST(Bm25, ScoreIncreasesWithTfSaturating)
+{
+    Bm25Scorer s(100000, 100.0);
+    const double s1 = s.score(1, 100, 50);
+    const double s2 = s.score(2, 100, 50);
+    const double s10 = s.score(10, 100, 50);
+    const double s20 = s.score(20, 100, 50);
+    EXPECT_GT(s2, s1);
+    EXPECT_GT(s10, s2);
+    // Saturation: the marginal gain shrinks.
+    EXPECT_LT(s20 - s10, s2 - s1);
+}
+
+TEST(Bm25, LongDocumentsPenalized)
+{
+    Bm25Scorer s(100000, 100.0);
+    EXPECT_GT(s.score(3, 50, 50), s.score(3, 400, 50));
+}
+
+TEST(Bm25, RareTermsWorthMore)
+{
+    Bm25Scorer s(100000, 100.0);
+    EXPECT_GT(s.score(3, 100, 10), s.score(3, 100, 10000));
+}
+
+TEST(TopK, KeepsBestK)
+{
+    TopK t(3);
+    for (float score : {1.f, 5.f, 3.f, 4.f, 2.f})
+        t.offer({static_cast<DocId>(score), score});
+    const auto r = t.results();
+    ASSERT_EQ(r.size(), 3u);
+    EXPECT_EQ(r[0].score, 5.f);
+    EXPECT_EQ(r[1].score, 4.f);
+    EXPECT_EQ(r[2].score, 3.f);
+}
+
+TEST(TopK, ThresholdTracksMin)
+{
+    TopK t(2);
+    EXPECT_EQ(t.threshold(), 0.0f);
+    t.offer({1, 5.f});
+    EXPECT_EQ(t.threshold(), 0.0f); // not full
+    t.offer({2, 3.f});
+    EXPECT_EQ(t.threshold(), 3.0f);
+    t.offer({3, 4.f});
+    EXPECT_EQ(t.threshold(), 4.0f);
+}
+
+TEST(TopK, RejectsBelowThreshold)
+{
+    TopK t(2);
+    t.offer({1, 5.f});
+    t.offer({2, 4.f});
+    EXPECT_FALSE(t.offer({3, 1.f}));
+    EXPECT_TRUE(t.offer({4, 6.f}));
+}
+
+TEST(TopK, DeterministicTieBreakByDocId)
+{
+    TopK t(2);
+    t.offer({9, 1.f});
+    t.offer({3, 1.f});
+    t.offer({7, 1.f});
+    const auto r = t.results();
+    // Lower doc id wins ties.
+    EXPECT_EQ(r[0].doc, 3u);
+    EXPECT_EQ(r[1].doc, 7u);
+}
+
+TEST(TopK, MatchesFullSort)
+{
+    Rng rng(3);
+    TopK t(16);
+    std::vector<ScoredDoc> all;
+    for (int i = 0; i < 5000; ++i) {
+        const ScoredDoc sd{static_cast<DocId>(i),
+                           static_cast<float>(rng.nextDouble())};
+        all.push_back(sd);
+        t.offer(sd);
+    }
+    std::sort(all.begin(), all.end(),
+              [](const ScoredDoc &a, const ScoredDoc &b) {
+                  return b < a;
+              });
+    const auto r = t.results();
+    ASSERT_EQ(r.size(), 16u);
+    for (size_t i = 0; i < r.size(); ++i) {
+        EXPECT_EQ(r[i].doc, all[i].doc);
+        EXPECT_EQ(r[i].score, all[i].score);
+    }
+}
+
+} // namespace
+} // namespace wsearch

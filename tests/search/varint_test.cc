@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "search/varint.hh"
+#include "util/rng.hh"
+
+namespace wsearch {
+namespace {
+
+TEST(Varint, SingleByteValues)
+{
+    std::vector<uint8_t> buf;
+    EXPECT_EQ(varintEncode(0, buf), 1u);
+    EXPECT_EQ(varintEncode(127, buf), 1u);
+    EXPECT_EQ(buf.size(), 2u);
+    const uint8_t *p = buf.data();
+    EXPECT_EQ(varintDecode(p, buf.data() + buf.size()), 0u);
+    EXPECT_EQ(varintDecode(p, buf.data() + buf.size()), 127u);
+}
+
+TEST(Varint, MultiByteBoundaries)
+{
+    for (uint64_t v : {128ull, 16383ull, 16384ull, 2097151ull,
+                       (1ull << 35), ~0ull}) {
+        std::vector<uint8_t> buf;
+        const uint32_t n = varintEncode(v, buf);
+        EXPECT_EQ(n, varintSize(v));
+        EXPECT_EQ(buf.size(), n);
+        const uint8_t *p = buf.data();
+        EXPECT_EQ(varintDecode(p, buf.data() + buf.size()), v);
+        EXPECT_EQ(p, buf.data() + buf.size());
+    }
+}
+
+TEST(Varint, SizeFormula)
+{
+    EXPECT_EQ(varintSize(0), 1u);
+    EXPECT_EQ(varintSize(127), 1u);
+    EXPECT_EQ(varintSize(128), 2u);
+    EXPECT_EQ(varintSize(16383), 2u);
+    EXPECT_EQ(varintSize(16384), 3u);
+}
+
+TEST(Varint, RandomRoundtrip)
+{
+    Rng rng(42);
+    std::vector<uint64_t> values;
+    std::vector<uint8_t> buf;
+    for (int i = 0; i < 10000; ++i) {
+        const uint64_t v = rng.nextU64() >> rng.nextRange(64);
+        values.push_back(v);
+        varintEncode(v, buf);
+    }
+    const uint8_t *p = buf.data();
+    const uint8_t *end = buf.data() + buf.size();
+    for (const uint64_t v : values)
+        ASSERT_EQ(varintDecode(p, end), v);
+    EXPECT_EQ(p, end);
+}
+
+TEST(Varint, TruncatedInputStopsAtEnd)
+{
+    std::vector<uint8_t> buf;
+    varintEncode(1ull << 40, buf);
+    buf.pop_back(); // truncate
+    const uint8_t *p = buf.data();
+    const uint8_t *end = buf.data() + buf.size();
+    varintDecode(p, end);
+    EXPECT_EQ(p, end); // must not read past the end
+}
+
+} // namespace
+} // namespace wsearch

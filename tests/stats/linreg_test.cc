@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "stats/linreg.hh"
+#include "util/rng.hh"
+
+namespace wsearch {
+namespace {
+
+TEST(LinReg, ExactLine)
+{
+    std::vector<double> xs = {1, 2, 3, 4, 5};
+    std::vector<double> ys = {3, 5, 7, 9, 11}; // y = 2x + 1
+    const LinearFit f = fitLinear(xs, ys);
+    EXPECT_NEAR(f.slope, 2.0, 1e-12);
+    EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+    EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(LinReg, NegativeSlopeLikeEq1)
+{
+    // The paper's Eq. 1: IPC = -8.62e-3 * AMAT + 1.78.
+    std::vector<double> xs, ys;
+    for (double amat = 50; amat <= 70; amat += 2) {
+        xs.push_back(amat);
+        ys.push_back(-8.62e-3 * amat + 1.78);
+    }
+    const LinearFit f = fitLinear(xs, ys);
+    EXPECT_NEAR(f.slope, -8.62e-3, 1e-9);
+    EXPECT_NEAR(f.intercept, 1.78, 1e-9);
+}
+
+TEST(LinReg, NoisyDataStillRecovers)
+{
+    Rng rng(17);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 500; ++i) {
+        const double x = rng.nextDouble() * 100;
+        xs.push_back(x);
+        ys.push_back(0.5 * x + 10 + (rng.nextDouble() - 0.5));
+    }
+    const LinearFit f = fitLinear(xs, ys);
+    EXPECT_NEAR(f.slope, 0.5, 0.01);
+    EXPECT_NEAR(f.intercept, 10.0, 0.5);
+    EXPECT_GT(f.r2, 0.99);
+}
+
+TEST(LinReg, ConstantXDegenerate)
+{
+    std::vector<double> xs = {2, 2, 2};
+    std::vector<double> ys = {1, 2, 3};
+    const LinearFit f = fitLinear(xs, ys);
+    EXPECT_DOUBLE_EQ(f.slope, 0.0);
+    EXPECT_DOUBLE_EQ(f.intercept, 2.0);
+}
+
+TEST(LinReg, EvalInterpolates)
+{
+    LinearFit f;
+    f.slope = -2.0;
+    f.intercept = 100.0;
+    EXPECT_DOUBLE_EQ(f.eval(10), 80.0);
+}
+
+} // namespace
+} // namespace wsearch

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "stats/reuse.hh"
+#include "util/zipf.hh"
+
+namespace wsearch {
+namespace {
+
+TEST(ReuseHistogram, FirstTouchIsCold)
+{
+    ReuseTimeHistogram h;
+    h.touch(0x1000);
+    h.touch(0x2000);
+    EXPECT_EQ(h.coldTouches(), 2u);
+    EXPECT_EQ(h.reuses(), 0u);
+}
+
+TEST(ReuseHistogram, ImmediateReuseInLowBucket)
+{
+    ReuseTimeHistogram h;
+    h.touch(0x1000);
+    h.touch(0x1000);
+    EXPECT_EQ(h.reuses(), 1u);
+    EXPECT_EQ(h.bucket(0), 1u); // gap of 1
+}
+
+TEST(ReuseHistogram, GapBucketing)
+{
+    ReuseTimeHistogram h;
+    h.touch(0x1000);
+    for (int i = 0; i < 7; ++i)
+        h.touch(0x2000 + i * 64); // 7 intervening refs
+    h.touch(0x1000); // gap of 8 -> bucket 3
+    EXPECT_EQ(h.bucket(3), 1u);
+}
+
+TEST(ReuseHistogram, CumulativeMonotone)
+{
+    ReuseTimeHistogram h;
+    Rng rng(1);
+    ZipfSampler z(1024, 0.9);
+    for (int i = 0; i < 100000; ++i)
+        h.touch(z.sample(rng) * 64);
+    double prev = 0;
+    for (uint32_t b = 0; b < ReuseTimeHistogram::kBuckets; ++b) {
+        const double c = h.cumulativeAt(b);
+        EXPECT_GE(c, prev);
+        prev = c;
+    }
+    EXPECT_NEAR(prev, 1.0, 1e-12);
+}
+
+TEST(ReuseHistogram, HotVsColdSegmentsDiffer)
+{
+    // A hot small working set has much shorter reuse gaps than a
+    // streaming one -- the heap/shard contrast of paper §III-B.
+    ReuseTimeHistogram hot, streaming;
+    Rng rng(2);
+    ZipfSampler z(256, 1.0);
+    for (int i = 0; i < 200000; ++i) {
+        hot.touch(z.sample(rng) * 64);
+        streaming.touch(static_cast<uint64_t>(i) * 64);
+    }
+    EXPECT_GT(hot.reuses(), 100000u);
+    EXPECT_EQ(streaming.reuses(), 0u);
+    EXPECT_LT(hot.medianGap(), 4096u);
+}
+
+TEST(ReuseHistogram, SamplingStillSeesReuse)
+{
+    ReuseTimeHistogram sampled(4); // ~1/16 of blocks tracked
+    Rng rng(3);
+    ZipfSampler z(4096, 0.9);
+    for (int i = 0; i < 400000; ++i)
+        sampled.touch(z.sample(rng) * 64);
+    EXPECT_GT(sampled.reuses(), 1000u);
+    EXPECT_EQ(sampled.references(), 400000u);
+}
+
+} // namespace
+} // namespace wsearch

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "stats/working_set.hh"
+#include "util/units.hh"
+
+namespace wsearch {
+namespace {
+
+TEST(WorkingSet, CountsDistinctBlocks)
+{
+    WorkingSetTracker ws(0x1000, 1 * MiB, 64);
+    ws.touch(0x1000);
+    ws.touch(0x1001); // same block
+    ws.touch(0x1040); // next block
+    EXPECT_EQ(ws.distinctBlocks(), 2u);
+    EXPECT_EQ(ws.workingSetBytes(), 128u);
+}
+
+TEST(WorkingSet, IgnoresOutOfRegion)
+{
+    WorkingSetTracker ws(0x100000, 4 * KiB, 64);
+    ws.touch(0x0);
+    ws.touch(0x100000 + 4 * KiB); // one past the end
+    ws.touch(0xFFFFFFFFFFFF);
+    EXPECT_EQ(ws.distinctBlocks(), 0u);
+}
+
+TEST(WorkingSet, LastBlockInRegion)
+{
+    WorkingSetTracker ws(0, 4 * KiB, 64);
+    ws.touch(4 * KiB - 1);
+    EXPECT_EQ(ws.distinctBlocks(), 1u);
+}
+
+TEST(WorkingSet, FullCoverage)
+{
+    WorkingSetTracker ws(0, 64 * KiB, 64);
+    for (uint64_t a = 0; a < 64 * KiB; a += 64)
+        ws.touch(a);
+    EXPECT_EQ(ws.distinctBlocks(), 1024u);
+    EXPECT_EQ(ws.workingSetBytes(), 64 * KiB);
+}
+
+TEST(WorkingSet, RepeatedTouchesIdempotent)
+{
+    WorkingSetTracker ws(0, 1 * MiB, 64);
+    for (int i = 0; i < 1000; ++i)
+        ws.touch(128);
+    EXPECT_EQ(ws.distinctBlocks(), 1u);
+}
+
+TEST(WorkingSet, Reset)
+{
+    WorkingSetTracker ws(0, 1 * MiB, 64);
+    ws.touch(0);
+    ws.touch(64);
+    ws.reset();
+    EXPECT_EQ(ws.distinctBlocks(), 0u);
+    ws.touch(0);
+    EXPECT_EQ(ws.distinctBlocks(), 1u);
+}
+
+TEST(WorkingSet, LargeBlockGranularity)
+{
+    WorkingSetTracker ws(0, 1 * MiB, 4096);
+    ws.touch(0);
+    ws.touch(4095);
+    ws.touch(4096);
+    EXPECT_EQ(ws.distinctBlocks(), 2u);
+    EXPECT_EQ(ws.workingSetBytes(), 8192u);
+}
+
+} // namespace
+} // namespace wsearch

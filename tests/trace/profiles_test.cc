@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "trace/profile.hh"
+#include "util/units.hh"
+
+namespace wsearch {
+namespace {
+
+std::vector<WorkloadProfile>
+allProfiles()
+{
+    return {
+        WorkloadProfile::s1Leaf(),
+        WorkloadProfile::s2Leaf(),
+        WorkloadProfile::s3Leaf(),
+        WorkloadProfile::s1Root(),
+        WorkloadProfile::s2Root(),
+        WorkloadProfile::s3Root(),
+        WorkloadProfile::specPerlbench(),
+        WorkloadProfile::specMcf(),
+        WorkloadProfile::specGobmk(),
+        WorkloadProfile::specOmnetpp(),
+        WorkloadProfile::cloudsuiteWebSearch(),
+    };
+}
+
+TEST(Profiles, AllWellFormed)
+{
+    for (const auto &p : allProfiles()) {
+        SCOPED_TRACE(p.name);
+        EXPECT_FALSE(p.name.empty());
+        EXPECT_GT(p.loadFrac, 0.0);
+        EXPECT_LT(p.loadFrac + p.storeFrac, 1.0);
+        EXPECT_LE(p.heapFrac + p.shardFrac + p.stackFrac, 1.0 + 1e-9);
+        EXPECT_GT(p.heapWorkingSetBytes, 0u);
+        EXPECT_GT(p.code.footprintBytes, 0u);
+        EXPECT_GT(p.code.functionBytes, 0u);
+        EXPECT_GT(p.cpu.postL2Exposure, 0.0);
+        EXPECT_LE(p.cpu.postL2Exposure, 1.0);
+    }
+}
+
+TEST(Profiles, UniqueNamesAndSeeds)
+{
+    const auto profiles = allProfiles();
+    for (size_t i = 0; i < profiles.size(); ++i) {
+        for (size_t j = i + 1; j < profiles.size(); ++j) {
+            EXPECT_NE(profiles[i].name, profiles[j].name);
+            EXPECT_NE(profiles[i].seed, profiles[j].seed);
+        }
+    }
+}
+
+TEST(Profiles, SearchHasLargeCodeFootprint)
+{
+    // The paper's central contrast: production search code overflows
+    // private L2 caches (multi-MiB); SPEC and CloudSuite do not.
+    EXPECT_GE(WorkloadProfile::s1Leaf().code.footprintBytes, 4 * MiB);
+    EXPECT_LT(WorkloadProfile::specMcf().code.footprintBytes, 256 * KiB);
+    EXPECT_LT(WorkloadProfile::cloudsuiteWebSearch().code.footprintBytes,
+              256 * KiB);
+}
+
+TEST(Profiles, LeafHasShardRootDoesNot)
+{
+    EXPECT_GT(WorkloadProfile::s1Leaf().shardFrac, 0.0);
+    EXPECT_EQ(WorkloadProfile::s1Root().shardFrac, 0.0);
+}
+
+TEST(Profiles, HeapWorkingSetOrdering)
+{
+    // mcf and omnetpp model huge, low-locality heaps; search heap is
+    // ~1 GiB; CloudSuite is tens of MiB.
+    EXPECT_GE(WorkloadProfile::specMcf().heapWorkingSetBytes, 2 * GiB);
+    EXPECT_EQ(WorkloadProfile::s1Leaf().heapWorkingSetBytes, 1 * GiB);
+    EXPECT_LE(WorkloadProfile::cloudsuiteWebSearch().heapWorkingSetBytes,
+              64 * MiB);
+}
+
+} // namespace
+} // namespace wsearch

@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+
+#include "trace/record.hh"
+
+namespace wsearch {
+namespace {
+
+TEST(TraceRecord, DefaultsAreInert)
+{
+    const TraceRecord r;
+    EXPECT_FALSE(r.isBranch());
+    EXPECT_FALSE(r.isTaken());
+    EXPECT_FALSE(r.hasData());
+    EXPECT_FALSE(r.isStore());
+}
+
+TEST(TraceRecord, BranchHelpers)
+{
+    TraceRecord r;
+    r.branch = BranchKind::NotTaken;
+    EXPECT_TRUE(r.isBranch());
+    EXPECT_FALSE(r.isTaken());
+    r.branch = BranchKind::Taken;
+    EXPECT_TRUE(r.isTaken());
+}
+
+TEST(TraceRecord, DataHelpers)
+{
+    TraceRecord r;
+    r.op = MemOp::Load;
+    EXPECT_TRUE(r.hasData());
+    EXPECT_FALSE(r.isStore());
+    r.op = MemOp::Store;
+    EXPECT_TRUE(r.isStore());
+}
+
+TEST(VaddrLayout, SegmentsAreDisjointAndOrdered)
+{
+    EXPECT_LT(vaddr::kCodeBase, vaddr::kHeapBase);
+    EXPECT_LT(vaddr::kHeapBase, vaddr::kShardBase);
+    EXPECT_LT(vaddr::kShardBase, vaddr::kStackBase);
+    // Stack strides never collide across 64K threads.
+    EXPECT_GE(vaddr::kStackStride * 65536,
+              vaddr::kStackStride); // no overflow
+}
+
+} // namespace
+} // namespace wsearch

@@ -1,0 +1,47 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "util/env.hh"
+
+namespace wsearch {
+namespace {
+
+TEST(Env, FallbackWhenUnset)
+{
+    unsetenv("WSEARCH_TEST_VAR");
+    EXPECT_EQ(envU64("WSEARCH_TEST_VAR", 77), 77u);
+}
+
+TEST(Env, ParsesValue)
+{
+    setenv("WSEARCH_TEST_VAR", "1234", 1);
+    EXPECT_EQ(envU64("WSEARCH_TEST_VAR", 0), 1234u);
+    unsetenv("WSEARCH_TEST_VAR");
+}
+
+TEST(Env, InvalidFallsBack)
+{
+    setenv("WSEARCH_TEST_VAR", "abc", 1);
+    EXPECT_EQ(envU64("WSEARCH_TEST_VAR", 9), 9u);
+    unsetenv("WSEARCH_TEST_VAR");
+}
+
+TEST(Env, TraceBudgetFastMode)
+{
+    unsetenv("WSEARCH_RECORDS");
+    setenv("WSEARCH_FAST", "1", 1);
+    EXPECT_EQ(traceBudget(8000), 1000u);
+    unsetenv("WSEARCH_FAST");
+    EXPECT_EQ(traceBudget(8000), 8000u);
+}
+
+TEST(Env, TraceBudgetOverride)
+{
+    setenv("WSEARCH_RECORDS", "555", 1);
+    EXPECT_EQ(traceBudget(8000), 555u);
+    unsetenv("WSEARCH_RECORDS");
+}
+
+} // namespace
+} // namespace wsearch

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hh"
+
+namespace wsearch {
+namespace {
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.nextU64() == b.nextU64())
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, DoubleMeanNearHalf)
+{
+    Rng r(99);
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += r.nextDouble();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, RangeBounds)
+{
+    Rng r(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.nextRange(17), 17u);
+}
+
+TEST(Rng, RangeCoversAllValues)
+{
+    Rng r(5);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(r.nextRange(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, BoolProbability)
+{
+    Rng r(11);
+    int count = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        if (r.nextBool(0.3))
+            ++count;
+    EXPECT_NEAR(static_cast<double>(count) / n, 0.3, 0.01);
+}
+
+TEST(Rng, Mix64ChangesValue)
+{
+    EXPECT_NE(mix64(0), 0u);
+    EXPECT_NE(mix64(1), mix64(2));
+}
+
+} // namespace
+} // namespace wsearch

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/scramble.hh"
+
+namespace wsearch {
+namespace {
+
+TEST(BitMixPermutation, IsBijective)
+{
+    BitMixPermutation p(12, 7);
+    std::vector<bool> seen(1 << 12, false);
+    for (uint64_t x = 0; x < (1 << 12); ++x) {
+        const uint64_t y = p.apply(x);
+        ASSERT_LT(y, uint64_t(1) << 12);
+        ASSERT_FALSE(seen[y]) << "collision at " << x;
+        seen[y] = true;
+    }
+}
+
+TEST(BitMixPermutation, SaltChangesMapping)
+{
+    BitMixPermutation a(16, 1), b(16, 2);
+    int same = 0;
+    for (uint64_t x = 0; x < 1000; ++x)
+        if (a.apply(x) == b.apply(x))
+            ++same;
+    EXPECT_LT(same, 10);
+}
+
+TEST(BitMixPermutation, ScattersConsecutiveInputs)
+{
+    // Consecutive ranks should not map to consecutive outputs.
+    BitMixPermutation p(20, 3);
+    int adjacent = 0;
+    for (uint64_t x = 0; x + 1 < 1000; ++x) {
+        const int64_t d = static_cast<int64_t>(p.apply(x + 1)) -
+            static_cast<int64_t>(p.apply(x));
+        if (d == 1 || d == -1)
+            ++adjacent;
+    }
+    EXPECT_LT(adjacent, 5);
+}
+
+TEST(DomainScrambler, BijectiveOnArbitraryDomain)
+{
+    const uint64_t n = 1000; // not a power of two
+    DomainScrambler s(n, 9);
+    std::vector<bool> seen(n, false);
+    for (uint64_t x = 0; x < n; ++x) {
+        const uint64_t y = s.apply(x);
+        ASSERT_LT(y, n);
+        ASSERT_FALSE(seen[y]);
+        seen[y] = true;
+    }
+}
+
+TEST(DomainScrambler, TinyDomains)
+{
+    for (uint64_t n = 1; n <= 5; ++n) {
+        DomainScrambler s(n, n);
+        std::set<uint64_t> out;
+        for (uint64_t x = 0; x < n; ++x)
+            out.insert(s.apply(x));
+        EXPECT_EQ(out.size(), n);
+    }
+}
+
+TEST(DomainScrambler, Deterministic)
+{
+    DomainScrambler a(12345, 42), b(12345, 42);
+    for (uint64_t x = 0; x < 12345; x += 17)
+        EXPECT_EQ(a.apply(x), b.apply(x));
+}
+
+} // namespace
+} // namespace wsearch

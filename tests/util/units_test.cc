@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "util/units.hh"
+
+namespace wsearch {
+namespace {
+
+TEST(Units, Constants)
+{
+    EXPECT_EQ(KiB, 1024u);
+    EXPECT_EQ(MiB, 1024u * 1024u);
+    EXPECT_EQ(GiB, 1024ull * 1024 * 1024);
+}
+
+TEST(Units, IsPow2)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_TRUE(isPow2(1ull << 40));
+    EXPECT_FALSE(isPow2((1ull << 40) + 1));
+}
+
+TEST(Units, Log2i)
+{
+    EXPECT_EQ(log2i(1), 0u);
+    EXPECT_EQ(log2i(2), 1u);
+    EXPECT_EQ(log2i(64), 6u);
+    EXPECT_EQ(log2i(1ull << 33), 33u);
+}
+
+TEST(Units, AlignDownUp)
+{
+    EXPECT_EQ(alignDown(100, 64), 64u);
+    EXPECT_EQ(alignDown(64, 64), 64u);
+    EXPECT_EQ(alignUp(100, 64), 128u);
+    EXPECT_EQ(alignUp(64, 64), 64u);
+    EXPECT_EQ(alignUp(0, 64), 0u);
+}
+
+TEST(Units, NextPow2)
+{
+    EXPECT_EQ(nextPow2(1), 1u);
+    EXPECT_EQ(nextPow2(3), 4u);
+    EXPECT_EQ(nextPow2(1024), 1024u);
+    EXPECT_EQ(nextPow2(1025), 2048u);
+}
+
+TEST(Units, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(10, 3), 4u);
+    EXPECT_EQ(ceilDiv(9, 3), 3u);
+    EXPECT_EQ(ceilDiv(1, 100), 1u);
+}
+
+TEST(Units, FormatBytes)
+{
+    EXPECT_EQ(formatBytes(512), "512 B");
+    EXPECT_EQ(formatBytes(45 * MiB), "45 MiB");
+    EXPECT_EQ(formatBytes(GiB), "1 GiB");
+    EXPECT_EQ(formatBytes(GiB + GiB / 2), "1.50 GiB");
+    EXPECT_EQ(formatBytes(2 * KiB), "2 KiB");
+}
+
+} // namespace
+} // namespace wsearch

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hh"
+#include "util/zipf.hh"
+
+namespace wsearch {
+namespace {
+
+TEST(Zipf, InRange)
+{
+    ZipfSampler z(1000, 0.9);
+    Rng rng(1);
+    for (int i = 0; i < 100000; ++i)
+        EXPECT_LT(z.sample(rng), 1000u);
+}
+
+TEST(Zipf, SingleItem)
+{
+    ZipfSampler z(1, 0.9);
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(z.sample(rng), 0u);
+}
+
+// With theta ~1, rank 0 should receive roughly 1/H_n of the mass.
+TEST(Zipf, HeadFrequencyMatchesTheory)
+{
+    const uint64_t n = 1000;
+    const double theta = 1.0;
+    ZipfSampler z(n, theta);
+    Rng rng(2);
+    const int samples = 500000;
+    int head = 0;
+    for (int i = 0; i < samples; ++i)
+        if (z.sample(rng) == 0)
+            ++head;
+    double harmonic = 0;
+    for (uint64_t k = 1; k <= n; ++k)
+        harmonic += 1.0 / static_cast<double>(k);
+    const double expected = 1.0 / harmonic;
+    EXPECT_NEAR(static_cast<double>(head) / samples, expected,
+                expected * 0.08);
+}
+
+// Frequencies must be monotonically non-increasing in rank.
+TEST(Zipf, MonotoneRankFrequencies)
+{
+    ZipfSampler z(64, 0.8);
+    Rng rng(3);
+    std::vector<int> counts(64, 0);
+    for (int i = 0; i < 2000000; ++i)
+        ++counts[z.sample(rng)];
+    // Compare coarse buckets to tolerate sampling noise.
+    int prev = counts[0] + counts[1] + counts[2] + counts[3];
+    for (int b = 1; b < 16; ++b) {
+        int cur = 0;
+        for (int i = 0; i < 4; ++i)
+            cur += counts[b * 4 + i];
+        EXPECT_LE(cur, prev * 1.05);
+        prev = cur;
+    }
+}
+
+// Ratio of P(rank 1)/P(rank 2) should approximate 2^theta.
+TEST(Zipf, PowerLawRatio)
+{
+    const double theta = 0.7;
+    ZipfSampler z(10000, theta);
+    Rng rng(4);
+    int c1 = 0, c2 = 0;
+    for (int i = 0; i < 2000000; ++i) {
+        const uint64_t s = z.sample(rng);
+        if (s == 0)
+            ++c1;
+        else if (s == 1)
+            ++c2;
+    }
+    const double ratio = static_cast<double>(c1) / c2;
+    EXPECT_NEAR(ratio, std::pow(2.0, theta), 0.12);
+}
+
+// Larger theta concentrates more mass in the head.
+TEST(Zipf, ThetaControlsSkew)
+{
+    Rng rng(5);
+    auto head_mass = [&rng](double theta) {
+        ZipfSampler z(100000, theta);
+        int head = 0;
+        const int n = 300000;
+        for (int i = 0; i < n; ++i)
+            if (z.sample(rng) < 100)
+                ++head;
+        return static_cast<double>(head) / n;
+    };
+    const double low = head_mass(0.5);
+    const double high = head_mass(1.2);
+    EXPECT_GT(high, low * 2);
+}
+
+class ZipfSweep : public ::testing::TestWithParam<double>
+{
+};
+
+// Property: every theta produces in-range samples and a head-heavy
+// distribution.
+TEST_P(ZipfSweep, HeadHeavierThanTail)
+{
+    const double theta = GetParam();
+    ZipfSampler z(4096, theta);
+    Rng rng(6);
+    uint64_t head = 0, tail = 0;
+    for (int i = 0; i < 200000; ++i) {
+        const uint64_t s = z.sample(rng);
+        ASSERT_LT(s, 4096u);
+        if (s < 2048)
+            ++head;
+        else
+            ++tail;
+    }
+    EXPECT_GT(head, tail);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfSweep,
+                         ::testing::Values(0.2, 0.5, 0.8, 0.99, 1.0,
+                                           1.01, 1.5, 2.0));
+
+} // namespace
+} // namespace wsearch
