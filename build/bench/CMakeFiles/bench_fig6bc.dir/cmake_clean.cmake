@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6bc.dir/bench_fig6bc.cc.o"
+  "CMakeFiles/bench_fig6bc.dir/bench_fig6bc.cc.o.d"
+  "bench_fig6bc"
+  "bench_fig6bc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6bc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

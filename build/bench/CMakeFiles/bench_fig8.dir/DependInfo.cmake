@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8.cc" "bench/CMakeFiles/bench_fig8.dir/bench_fig8.cc.o" "gcc" "bench/CMakeFiles/bench_fig8.dir/bench_fig8.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wsearch_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/wsearch_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/wsearch_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/wsearch_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/wsearch_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/wsearch_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wsearch_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

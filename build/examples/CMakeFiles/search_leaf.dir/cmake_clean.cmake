@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_leaf.dir/search_leaf.cpp.o"
+  "CMakeFiles/search_leaf.dir/search_leaf.cpp.o.d"
+  "search_leaf"
+  "search_leaf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_leaf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topdown_profile.dir/topdown_profile.cpp.o"
+  "CMakeFiles/topdown_profile.dir/topdown_profile.cpp.o.d"
+  "topdown_profile"
+  "topdown_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topdown_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsearch_core.dir/experiments.cc.o"
+  "CMakeFiles/wsearch_core.dir/experiments.cc.o.d"
+  "CMakeFiles/wsearch_core.dir/platform.cc.o"
+  "CMakeFiles/wsearch_core.dir/platform.cc.o.d"
+  "libwsearch_core.a"
+  "libwsearch_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsearch_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsearch_cpu.dir/system.cc.o"
+  "CMakeFiles/wsearch_cpu.dir/system.cc.o.d"
+  "libwsearch_cpu.a"
+  "libwsearch_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsearch_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwsearch_cpu.a"
+)

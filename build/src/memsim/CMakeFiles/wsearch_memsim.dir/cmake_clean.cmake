@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsearch_memsim.dir/hierarchy.cc.o"
+  "CMakeFiles/wsearch_memsim.dir/hierarchy.cc.o.d"
+  "CMakeFiles/wsearch_memsim.dir/simulator.cc.o"
+  "CMakeFiles/wsearch_memsim.dir/simulator.cc.o.d"
+  "libwsearch_memsim.a"
+  "libwsearch_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsearch_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

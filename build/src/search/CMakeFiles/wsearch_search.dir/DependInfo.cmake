@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/search/engine_trace.cc" "src/search/CMakeFiles/wsearch_search.dir/engine_trace.cc.o" "gcc" "src/search/CMakeFiles/wsearch_search.dir/engine_trace.cc.o.d"
+  "/root/repo/src/search/executor.cc" "src/search/CMakeFiles/wsearch_search.dir/executor.cc.o" "gcc" "src/search/CMakeFiles/wsearch_search.dir/executor.cc.o.d"
+  "/root/repo/src/search/index.cc" "src/search/CMakeFiles/wsearch_search.dir/index.cc.o" "gcc" "src/search/CMakeFiles/wsearch_search.dir/index.cc.o.d"
+  "/root/repo/src/search/leaf.cc" "src/search/CMakeFiles/wsearch_search.dir/leaf.cc.o" "gcc" "src/search/CMakeFiles/wsearch_search.dir/leaf.cc.o.d"
+  "/root/repo/src/search/root.cc" "src/search/CMakeFiles/wsearch_search.dir/root.cc.o" "gcc" "src/search/CMakeFiles/wsearch_search.dir/root.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/wsearch_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/wsearch_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wsearch_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsearch_search.dir/engine_trace.cc.o"
+  "CMakeFiles/wsearch_search.dir/engine_trace.cc.o.d"
+  "CMakeFiles/wsearch_search.dir/executor.cc.o"
+  "CMakeFiles/wsearch_search.dir/executor.cc.o.d"
+  "CMakeFiles/wsearch_search.dir/index.cc.o"
+  "CMakeFiles/wsearch_search.dir/index.cc.o.d"
+  "CMakeFiles/wsearch_search.dir/leaf.cc.o"
+  "CMakeFiles/wsearch_search.dir/leaf.cc.o.d"
+  "CMakeFiles/wsearch_search.dir/root.cc.o"
+  "CMakeFiles/wsearch_search.dir/root.cc.o.d"
+  "libwsearch_search.a"
+  "libwsearch_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsearch_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsearch_stats.dir/linreg.cc.o"
+  "CMakeFiles/wsearch_stats.dir/linreg.cc.o.d"
+  "CMakeFiles/wsearch_stats.dir/working_set.cc.o"
+  "CMakeFiles/wsearch_stats.dir/working_set.cc.o.d"
+  "libwsearch_stats.a"
+  "libwsearch_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsearch_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsearch_trace.dir/code_model.cc.o"
+  "CMakeFiles/wsearch_trace.dir/code_model.cc.o.d"
+  "CMakeFiles/wsearch_trace.dir/profile.cc.o"
+  "CMakeFiles/wsearch_trace.dir/profile.cc.o.d"
+  "CMakeFiles/wsearch_trace.dir/synthetic.cc.o"
+  "CMakeFiles/wsearch_trace.dir/synthetic.cc.o.d"
+  "CMakeFiles/wsearch_trace.dir/trace_file.cc.o"
+  "CMakeFiles/wsearch_trace.dir/trace_file.cc.o.d"
+  "libwsearch_trace.a"
+  "libwsearch_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsearch_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsearch_util.dir/env.cc.o"
+  "CMakeFiles/wsearch_util.dir/env.cc.o.d"
+  "CMakeFiles/wsearch_util.dir/table.cc.o"
+  "CMakeFiles/wsearch_util.dir/table.cc.o.d"
+  "CMakeFiles/wsearch_util.dir/zipf.cc.o"
+  "CMakeFiles/wsearch_util.dir/zipf.cc.o.d"
+  "libwsearch_util.a"
+  "libwsearch_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsearch_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

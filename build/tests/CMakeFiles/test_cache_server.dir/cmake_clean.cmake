@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_server.dir/search/cache_server_test.cc.o"
+  "CMakeFiles/test_cache_server.dir/search/cache_server_test.cc.o.d"
+  "test_cache_server"
+  "test_cache_server.pdb"
+  "test_cache_server[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

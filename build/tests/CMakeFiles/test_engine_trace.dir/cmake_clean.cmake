@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_trace.dir/search/engine_trace_test.cc.o"
+  "CMakeFiles/test_engine_trace.dir/search/engine_trace_test.cc.o.d"
+  "test_engine_trace"
+  "test_engine_trace.pdb"
+  "test_engine_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fully_assoc.dir/memsim/fully_assoc_test.cc.o"
+  "CMakeFiles/test_fully_assoc.dir/memsim/fully_assoc_test.cc.o.d"
+  "test_fully_assoc"
+  "test_fully_assoc.pdb"
+  "test_fully_assoc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fully_assoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

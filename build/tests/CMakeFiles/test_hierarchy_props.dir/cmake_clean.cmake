@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hierarchy_props.dir/memsim/hierarchy_props_test.cc.o"
+  "CMakeFiles/test_hierarchy_props.dir/memsim/hierarchy_props_test.cc.o.d"
+  "test_hierarchy_props"
+  "test_hierarchy_props.pdb"
+  "test_hierarchy_props[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hierarchy_props.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

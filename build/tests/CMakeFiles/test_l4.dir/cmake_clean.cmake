@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_l4.dir/memsim/l4_test.cc.o"
+  "CMakeFiles/test_l4.dir/memsim/l4_test.cc.o.d"
+  "test_l4"
+  "test_l4.pdb"
+  "test_l4[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_l4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

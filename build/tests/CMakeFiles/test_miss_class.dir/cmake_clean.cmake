@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_miss_class.dir/memsim/miss_class_test.cc.o"
+  "CMakeFiles/test_miss_class.dir/memsim/miss_class_test.cc.o.d"
+  "test_miss_class"
+  "test_miss_class.pdb"
+  "test_miss_class[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_miss_class.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multilevel_tree.dir/search/multilevel_tree_test.cc.o"
+  "CMakeFiles/test_multilevel_tree.dir/search/multilevel_tree_test.cc.o.d"
+  "test_multilevel_tree"
+  "test_multilevel_tree.pdb"
+  "test_multilevel_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multilevel_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

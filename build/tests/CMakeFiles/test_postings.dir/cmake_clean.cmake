@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_postings.dir/search/postings_test.cc.o"
+  "CMakeFiles/test_postings.dir/search/postings_test.cc.o.d"
+  "test_postings"
+  "test_postings.pdb"
+  "test_postings[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_postings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predictor_props.dir/cpu/predictor_props_test.cc.o"
+  "CMakeFiles/test_predictor_props.dir/cpu/predictor_props_test.cc.o.d"
+  "test_predictor_props"
+  "test_predictor_props.pdb"
+  "test_predictor_props[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predictor_props.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

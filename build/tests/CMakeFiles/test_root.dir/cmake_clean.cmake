@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_root.dir/search/root_test.cc.o"
+  "CMakeFiles/test_root.dir/search/root_test.cc.o.d"
+  "test_root"
+  "test_root.pdb"
+  "test_root[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_root.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

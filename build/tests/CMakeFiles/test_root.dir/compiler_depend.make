@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_root.
+# This may be replaced when dependencies are built.

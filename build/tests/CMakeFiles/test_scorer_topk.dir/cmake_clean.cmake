@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scorer_topk.dir/search/scorer_topk_test.cc.o"
+  "CMakeFiles/test_scorer_topk.dir/search/scorer_topk_test.cc.o.d"
+  "test_scorer_topk"
+  "test_scorer_topk.pdb"
+  "test_scorer_topk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scorer_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scramble.dir/util/scramble_test.cc.o"
+  "CMakeFiles/test_scramble.dir/util/scramble_test.cc.o.d"
+  "test_scramble"
+  "test_scramble.pdb"
+  "test_scramble[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scramble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

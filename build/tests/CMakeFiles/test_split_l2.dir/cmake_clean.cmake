@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_split_l2.dir/memsim/split_l2_test.cc.o"
+  "CMakeFiles/test_split_l2.dir/memsim/split_l2_test.cc.o.d"
+  "test_split_l2"
+  "test_split_l2.pdb"
+  "test_split_l2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_split_l2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_srrip.dir/memsim/srrip_test.cc.o"
+  "CMakeFiles/test_srrip.dir/memsim/srrip_test.cc.o.d"
+  "test_srrip"
+  "test_srrip.pdb"
+  "test_srrip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_srrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
