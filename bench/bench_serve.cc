@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Serving-runtime characterization: drives the concurrent leaf worker
+ * pool (src/serve) with an open-loop Poisson load generator across a
+ * sweep of offered QPS and prints the throughput-latency curve whose
+ * saturation knee the paper's SMT/core-trading analysis presupposes
+ * (§IV: the leaf is throughput-bound but latency-constrained).
+ *
+ * Three sections:
+ *   1. closed-loop calibration of the saturation capacity;
+ *   2. the open-loop QPS sweep (the knee table);
+ *   3. the same mid-load point with the query-cache tier enabled,
+ *      showing the cache absorbing popular queries ahead of the queue.
+ *
+ * WSEARCH_FAST=1 shrinks the run; WSEARCH_SERVE_WORKERS overrides the
+ * worker count (default 2).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "search/corpus.hh"
+#include "search/index.hh"
+#include "serve/loadgen.hh"
+#include "serve/serve_stats.hh"
+#include "serve/worker_pool.hh"
+#include "util/env.hh"
+#include "util/table.hh"
+
+namespace wsearch {
+namespace {
+
+QueryGenerator::Config
+trafficFor(const CorpusConfig &corpus)
+{
+    QueryGenerator::Config qc;
+    qc.vocabSize = corpus.vocabSize; // terms must exist in the shard
+    qc.distinctQueries = 1u << 16;
+    qc.popularityTheta = 0.9;
+    qc.maxTerms = 3;
+    qc.conjunctiveFrac = 0.7;
+    return qc;
+}
+
+void
+runBenchServe()
+{
+    const bool fast = fastMode();
+    const uint32_t workers = static_cast<uint32_t>(
+        envU64("WSEARCH_SERVE_WORKERS", 2));
+    if (workers < 1)
+        wsearch_fatal("WSEARCH_SERVE_WORKERS must be >= 1");
+
+    CorpusConfig cc;
+    cc.numDocs = fast ? 6000 : 20000;
+    cc.vocabSize = 20000;
+    std::printf("# bench_serve: building index (%u docs, %u terms), "
+                "%u workers\n",
+                cc.numDocs, cc.vocabSize, workers);
+    std::fflush(stdout);
+    const CorpusGenerator corpus(cc);
+    const MaterializedIndex index(corpus);
+
+    LoadGenConfig lg;
+    lg.queries = trafficFor(cc);
+
+    // --- 1. Calibrate saturation capacity (closed loop). -------------
+    LeafWorkerPool::Config pc;
+    pc.numWorkers = workers;
+    pc.queueCapacity = 512;
+    double capacity;
+    {
+        LeafWorkerPool pool(index, pc);
+        LoadGenConfig cal = lg;
+        cal.clients = 4 * workers;
+        cal.numQueries = fast ? 2000 : 8000;
+        const LoadReport r = runClosedLoop(pool, cal);
+        capacity = r.achievedQps;
+        std::printf("\n## Closed-loop calibration (%u clients)\n",
+                    cal.clients);
+        Table t({"Clients", "Queries", "Capacity QPS", "p50 (us)",
+                 "p99 (us)"});
+        t.addRow({Table::fmtInt(cal.clients),
+                  Table::fmtInt(r.snap.completed),
+                  Table::fmt(capacity, 1),
+                  fmtUsec(r.snap.sojournNs.quantile(0.50)),
+                  fmtUsec(r.snap.sojournNs.quantile(0.99))});
+        t.print();
+    }
+
+    // --- 2. Open-loop QPS sweep: the throughput-latency knee. --------
+    std::printf("\n## Open-loop QPS sweep (Poisson arrivals)\n");
+    const std::vector<double> fractions = {0.3, 0.5, 0.7, 0.85,
+                                           0.95, 1.05, 1.2, 1.5};
+    const double point_sec = fast ? 0.5 : 2.0;
+    Table sweep({"Offered QPS", "Achieved QPS", "Shed %",
+                 "Mean qdepth", "p50 (us)", "p95 (us)", "p99 (us)",
+                 "p99.9 (us)"});
+    ServeSnapshot saturated;
+    for (const double f : fractions) {
+        const double qps = std::max(1.0, f * capacity);
+        LeafWorkerPool pool(index, pc);
+        LoadGenConfig point = lg;
+        point.offeredQps = qps;
+        point.numQueries = std::max<uint64_t>(
+            500, static_cast<uint64_t>(qps * point_sec));
+        const LoadReport r = runOpenLoop(pool, point);
+        const LatencyHistogram &s = r.snap.sojournNs;
+        sweep.addRow({Table::fmt(qps, 1), Table::fmt(r.achievedQps, 1),
+                      Table::fmtPct(r.shedFraction, 1),
+                      Table::fmt(r.meanQueueDepth, 1),
+                      fmtUsec(s.quantile(0.50)),
+                      fmtUsec(s.quantile(0.95)),
+                      fmtUsec(s.quantile(0.99)),
+                      fmtUsec(s.quantile(0.999))});
+        std::fflush(stdout);
+        if (f == fractions.back())
+            saturated = r.snap;
+    }
+    sweep.print();
+
+    std::printf("\n## Saturated-point report (%.0f%% of capacity)\n",
+                fractions.back() * 100);
+    printServeReport(saturated, 0.0);
+
+    // --- 3. Cache tier in front of the pool. -------------------------
+    std::printf("\n## Query-cache tier at 70%% of capacity\n");
+    Table ct({"Cache entries", "Hit rate", "Evictions", "Achieved QPS",
+              "p50 (us)", "p99 (us)"});
+    for (const size_t cache_cap : {size_t{0}, size_t{4096}}) {
+        LeafWorkerPool::Config cpc = pc;
+        cpc.cacheCapacity = cache_cap;
+        LeafWorkerPool pool(index, cpc);
+        LoadGenConfig point = lg;
+        point.offeredQps = std::max(1.0, 0.7 * capacity);
+        point.numQueries = std::max<uint64_t>(
+            500,
+            static_cast<uint64_t>(point.offeredQps * point_sec));
+        const LoadReport r = runOpenLoop(pool, point);
+        const ServeSnapshot &s = r.snap;
+        const double hit_rate = s.cacheLookups
+            ? static_cast<double>(s.cacheHits) /
+                static_cast<double>(s.cacheLookups)
+            : 0.0;
+        // Cache hits answer in-line; fold them into the latency view.
+        LatencyHistogram all = s.sojournNs;
+        all.merge(s.cacheHitNs);
+        ct.addRow({Table::fmtInt(cache_cap), Table::fmtPct(hit_rate, 1),
+                   Table::fmtInt(s.cacheEvictions),
+                   Table::fmt(r.achievedQps, 1),
+                   fmtUsec(all.quantile(0.50)),
+                   fmtUsec(all.quantile(0.99))});
+    }
+    ct.print();
+}
+
+} // namespace
+} // namespace wsearch
+
+int
+main()
+{
+    wsearch::runBenchServe();
+    return 0;
+}

@@ -43,17 +43,20 @@ class QueryCacheServer
     void
     insert(uint64_t query_id, std::vector<ScoredDoc> results)
     {
+        // A disabled cache (capacity 0) must never store anything, so
+        // the guard comes before any mutation.
+        if (capacity_ == 0)
+            return;
         auto it = map_.find(query_id);
         if (it != map_.end()) {
             it->second->second = std::move(results);
             lru_.splice(lru_.begin(), lru_, it->second);
             return;
         }
-        if (capacity_ == 0)
-            return;
         if (lru_.size() >= capacity_) {
             map_.erase(lru_.back().first);
             lru_.pop_back();
+            ++evictions_;
         }
         lru_.emplace_front(query_id, std::move(results));
         map_[query_id] = lru_.begin();
@@ -61,6 +64,7 @@ class QueryCacheServer
 
     uint64_t lookups() const { return lookups_; }
     uint64_t hits() const { return hits_; }
+    uint64_t evictions() const { return evictions_; }
     size_t size() const { return lru_.size(); }
     size_t capacity() const { return capacity_; }
 
@@ -87,6 +91,7 @@ class QueryCacheServer
     std::unordered_map<uint64_t, std::list<Entry>::iterator> map_;
     uint64_t lookups_ = 0;
     uint64_t hits_ = 0;
+    uint64_t evictions_ = 0;
 };
 
 } // namespace wsearch

@@ -23,7 +23,7 @@ LeafServer::serve(uint32_t tid, const Query &query)
         for (auto &r : results)
             r.doc = r.doc * cfg_.docIdStride + cfg_.docIdOffset;
     }
-    ++queriesServed_;
+    queriesServed_.fetch_add(1, std::memory_order_relaxed);
     return results;
 }
 

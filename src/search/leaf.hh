@@ -8,6 +8,7 @@
 #ifndef WSEARCH_SEARCH_LEAF_HH
 #define WSEARCH_SEARCH_LEAF_HH
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -61,7 +62,12 @@ class LeafServer
     LeafServer(const IndexShard &shard, const Config &cfg,
                TouchSink *sink = nullptr);
 
-    /** Serve a query on logical thread @p tid; best-first results. */
+    /**
+     * Serve a query on logical thread @p tid; best-first results.
+     * Thread-safe for concurrent calls with distinct tids (each tid
+     * owns its executor; the shard is read-only), which is what the
+     * serve runtime's worker pool relies on.
+     */
     std::vector<ScoredDoc> serve(uint32_t tid, const Query &query);
 
     /** Figure 4 accounting. */
@@ -69,7 +75,7 @@ class LeafServer
 
     const IndexShard &shard() const { return shard_; }
     uint32_t numThreads() const { return cfg_.numThreads; }
-    uint64_t queriesServed() const { return queriesServed_; }
+    uint64_t queriesServed() const { return queriesServed_.load(); }
 
     const ExecStats &
     lastStats(uint32_t tid) const
@@ -82,7 +88,7 @@ class LeafServer
     Config cfg_;
     NullTouchSink nullSink_;
     std::vector<std::unique_ptr<QueryExecutor>> executors_;
-    uint64_t queriesServed_ = 0;
+    std::atomic<uint64_t> queriesServed_{0};
 };
 
 } // namespace wsearch

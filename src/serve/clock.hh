@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Monotonic wall-clock helpers for the serving runtime. All latency
+ * accounting in src/serve uses nanoseconds on std::chrono::steady_clock
+ * so measurements are immune to system clock adjustments.
+ */
+
+#ifndef WSEARCH_SERVE_CLOCK_HH
+#define WSEARCH_SERVE_CLOCK_HH
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace wsearch {
+
+/** Current steady-clock time in nanoseconds since an arbitrary epoch. */
+inline uint64_t
+nowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/**
+ * Sleep until steady-clock nanosecond @p deadline_ns. Returns
+ * immediately when the deadline is already past; arrival schedules that
+ * use absolute deadlines therefore keep their long-run offered rate
+ * even when individual sleeps oversleep (late arrivals burst out).
+ */
+inline void
+sleepUntilNs(uint64_t deadline_ns)
+{
+    const uint64_t now = nowNs();
+    if (deadline_ns <= now)
+        return;
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(deadline_ns - now));
+}
+
+} // namespace wsearch
+
+#endif // WSEARCH_SERVE_CLOCK_HH

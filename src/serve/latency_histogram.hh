@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Log-bucketed latency histogram (HdrHistogram-style): each power-of-two
+ * range is split into 64 linear sub-buckets, so any recorded value is
+ * off by at most 1/64 (~1.6%) relative error while the whole structure
+ * is a flat array of counters. This is the tail-latency instrument of
+ * the serving runtime: workers record per-request sojourn and service
+ * times into thread-private histograms which are merged at snapshot
+ * time, keeping the hot path free of shared atomics.
+ */
+
+#ifndef WSEARCH_SERVE_LATENCY_HISTOGRAM_HH
+#define WSEARCH_SERVE_LATENCY_HISTOGRAM_HH
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace wsearch {
+
+/** Fixed-memory histogram of uint64 values with ~1.6% quantile error. */
+class LatencyHistogram
+{
+  public:
+    /** Sub-bucket resolution: 2^6 = 64 linear buckets per octave. */
+    static constexpr uint32_t kSubBits = 6;
+    static constexpr uint32_t kSubBuckets = 1u << kSubBits;
+    /** Values below kSubBuckets map 1:1; each octave above adds 64. */
+    static constexpr size_t kNumBuckets =
+        static_cast<size_t>(64 - kSubBits + 1) << kSubBits;
+
+    LatencyHistogram() : buckets_(kNumBuckets, 0) {}
+
+    /** Record one value (nanoseconds by convention). */
+    void
+    record(uint64_t v)
+    {
+        ++buckets_[bucketIndex(v)];
+        ++count_;
+        sum_ += v;
+        if (v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+
+    /** Add all of @p other's samples into this histogram. */
+    void
+    merge(const LatencyHistogram &other)
+    {
+        for (size_t i = 0; i < kNumBuckets; ++i)
+            buckets_[i] += other.buckets_[i];
+        count_ += other.count_;
+        sum_ += other.sum_;
+        if (other.count_) {
+            if (other.min_ < min_)
+                min_ = other.min_;
+            if (other.max_ > max_)
+                max_ = other.max_;
+        }
+    }
+
+    /**
+     * Value at quantile @p q in [0, 1]: the upper bound of the first
+     * bucket whose cumulative count reaches ceil(q * count), clamped
+     * to the exact observed maximum. Returns 0 on an empty histogram.
+     */
+    uint64_t
+    quantile(double q) const
+    {
+        if (count_ == 0)
+            return 0;
+        wsearch_assert(q >= 0.0 && q <= 1.0);
+        uint64_t target = static_cast<uint64_t>(
+            std::ceil(q * static_cast<double>(count_)));
+        if (target < 1)
+            target = 1;
+        uint64_t cum = 0;
+        for (size_t i = 0; i < kNumBuckets; ++i) {
+            cum += buckets_[i];
+            if (cum >= target) {
+                const uint64_t ub = bucketUpperBound(i);
+                return ub < max_ ? ub : max_;
+            }
+        }
+        return max_;
+    }
+
+    uint64_t count() const { return count_; }
+    uint64_t min() const { return count_ ? min_ : 0; }
+    uint64_t max() const { return max_; }
+
+    double
+    mean() const
+    {
+        return count_
+            ? static_cast<double>(sum_) / static_cast<double>(count_)
+            : 0.0;
+    }
+
+    void
+    clear()
+    {
+        buckets_.assign(kNumBuckets, 0);
+        count_ = 0;
+        sum_ = 0;
+        min_ = ~0ull;
+        max_ = 0;
+    }
+
+    /** Bucket index of @p v (exposed for tests). */
+    static size_t
+    bucketIndex(uint64_t v)
+    {
+        if (v < kSubBuckets)
+            return static_cast<size_t>(v);
+        const int msb = 63 - __builtin_clzll(v);
+        const int shift = msb - static_cast<int>(kSubBits);
+        return (static_cast<size_t>(shift + 1) << kSubBits) +
+            ((v >> shift) & (kSubBuckets - 1));
+    }
+
+    /** Largest value mapping to bucket @p i (exposed for tests). */
+    static uint64_t
+    bucketUpperBound(size_t i)
+    {
+        if (i < kSubBuckets)
+            return static_cast<uint64_t>(i);
+        const uint64_t shift = (i >> kSubBits) - 1;
+        const uint64_t sub = i & (kSubBuckets - 1);
+        const uint64_t lower = (kSubBuckets + sub) << shift;
+        return lower + ((1ull << shift) - 1);
+    }
+
+  private:
+    std::vector<uint64_t> buckets_;
+    uint64_t count_ = 0;
+    uint64_t sum_ = 0;
+    uint64_t min_ = ~0ull;
+    uint64_t max_ = 0;
+};
+
+} // namespace wsearch
+
+#endif // WSEARCH_SERVE_LATENCY_HISTOGRAM_HH

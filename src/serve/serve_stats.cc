@@ -1,0 +1,62 @@
+#include "serve/serve_stats.hh"
+
+#include <cstdio>
+
+#include "util/table.hh"
+
+namespace wsearch {
+
+std::string
+fmtUsec(uint64_t ns)
+{
+    return Table::fmt(static_cast<double>(ns) / 1e3, 2);
+}
+
+void
+printServeReport(const ServeSnapshot &snap, double duration_sec)
+{
+    Table summary({"Metric", "Value"});
+    summary.addRow({"submitted", Table::fmtInt(snap.submitted)});
+    summary.addRow({"accepted", Table::fmtInt(snap.accepted)});
+    summary.addRow({"shed", Table::fmtInt(snap.shed)});
+    summary.addRow({"cache hits", Table::fmtInt(snap.cacheHits)});
+    summary.addRow({"completed", Table::fmtInt(snap.completed)});
+    if (snap.cacheLookups) {
+        summary.addRow({"cache lookups",
+                        Table::fmtInt(snap.cacheLookups)});
+        summary.addRow({"cache evictions",
+                        Table::fmtInt(snap.cacheEvictions)});
+    }
+    if (duration_sec > 0) {
+        const double qps =
+            static_cast<double>(snap.completed + snap.cacheHits) /
+            duration_sec;
+        summary.addRow({"achieved QPS", Table::fmt(qps, 1)});
+    }
+    const LatencyHistogram &s = snap.sojournNs;
+    summary.addRow({"sojourn p50 (us)", fmtUsec(s.quantile(0.50))});
+    summary.addRow({"sojourn p95 (us)", fmtUsec(s.quantile(0.95))});
+    summary.addRow({"sojourn p99 (us)", fmtUsec(s.quantile(0.99))});
+    summary.addRow({"sojourn p99.9 (us)", fmtUsec(s.quantile(0.999))});
+    summary.addRow({"sojourn max (us)", fmtUsec(s.max())});
+    summary.addRow({"service mean (us)",
+                    Table::fmt(snap.serviceNs.mean() / 1e3, 2)});
+    summary.print();
+
+    Table workers({"Worker", "Served", "Busy (ms)", "Mean svc (us)"});
+    for (size_t w = 0; w < snap.workers.size(); ++w) {
+        const WorkerCounters &c = snap.workers[w];
+        const double mean_us = c.served
+            ? static_cast<double>(c.busyNs) /
+                (1e3 * static_cast<double>(c.served))
+            : 0.0;
+        workers.addRow({Table::fmtInt(w), Table::fmtInt(c.served),
+                        Table::fmt(static_cast<double>(c.busyNs) / 1e6,
+                                   1),
+                        Table::fmt(mean_us, 2)});
+    }
+    std::printf("\n");
+    workers.print();
+}
+
+} // namespace wsearch

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Observability snapshot for the serving runtime: admission counters,
+ * per-worker throughput, and merged latency histograms (sojourn =
+ * queue wait + service; service = executor time only). Snapshots are
+ * taken with per-worker locks so they are safe at any time, including
+ * while traffic is in flight, which is what makes periodic stats
+ * reporting possible.
+ */
+
+#ifndef WSEARCH_SERVE_SERVE_STATS_HH
+#define WSEARCH_SERVE_SERVE_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/latency_histogram.hh"
+
+namespace wsearch {
+
+/** Per-worker throughput counters. */
+struct WorkerCounters
+{
+    uint64_t served = 0; ///< requests completed by this worker
+    uint64_t busyNs = 0; ///< time spent executing (not waiting)
+};
+
+/** Point-in-time view of a LeafWorkerPool. */
+struct ServeSnapshot
+{
+    // Admission.
+    uint64_t submitted = 0; ///< submit() calls
+    uint64_t accepted = 0;  ///< enqueued for a worker
+    uint64_t shed = 0;      ///< refused (queue full or closed)
+    uint64_t cacheHits = 0; ///< answered by the query-cache tier
+
+    // Completion.
+    uint64_t completed = 0; ///< worker-executed requests finished
+
+    // Query-cache tier (zeros when the cache is disabled).
+    uint64_t cacheLookups = 0;
+    uint64_t cacheEvictions = 0;
+
+    /** End-to-end latency of worker-executed requests (ns). */
+    LatencyHistogram sojournNs;
+    /** Executor-only service time (ns). */
+    LatencyHistogram serviceNs;
+    /** Latency of cache-hit responses (ns; tiny by design). */
+    LatencyHistogram cacheHitNs;
+
+    std::vector<WorkerCounters> workers;
+
+    /** submitted == accepted + shed + cacheHits must always hold. */
+    bool
+    consistent() const
+    {
+        return submitted == accepted + shed + cacheHits;
+    }
+};
+
+/**
+ * Print a full report for @p snap: a summary table (admission, tail
+ * latencies) and a per-worker table, via util/table so the output can
+ * be pasted into EXPERIMENTS.md. @p duration_sec scales throughput
+ * rows; pass 0 to omit rates.
+ */
+void printServeReport(const ServeSnapshot &snap, double duration_sec);
+
+/** Format @p ns as microseconds with two decimals, e.g. "123.45". */
+std::string fmtUsec(uint64_t ns);
+
+} // namespace wsearch
+
+#endif // WSEARCH_SERVE_SERVE_STATS_HH

@@ -1,0 +1,169 @@
+#include "serve/worker_pool.hh"
+
+#include "serve/clock.hh"
+
+namespace wsearch {
+
+namespace {
+
+LeafServer::Config
+leafConfigFor(const LeafWorkerPool::Config &cfg)
+{
+    LeafServer::Config lc = cfg.leaf;
+    lc.numThreads = cfg.numWorkers;
+    return lc;
+}
+
+} // namespace
+
+LeafWorkerPool::LeafWorkerPool(const IndexShard &shard,
+                               const Config &cfg)
+    : cfg_(cfg), leaf_(shard, leafConfigFor(cfg)),
+      queue_(cfg.queueCapacity), cache_(cfg.cacheCapacity)
+{
+    wsearch_assert(cfg.numWorkers >= 1);
+    slots_.reserve(cfg.numWorkers);
+    for (uint32_t w = 0; w < cfg.numWorkers; ++w)
+        slots_.push_back(std::make_unique<WorkerSlot>());
+    threads_.reserve(cfg.numWorkers);
+    for (uint32_t w = 0; w < cfg.numWorkers; ++w)
+        threads_.emplace_back([this, w] { workerMain(w); });
+}
+
+LeafWorkerPool::~LeafWorkerPool()
+{
+    shutdown();
+}
+
+LeafWorkerPool::Admit
+LeafWorkerPool::submit(const Query &query, bool block, Reply reply)
+{
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+
+    if (cfg_.cacheCapacity > 0) {
+        const uint64_t t0 = nowNs();
+        std::vector<ScoredDoc> hit_results;
+        bool hit;
+        {
+            std::lock_guard<std::mutex> lk(cacheMu_);
+            hit = cache_.lookup(query.id,
+                                reply ? &hit_results : nullptr);
+            if (hit)
+                cacheHitNs_.record(nowNs() - t0);
+        }
+        if (hit) {
+            cacheHits_.fetch_add(1, std::memory_order_relaxed);
+            if (reply)
+                reply->set_value(std::move(hit_results));
+            return Admit::CacheHit;
+        }
+    }
+
+    ServeRequest req;
+    req.query = query;
+    req.enqueueNs = nowNs();
+    req.reply = std::move(reply);
+
+    // Count the acceptance before the enqueue so drain()'s
+    // "completed == accepted" predicate can never observe a completed
+    // request that was not yet counted as accepted.
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    const bool ok = block ? queue_.push(std::move(req))
+                          : queue_.tryPush(std::move(req));
+    if (!ok) {
+        accepted_.fetch_sub(1, std::memory_order_relaxed);
+        shed_.fetch_add(1, std::memory_order_relaxed);
+        // req is untouched on a failed push; tell the waiter.
+        if (req.reply)
+            req.reply->set_value({});
+        return Admit::Shed;
+    }
+    return Admit::Accepted;
+}
+
+void
+LeafWorkerPool::workerMain(uint32_t worker_id)
+{
+    WorkerSlot &slot = *slots_[worker_id];
+    ServeRequest req;
+    while (queue_.pop(req)) {
+        const uint64_t start = nowNs();
+        std::vector<ScoredDoc> results =
+            leaf_.serve(worker_id, req.query);
+        const uint64_t end = nowNs();
+
+        if (cfg_.cacheCapacity > 0) {
+            std::lock_guard<std::mutex> lk(cacheMu_);
+            cache_.insert(req.query.id, results);
+        }
+        {
+            std::lock_guard<std::mutex> lk(slot.mu);
+            ++slot.counters.served;
+            slot.counters.busyNs += end - start;
+            slot.serviceNs.record(end - start);
+            slot.sojournNs.record(end - req.enqueueNs);
+        }
+        if (req.reply)
+            req.reply->set_value(std::move(results));
+        req.reply.reset();
+
+        completed_.fetch_add(1, std::memory_order_release);
+        {
+            // Empty critical section pairs with drain()'s wait so the
+            // notify cannot slip between its predicate check and sleep.
+            std::lock_guard<std::mutex> lk(drainMu_);
+        }
+        drainCv_.notify_all();
+    }
+}
+
+void
+LeafWorkerPool::drain()
+{
+    std::unique_lock<std::mutex> lk(drainMu_);
+    drainCv_.wait(lk, [this] {
+        return completed_.load(std::memory_order_acquire) >=
+            accepted_.load(std::memory_order_acquire);
+    });
+}
+
+void
+LeafWorkerPool::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lk(drainMu_);
+        if (joined_)
+            return;
+        joined_ = true;
+    }
+    queue_.close();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+ServeSnapshot
+LeafWorkerPool::snapshot() const
+{
+    ServeSnapshot s;
+    s.submitted = submitted_.load(std::memory_order_relaxed);
+    s.accepted = accepted_.load(std::memory_order_relaxed);
+    s.shed = shed_.load(std::memory_order_relaxed);
+    s.cacheHits = cacheHits_.load(std::memory_order_relaxed);
+    s.completed = completed_.load(std::memory_order_acquire);
+    s.workers.reserve(slots_.size());
+    for (const auto &slot : slots_) {
+        std::lock_guard<std::mutex> lk(slot->mu);
+        s.workers.push_back(slot->counters);
+        s.serviceNs.merge(slot->serviceNs);
+        s.sojournNs.merge(slot->sojournNs);
+    }
+    {
+        std::lock_guard<std::mutex> lk(cacheMu_);
+        s.cacheLookups = cache_.lookups();
+        s.cacheEvictions = cache_.evictions();
+        s.cacheHitNs = cacheHitNs_;
+    }
+    return s;
+}
+
+} // namespace wsearch

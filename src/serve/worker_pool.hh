@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Concurrent leaf serving runtime (paper §IV's throughput-bound,
+ * latency-constrained leaf). A LeafWorkerPool owns:
+ *
+ *  - a bounded MPMC request queue (admission control: blocking push
+ *    for closed-loop clients, shed-on-full for open-loop overload);
+ *  - N std::thread workers, each serving queries on its own logical
+ *    thread id of a shared LeafServer -- i.e. a per-thread
+ *    QueryExecutor with tid-tagged scratch over one shared IndexShard,
+ *    exactly the paper's SMT co-location model;
+ *  - the query-result cache tier (ServingTree's front tier, here
+ *    mutex-guarded) sitting in front of the queue, so popular queries
+ *    never occupy a worker;
+ *  - per-worker latency histograms and throughput counters, merged
+ *    into a ServeSnapshot that is safe to take mid-traffic.
+ *
+ * The pool runs untraced (NullTouchSink): this subsystem measures
+ * wall-clock tail latency of the real engine, not simulated memory
+ * behavior.
+ */
+
+#ifndef WSEARCH_SERVE_WORKER_POOL_HH
+#define WSEARCH_SERVE_WORKER_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "search/cache_server.hh"
+#include "search/leaf.hh"
+#include "search/query.hh"
+#include "serve/bounded_queue.hh"
+#include "serve/serve_stats.hh"
+
+namespace wsearch {
+
+/** One queued unit of work. */
+struct ServeRequest
+{
+    Query query;
+    uint64_t enqueueNs = 0; ///< stamped by submit()
+    /** Optional completion channel (closed-loop clients, tests). */
+    std::shared_ptr<std::promise<std::vector<ScoredDoc>>> reply;
+};
+
+/** Thread pool executing queries from a bounded queue. */
+class LeafWorkerPool
+{
+  public:
+    using Reply = std::shared_ptr<std::promise<std::vector<ScoredDoc>>>;
+
+    struct Config
+    {
+        uint32_t numWorkers = 2;
+        size_t queueCapacity = 1024;
+        /** Query-result cache entries in front of the queue (0 off). */
+        size_t cacheCapacity = 0;
+        /** Leaf configuration; numThreads is overridden to
+         *  numWorkers so each worker owns executor tid == worker id. */
+        LeafServer::Config leaf;
+    };
+
+    /** Admission verdict for one submit(). */
+    enum class Admit
+    {
+        Accepted, ///< enqueued; a worker will execute it
+        CacheHit, ///< answered inline from the cache tier
+        Shed,     ///< refused: queue full (non-blocking) or shut down
+    };
+
+    /** Workers start immediately. @p shard must outlive the pool. */
+    LeafWorkerPool(const IndexShard &shard, const Config &cfg);
+
+    /** Shuts down and joins (drops any still-queued requests). */
+    ~LeafWorkerPool();
+
+    LeafWorkerPool(const LeafWorkerPool &) = delete;
+    LeafWorkerPool &operator=(const LeafWorkerPool &) = delete;
+
+    /**
+     * Submit one query.
+     * @param block true: wait for queue space (closed-loop); false:
+     *              shed immediately when the queue is full (open-loop)
+     * @param reply optional; fulfilled with the results on CacheHit /
+     *              completion, or with {} when shed
+     */
+    Admit submit(const Query &query, bool block,
+                 Reply reply = nullptr);
+
+    /** Wait until every accepted request has completed. */
+    void drain();
+
+    /**
+     * Stop accepting work, finish already-queued requests, join all
+     * workers. Idempotent; called by the destructor.
+     */
+    void shutdown();
+
+    /** Instantaneous queue depth (for load-generator sampling). */
+    size_t queueDepth() const { return queue_.depth(); }
+
+    /** Merged counters + histograms; callable while traffic runs. */
+    ServeSnapshot snapshot() const;
+
+    const LeafServer &leaf() const { return leaf_; }
+    const Config &config() const { return cfg_; }
+
+  private:
+    /** Mutex-guarded per-worker stats; workers touch only their own
+     *  slot, so the lock is uncontended except during snapshots. */
+    struct WorkerSlot
+    {
+        mutable std::mutex mu;
+        WorkerCounters counters;
+        LatencyHistogram serviceNs;
+        LatencyHistogram sojournNs;
+    };
+
+    void workerMain(uint32_t worker_id);
+
+    Config cfg_;
+    LeafServer leaf_;
+    BoundedQueue<ServeRequest> queue_;
+    std::vector<std::unique_ptr<WorkerSlot>> slots_;
+    std::vector<std::thread> threads_;
+
+    // Cache tier (front of the queue).
+    mutable std::mutex cacheMu_;
+    QueryCacheServer cache_;
+    LatencyHistogram cacheHitNs_; ///< guarded by cacheMu_
+
+    // Admission/completion counters.
+    std::atomic<uint64_t> submitted_{0};
+    std::atomic<uint64_t> accepted_{0};
+    std::atomic<uint64_t> shed_{0};
+    std::atomic<uint64_t> cacheHits_{0};
+    std::atomic<uint64_t> completed_{0};
+
+    // drain() support.
+    mutable std::mutex drainMu_;
+    std::condition_variable drainCv_;
+
+    bool joined_ = false;
+};
+
+} // namespace wsearch
+
+#endif // WSEARCH_SERVE_WORKER_POOL_HH

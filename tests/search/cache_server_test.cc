@@ -61,8 +61,26 @@ TEST(QueryCache, ZeroCapacityNeverCaches)
 {
     QueryCacheServer c(0);
     c.insert(1, someResults(1));
+    c.insert(1, someResults(2)); // re-insert must not sneak in either
     EXPECT_FALSE(c.lookup(1, nullptr));
     EXPECT_EQ(c.size(), 0u);
+    EXPECT_EQ(c.residentBytes(), 0u);
+    EXPECT_EQ(c.evictions(), 0u);
+}
+
+TEST(QueryCache, EvictionsCounted)
+{
+    QueryCacheServer c(2);
+    c.insert(1, someResults(1));
+    c.insert(2, someResults(1));
+    EXPECT_EQ(c.evictions(), 0u);
+    c.insert(3, someResults(1)); // evicts 1
+    EXPECT_EQ(c.evictions(), 1u);
+    c.insert(3, someResults(2)); // update in place: no eviction
+    EXPECT_EQ(c.evictions(), 1u);
+    c.insert(4, someResults(1)); // evicts 2
+    EXPECT_EQ(c.evictions(), 2u);
+    EXPECT_EQ(c.size(), 2u);
 }
 
 TEST(QueryCache, HitRateComputed)

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "serve/latency_histogram.hh"
+#include "util/rng.hh"
+
+namespace wsearch {
+namespace {
+
+/** Reference quantile: smallest v with count(<= v) >= ceil(q * N). */
+uint64_t
+refQuantile(std::vector<uint64_t> sorted, double q)
+{
+    std::sort(sorted.begin(), sorted.end());
+    uint64_t target = static_cast<uint64_t>(
+        std::ceil(q * static_cast<double>(sorted.size())));
+    if (target < 1)
+        target = 1;
+    return sorted[target - 1];
+}
+
+TEST(LatencyHistogram, EmptyIsZero)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(LatencyHistogram, SmallValuesExact)
+{
+    // Values below 64 land in unit-width buckets: quantiles exact.
+    LatencyHistogram h;
+    for (uint64_t v = 1; v <= 10; ++v)
+        h.record(v);
+    EXPECT_EQ(h.quantile(0.5), 5u);
+    EXPECT_EQ(h.quantile(0.1), 1u);
+    EXPECT_EQ(h.quantile(1.0), 10u);
+    EXPECT_EQ(h.min(), 1u);
+    EXPECT_EQ(h.max(), 10u);
+    EXPECT_DOUBLE_EQ(h.mean(), 5.5);
+}
+
+TEST(LatencyHistogram, BucketBoundsConsistent)
+{
+    // Every bucket's upper bound must map back to the same bucket,
+    // and upper bounds must be strictly increasing.
+    uint64_t prev = 0;
+    for (size_t i = 1; i < LatencyHistogram::kNumBuckets; ++i) {
+        const uint64_t ub = LatencyHistogram::bucketUpperBound(i);
+        EXPECT_EQ(LatencyHistogram::bucketIndex(ub), i) << "bucket "
+                                                        << i;
+        EXPECT_GT(ub, prev) << "bucket " << i;
+        prev = ub;
+    }
+}
+
+TEST(LatencyHistogram, QuantilesMatchSortedReference)
+{
+    // Log-uniform values over ~6 decades, typical of latency data.
+    LatencyHistogram h;
+    Rng rng(42);
+    std::vector<uint64_t> values;
+    for (int i = 0; i < 20000; ++i) {
+        const double ln = 3.0 + 14.0 * rng.nextDouble(); // e^3..e^17
+        const uint64_t v =
+            static_cast<uint64_t>(std::exp(ln)) + 1;
+        values.push_back(v);
+        h.record(v);
+    }
+    for (const double q : {0.5, 0.9, 0.95, 0.99, 0.999}) {
+        const double ref =
+            static_cast<double>(refQuantile(values, q));
+        const double got = static_cast<double>(h.quantile(q));
+        // Bucket resolution is 1/64 (~1.6%); allow 2x slack.
+        EXPECT_NEAR(got / ref, 1.0, 2.0 / 64.0) << "q=" << q;
+        EXPECT_GE(got, ref * (1.0 - 1.0 / 64.0)) << "q=" << q;
+    }
+    EXPECT_EQ(h.quantile(1.0),
+              *std::max_element(values.begin(), values.end()));
+}
+
+TEST(LatencyHistogram, MergeEqualsCombinedRecording)
+{
+    LatencyHistogram a, b, combined;
+    Rng rng(7);
+    for (int i = 0; i < 5000; ++i) {
+        const uint64_t v = rng.nextRange(1u << 20) + 1;
+        combined.record(v);
+        (i % 2 ? a : b).record(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_EQ(a.min(), combined.min());
+    EXPECT_EQ(a.max(), combined.max());
+    EXPECT_DOUBLE_EQ(a.mean(), combined.mean());
+    for (const double q : {0.1, 0.5, 0.9, 0.99, 0.999})
+        EXPECT_EQ(a.quantile(q), combined.quantile(q)) << "q=" << q;
+}
+
+TEST(LatencyHistogram, MergeIntoEmptyPreservesMinMax)
+{
+    LatencyHistogram a, b;
+    b.record(100);
+    b.record(5000);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.min(), 100u);
+    EXPECT_EQ(a.max(), 5000u);
+    // Merging an empty histogram must not clobber min/max.
+    LatencyHistogram empty;
+    a.merge(empty);
+    EXPECT_EQ(a.min(), 100u);
+    EXPECT_EQ(a.max(), 5000u);
+}
+
+TEST(LatencyHistogram, ClearResets)
+{
+    LatencyHistogram h;
+    h.record(123456);
+    h.clear();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.quantile(0.99), 0u);
+    h.record(7);
+    EXPECT_EQ(h.quantile(0.5), 7u);
+}
+
+} // namespace
+} // namespace wsearch
