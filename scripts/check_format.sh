@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Reports files under src/ tests/ bench/ that deviate from the
+# committed .clang-format. Exit 1 when any file needs formatting,
+# 0 when clean (or when clang-format is unavailable, so local builds
+# without the tool are not blocked). CI runs this as a non-blocking
+# job: drift is surfaced, not gating.
+#
+# Usage: scripts/check_format.sh [--diff]
+#   --diff  also print the formatting diff for each offending file
+
+set -u
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+    echo "check_format: clang-format not found; skipping" >&2
+    exit 0
+fi
+
+show_diff=0
+if [ "${1:-}" = "--diff" ]; then
+    show_diff=1
+fi
+
+status=0
+checked=0
+while IFS= read -r f; do
+    checked=$((checked + 1))
+    if ! clang-format --dry-run --Werror "$f" >/dev/null 2>&1; then
+        echo "needs format: $f"
+        if [ "$show_diff" -eq 1 ]; then
+            diff -u "$f" <(clang-format "$f") || true
+        fi
+        status=1
+    fi
+done < <(find src tests bench -name '*.cc' -o -name '*.hh' | sort)
+
+echo "check_format: $checked files checked ($(clang-format --version | head -n1))"
+exit $status

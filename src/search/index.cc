@@ -13,16 +13,36 @@ namespace wsearch {
 
 MaterializedIndex::MaterializedIndex(const CorpusGenerator &corpus)
 {
+    build(corpus, 1, 0);
+}
+
+MaterializedIndex::MaterializedIndex(const CorpusGenerator &corpus,
+                                     uint32_t take_stride,
+                                     uint32_t take_offset)
+{
+    build(corpus, take_stride, take_offset);
+}
+
+void
+MaterializedIndex::build(const CorpusGenerator &corpus,
+                         uint32_t take_stride, uint32_t take_offset)
+{
+    wsearch_assert(take_stride >= 1);
+    wsearch_assert(take_offset < take_stride);
     const CorpusConfig &cc = corpus.config();
-    numDocs_ = cc.numDocs;
-    docLen_.resize(cc.numDocs);
+    // Local doc d maps to global doc d * stride + offset.
+    numDocs_ = take_offset < cc.numDocs
+        ? (cc.numDocs - take_offset + take_stride - 1) / take_stride
+        : 0;
+    docLen_.resize(numDocs_);
 
     // term -> (doc -> tf), built doc-by-doc. Documents arrive in
     // ascending id order so posting lists come out sorted.
     std::vector<std::map<DocId, uint32_t>> acc(cc.vocabSize);
     uint64_t total_len = 0;
-    for (DocId d = 0; d < cc.numDocs; ++d) {
-        const Document doc = corpus.document(d);
+    for (DocId d = 0; d < numDocs_; ++d) {
+        const Document doc =
+            corpus.document(d * take_stride + take_offset);
         docLen_[d] = static_cast<uint32_t>(doc.terms.size());
         total_len += doc.terms.size();
         for (const TermId t : doc.terms)

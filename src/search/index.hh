@@ -79,6 +79,18 @@ class MaterializedIndex : public IndexShard
     /** Build from @p corpus (generates all numDocs documents). */
     explicit MaterializedIndex(const CorpusGenerator &corpus);
 
+    /**
+     * Build a shard holding the strided partition of @p corpus:
+     * global documents take_offset, take_offset + take_stride, ...
+     * become local docs 0, 1, ... -- the inverse of LeafServer's
+     * docIdStride/docIdOffset mapping, so a leaf configured with the
+     * same (stride, offset) returns global ids. BM25 statistics
+     * (docFreq, avgDocLen) are shard-local, as in a real partitioned
+     * fleet.
+     */
+    MaterializedIndex(const CorpusGenerator &corpus,
+                      uint32_t take_stride, uint32_t take_offset);
+
     uint32_t numDocs() const override { return numDocs_; }
     uint32_t
     numTerms() const override
@@ -93,6 +105,9 @@ class MaterializedIndex : public IndexShard
     uint64_t shardBytes() const override { return shardBytes_; }
 
   private:
+    void build(const CorpusGenerator &corpus, uint32_t take_stride,
+               uint32_t take_offset);
+
     struct TermData
     {
         TermInfo info;

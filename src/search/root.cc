@@ -1,20 +1,60 @@
 #include "search/root.hh"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "search/topk.hh"
 
 namespace wsearch {
 
+namespace {
+
+/** Offer every partial into @p topk, deduplicating doc ids (a doc
+ *  appearing in several partials -- primary + hedge answering for the
+ *  same shard -- keeps its best score). */
+template <typename PartialFilter>
+std::vector<ScoredDoc>
+dedupMerge(const std::vector<std::vector<ScoredDoc>> &partials,
+           uint32_t k, PartialFilter use_partial)
+{
+    std::unordered_map<DocId, float> best;
+    for (size_t s = 0; s < partials.size(); ++s) {
+        if (!use_partial(s))
+            continue;
+        for (const ScoredDoc &sd : partials[s]) {
+            auto [it, inserted] = best.emplace(sd.doc, sd.score);
+            if (!inserted && sd.score > it->second)
+                it->second = sd.score;
+        }
+    }
+    TopK topk(k);
+    for (const auto &[doc, score] : best)
+        topk.offer({doc, score});
+    return topk.results();
+}
+
+} // namespace
+
 std::vector<ScoredDoc>
 RootServer::merge(const std::vector<std::vector<ScoredDoc>> &partials,
                   uint32_t k)
 {
-    TopK topk(k);
-    for (const auto &partial : partials)
-        for (const auto &sd : partial)
-            topk.offer(sd);
-    return topk.results();
+    return dedupMerge(partials, k, [](size_t) { return true; });
+}
+
+MergedPage
+RootServer::mergeWithCoverage(
+    const std::vector<std::vector<ScoredDoc>> &partials,
+    const std::vector<uint8_t> &answered, uint32_t k)
+{
+    wsearch_assert(partials.size() == answered.size());
+    MergedPage page;
+    page.shardsTotal = static_cast<uint32_t>(partials.size());
+    for (const uint8_t a : answered)
+        page.shardsAnswered += a ? 1 : 0;
+    page.docs = dedupMerge(partials, k,
+                           [&](size_t s) { return answered[s] != 0; });
+    return page;
 }
 
 ServingTree::ServingTree(std::vector<LeafServer *> leaves,
@@ -27,22 +67,28 @@ ServingTree::ServingTree(std::vector<LeafServer *> leaves,
 std::vector<ScoredDoc>
 ServingTree::handle(uint32_t tid, const Query &query)
 {
-    ++stats_.queries;
-    std::vector<ScoredDoc> cached;
-    if (cache_.lookup(query.id, &cached)) {
-        ++stats_.cacheHits;
-        return cached;
+    queries_.fetch_add(1, std::memory_order_relaxed);
+    {
+        std::vector<ScoredDoc> cached;
+        std::lock_guard<std::mutex> lk(cacheMu_);
+        if (cache_.lookup(query.id, &cached)) {
+            cacheHits_.fetch_add(1, std::memory_order_relaxed);
+            return cached;
+        }
     }
     std::vector<std::vector<ScoredDoc>> partials;
     partials.reserve(leaves_.size());
     for (LeafServer *leaf : leaves_) {
         const uint32_t leaf_tid = tid % leaf->numThreads();
         partials.push_back(leaf->serve(leaf_tid, query));
-        ++stats_.leafQueries;
+        leafQueries_.fetch_add(1, std::memory_order_relaxed);
     }
     std::vector<ScoredDoc> merged = RootServer::merge(partials,
                                                       query.topK);
-    cache_.insert(query.id, merged);
+    {
+        std::lock_guard<std::mutex> lk(cacheMu_);
+        cache_.insert(query.id, merged);
+    }
     return merged;
 }
 
@@ -63,11 +109,14 @@ MultiLevelTree::MultiLevelTree(std::vector<LeafServer *> leaves,
 std::vector<ScoredDoc>
 MultiLevelTree::handle(uint32_t tid, const Query &query)
 {
-    ++stats_.queries;
-    std::vector<ScoredDoc> cached;
-    if (cache_.lookup(query.id, &cached)) {
-        ++stats_.cacheHits;
-        return cached;
+    queries_.fetch_add(1, std::memory_order_relaxed);
+    {
+        std::vector<ScoredDoc> cached;
+        std::lock_guard<std::mutex> lk(cacheMu_);
+        if (cache_.lookup(query.id, &cached)) {
+            cacheHits_.fetch_add(1, std::memory_order_relaxed);
+            return cached;
+        }
     }
     // Each intermediate parent merges its group's leaf results before
     // forwarding the group top-k to the root.
@@ -79,15 +128,18 @@ MultiLevelTree::handle(uint32_t tid, const Query &query)
         for (LeafServer *leaf : group) {
             partials.push_back(
                 leaf->serve(tid % leaf->numThreads(), query));
-            ++stats_.leafQueries;
+            leafQueries_.fetch_add(1, std::memory_order_relaxed);
         }
         parent_results.push_back(
             RootServer::merge(partials, query.topK));
-        ++stats_.parentMerges;
+        parentMerges_.fetch_add(1, std::memory_order_relaxed);
     }
     std::vector<ScoredDoc> merged =
         RootServer::merge(parent_results, query.topK);
-    cache_.insert(query.id, merged);
+    {
+        std::lock_guard<std::mutex> lk(cacheMu_);
+        cache_.insert(query.id, merged);
+    }
     return merged;
 }
 

@@ -9,8 +9,10 @@
 #ifndef WSEARCH_SEARCH_ROOT_HH
 #define WSEARCH_SEARCH_ROOT_HH
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "search/cache_server.hh"
@@ -19,20 +21,61 @@
 
 namespace wsearch {
 
+/**
+ * A merged result page tagged with shard coverage: how many of the
+ * shards that should have contributed actually did. A degraded page
+ * (shardsAnswered < shardsTotal) is still valid and correctly ordered
+ * over the shards that answered -- the scatter-gather layer returns
+ * it when a shard misses its deadline or sheds, rather than failing
+ * the whole query.
+ */
+struct MergedPage
+{
+    std::vector<ScoredDoc> docs;
+    uint32_t shardsTotal = 0;
+    uint32_t shardsAnswered = 0;
+
+    bool degraded() const { return shardsAnswered < shardsTotal; }
+
+    double
+    coverage() const
+    {
+        return shardsTotal ? static_cast<double>(shardsAnswered) /
+                static_cast<double>(shardsTotal)
+                           : 0.0;
+    }
+};
+
 /** Merges per-leaf result lists into a global top-k. */
 class RootServer
 {
   public:
-    /** Merge best-first partial results into a global top-k. */
+    /**
+     * Merge best-first partial results into a global top-k.
+     * Duplicate doc ids across partials (e.g. a primary and its hedge
+     * both answering for the same shard) are deduplicated, keeping
+     * the highest score; ordering is deterministic (score desc, doc
+     * id asc on ties).
+     */
     static std::vector<ScoredDoc>
     merge(const std::vector<std::vector<ScoredDoc>> &partials,
           uint32_t k);
+
+    /**
+     * Coverage-aware merge: only partials[s] with answered[s] != 0
+     * contribute; the page reports shardsAnswered/shardsTotal.
+     * @p answered must be the same length as @p partials.
+     */
+    static MergedPage
+    mergeWithCoverage(const std::vector<std::vector<ScoredDoc>> &partials,
+                      const std::vector<uint8_t> &answered, uint32_t k);
 };
 
 /** The full serving system: cache tier + root + leaves. */
 class ServingTree
 {
   public:
+    /** Plain counter snapshot (the atomics live in the tree). */
     struct Stats
     {
         uint64_t queries = 0;
@@ -49,17 +92,34 @@ class ServingTree
 
     /**
      * Handle one query end-to-end on logical thread @p tid.
+     * Thread-safe for concurrent callers with distinct tids, each
+     * tid < every leaf's numThreads (LeafServer::serve's contract);
+     * the cache tier is mutex-guarded and the stats are atomic.
      * @return final merged results (served from cache when possible)
      */
     std::vector<ScoredDoc> handle(uint32_t tid, const Query &query);
 
-    const Stats &stats() const { return stats_; }
+    /** Consistent-enough counter snapshot, safe mid-traffic. */
+    Stats
+    stats() const
+    {
+        Stats s;
+        s.queries = queries_.load(std::memory_order_relaxed);
+        s.cacheHits = cacheHits_.load(std::memory_order_relaxed);
+        s.leafQueries = leafQueries_.load(std::memory_order_relaxed);
+        return s;
+    }
+
+    /** The cache tier; callers must not race with handle(). */
     QueryCacheServer &cache() { return cache_; }
 
   private:
     std::vector<LeafServer *> leaves_;
-    QueryCacheServer cache_;
-    Stats stats_;
+    mutable std::mutex cacheMu_;
+    QueryCacheServer cache_; ///< guarded by cacheMu_
+    std::atomic<uint64_t> queries_{0};
+    std::atomic<uint64_t> cacheHits_{0};
+    std::atomic<uint64_t> leafQueries_{0};
 };
 
 /**
@@ -70,6 +130,7 @@ class ServingTree
 class MultiLevelTree
 {
   public:
+    /** Plain counter snapshot (the atomics live in the tree). */
     struct Stats
     {
         uint64_t queries = 0;
@@ -86,20 +147,40 @@ class MultiLevelTree
     MultiLevelTree(std::vector<LeafServer *> leaves, uint32_t fanout,
                    size_t cache_capacity);
 
-    /** Handle one query through cache -> parents -> root merge. */
+    /**
+     * Handle one query through cache -> parents -> root merge.
+     * Thread-safe under the same contract as ServingTree::handle.
+     */
     std::vector<ScoredDoc> handle(uint32_t tid, const Query &query);
 
-    const Stats &stats() const { return stats_; }
+    /** Consistent-enough counter snapshot, safe mid-traffic. */
+    Stats
+    stats() const
+    {
+        Stats s;
+        s.queries = queries_.load(std::memory_order_relaxed);
+        s.cacheHits = cacheHits_.load(std::memory_order_relaxed);
+        s.parentMerges = parentMerges_.load(std::memory_order_relaxed);
+        s.leafQueries = leafQueries_.load(std::memory_order_relaxed);
+        return s;
+    }
+
     uint32_t numParents() const
     {
         return static_cast<uint32_t>(groups_.size());
     }
+
+    /** The cache tier; callers must not race with handle(). */
     QueryCacheServer &cache() { return cache_; }
 
   private:
     std::vector<std::vector<LeafServer *>> groups_;
-    QueryCacheServer cache_;
-    Stats stats_;
+    mutable std::mutex cacheMu_;
+    QueryCacheServer cache_; ///< guarded by cacheMu_
+    std::atomic<uint64_t> queries_{0};
+    std::atomic<uint64_t> cacheHits_{0};
+    std::atomic<uint64_t> parentMerges_{0};
+    std::atomic<uint64_t> leafQueries_{0};
 };
 
 } // namespace wsearch

@@ -1,0 +1,30 @@
+#include "search/sharding.hh"
+
+#include "util/logging.hh"
+
+namespace wsearch {
+
+std::vector<const IndexShard *>
+ShardedIndex::shardPtrs() const
+{
+    std::vector<const IndexShard *> out;
+    out.reserve(shards.size());
+    for (const auto &s : shards)
+        out.push_back(s.get());
+    return out;
+}
+
+ShardedIndex
+buildShardedIndex(const CorpusGenerator &corpus, uint32_t num_shards)
+{
+    wsearch_assert(num_shards >= 1);
+    wsearch_assert(corpus.config().numDocs >= num_shards);
+    ShardedIndex si;
+    si.shards.reserve(num_shards);
+    for (uint32_t s = 0; s < num_shards; ++s)
+        si.shards.push_back(
+            std::make_unique<MaterializedIndex>(corpus, num_shards, s));
+    return si;
+}
+
+} // namespace wsearch

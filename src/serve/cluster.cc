@@ -1,0 +1,342 @@
+#include "serve/cluster.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+
+#include "serve/clock.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/table.hh"
+
+namespace wsearch {
+
+namespace {
+
+/** Steady-clock time point for an absolute nowNs()-epoch value. */
+std::chrono::steady_clock::time_point
+toTimePoint(uint64_t ns)
+{
+    return std::chrono::steady_clock::time_point(
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::nanoseconds(ns)));
+}
+
+} // namespace
+
+/**
+ * Shared gather state for one in-flight query. Completions (possibly
+ * firing after handle() returned, e.g. a straggler finishing past the
+ * deadline) only ever touch this block, which the shared_ptr keeps
+ * alive until the last attempt resolves.
+ */
+struct ClusterServer::Gather
+{
+    explicit Gather(uint32_t num_shards)
+        : got(num_shards, 0), partials(num_shards),
+          latNs(num_shards, 0), winner(num_shards, 0),
+          outstanding(num_shards, 0)
+    {
+    }
+
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<uint8_t> got; ///< shard answered (first attempt wins)
+    std::vector<std::vector<ScoredDoc>> partials;
+    std::vector<uint64_t> latNs;
+    std::vector<uint32_t> winner;      ///< attempt that answered
+    std::vector<uint32_t> outstanding; ///< attempts not yet resolved
+    uint32_t answered = 0;
+};
+
+ClusterServer::ClusterServer(
+    const std::vector<const IndexShard *> &shards,
+    const ClusterConfig &cfg)
+    : cfg_(cfg)
+{
+    wsearch_assert(!shards.empty());
+    wsearch_assert(cfg.replicasPerShard >= 1);
+    const uint32_t num_shards = static_cast<uint32_t>(shards.size());
+    shards_.reserve(num_shards);
+    for (uint32_t s = 0; s < num_shards; ++s) {
+        auto state = std::make_unique<ShardState>();
+        LeafWorkerPool::Config pc = cfg.pool;
+        if (cfg.partitionDocIds) {
+            pc.leaf.docIdStride = num_shards;
+            pc.leaf.docIdOffset = s;
+        }
+        state->replicas.reserve(cfg.replicasPerShard);
+        for (uint32_t r = 0; r < cfg.replicasPerShard; ++r)
+            state->replicas.push_back(
+                std::make_unique<LeafWorkerPool>(*shards[s], pc));
+        shards_.push_back(std::move(state));
+    }
+}
+
+ClusterServer::~ClusterServer()
+{
+    shutdown();
+}
+
+uint32_t
+ClusterServer::replicaFor(uint64_t query_id, uint32_t shard,
+                          uint32_t attempt) const
+{
+    // Hash-spread primaries across replicas; each further attempt
+    // moves to the next replica so a hedge lands on a different pool
+    // (when R >= 2) than the straggling primary.
+    const uint64_t h =
+        mix64(query_id ^ (0x9e3779b97f4a7c15ull * (shard + 1)));
+    return static_cast<uint32_t>((h + attempt) %
+                                 cfg_.replicasPerShard);
+}
+
+void
+ClusterServer::issue(const Query &query, uint32_t shard,
+                     uint32_t attempt, uint64_t t0,
+                     uint64_t deadline_ns,
+                     const std::shared_ptr<Gather> &gather,
+                     const std::shared_ptr<std::atomic<bool>> &cancel)
+{
+    {
+        std::lock_guard<std::mutex> lk(gather->mu);
+        ++gather->outstanding[shard];
+    }
+    if (attempt > 0) {
+        std::lock_guard<std::mutex> lk(shards_[shard]->mu);
+        ++shards_[shard]->hedges;
+    }
+    auto done = [gather, shard, attempt, t0,
+                 cancel](std::vector<ScoredDoc> &&results, bool ok) {
+        std::lock_guard<std::mutex> lk(gather->mu);
+        --gather->outstanding[shard];
+        if (ok && !gather->got[shard]) {
+            gather->got[shard] = 1;
+            gather->partials[shard] = std::move(results);
+            gather->latNs[shard] = nowNs() - t0;
+            gather->winner[shard] = attempt;
+            ++gather->answered;
+            // First answer wins; stop the twin before it executes.
+            cancel->store(true, std::memory_order_release);
+        }
+        gather->cv.notify_all();
+    };
+    LeafWorkerPool &pool =
+        *shards_[shard]->replicas[replicaFor(query.id, shard, attempt)];
+    // Non-blocking admission: a full replica queue sheds, which the
+    // completion reports as a failed attempt (ok = false) -- blocking
+    // here would stall the scatter loop behind one hot shard.
+    pool.submitAsync(query, /*block=*/false, deadline_ns, std::move(done),
+                     cancel);
+}
+
+ClusterResult
+ClusterServer::handle(const Query &query)
+{
+    const uint32_t num_shards = numShards();
+    auto gather = std::make_shared<Gather>(num_shards);
+    const uint64_t t0 = nowNs();
+    const uint64_t deadline =
+        cfg_.deadlineNs ? t0 + cfg_.deadlineNs : 0;
+
+    std::vector<std::shared_ptr<std::atomic<bool>>> cancels;
+    cancels.reserve(num_shards);
+    for (uint32_t s = 0; s < num_shards; ++s)
+        cancels.push_back(std::make_shared<std::atomic<bool>>(false));
+
+    for (uint32_t s = 0; s < num_shards; ++s)
+        issue(query, s, 0, t0, deadline, gather, cancels[s]);
+
+    uint32_t hedges = 0;
+    std::unique_lock<std::mutex> lk(gather->mu);
+
+    // Hedge phase: wait out the hedge delay, then back up whichever
+    // shards are still silent (the stragglers), bounded by
+    // maxHedgesPerQuery.
+    if (cfg_.hedgeDelayNs != 0 && cfg_.maxHedgesPerQuery > 0) {
+        const uint64_t hedge_at = deadline
+            ? std::min(t0 + cfg_.hedgeDelayNs, deadline)
+            : t0 + cfg_.hedgeDelayNs;
+        gather->cv.wait_until(lk, toTimePoint(hedge_at), [&] {
+            return gather->answered == num_shards;
+        });
+        if (gather->answered < num_shards &&
+            (deadline == 0 || nowNs() < deadline)) {
+            std::vector<uint32_t> stragglers;
+            for (uint32_t s = 0; s < num_shards &&
+                 stragglers.size() < cfg_.maxHedgesPerQuery;
+                 ++s) {
+                if (!gather->got[s])
+                    stragglers.push_back(s);
+            }
+            // Submitting can complete synchronously (shed/cache hit),
+            // which takes gather->mu: issue outside the lock.
+            lk.unlock();
+            for (const uint32_t s : stragglers)
+                issue(query, s, 1, t0, deadline, gather, cancels[s]);
+            hedges = static_cast<uint32_t>(stragglers.size());
+            lk.lock();
+        }
+    }
+
+    // Gather phase: all shards answered, every remaining attempt
+    // failed (shed -- nothing more will arrive), or deadline.
+    const auto settled = [&] {
+        if (gather->answered == num_shards)
+            return true;
+        for (uint32_t s = 0; s < num_shards; ++s)
+            if (!gather->got[s] && gather->outstanding[s] != 0)
+                return false;
+        return true;
+    };
+    if (deadline)
+        gather->cv.wait_until(lk, toTimePoint(deadline), settled);
+    else
+        gather->cv.wait(lk, settled);
+
+    ClusterResult res;
+    res.page = RootServer::mergeWithCoverage(gather->partials,
+                                             gather->got, query.topK);
+    res.hedges = hedges;
+    // Copy what the stats need: stragglers may still mutate the
+    // gather block after the lock is released.
+    const std::vector<uint8_t> got = gather->got;
+    const std::vector<uint64_t> lat = gather->latNs;
+    const std::vector<uint32_t> winner = gather->winner;
+    lk.unlock();
+    res.latencyNs = nowNs() - t0;
+
+    uint32_t wins = 0;
+    for (uint32_t s = 0; s < num_shards; ++s) {
+        ShardState &st = *shards_[s];
+        std::lock_guard<std::mutex> slk(st.mu);
+        if (got[s]) {
+            ++st.answered;
+            st.latencyNs.record(lat[s]);
+            if (winner[s] > 0) {
+                ++st.hedgeWins;
+                ++wins;
+            }
+        } else {
+            ++st.missed;
+        }
+    }
+    {
+        std::lock_guard<std::mutex> clk(statsMu_);
+        ++queries_;
+        if (res.page.degraded())
+            ++degraded_;
+        hedgesIssued_ += hedges;
+        hedgeWins_ += wins;
+        shardAnswers_ += res.page.shardsAnswered;
+        shardMisses_ += num_shards - res.page.shardsAnswered;
+        queryNs_.record(res.latencyNs);
+        for (uint32_t s = 0; s < num_shards; ++s)
+            if (got[s])
+                shardNs_.record(lat[s]);
+    }
+    return res;
+}
+
+void
+ClusterServer::drainAll()
+{
+    for (const auto &shard : shards_)
+        for (const auto &pool : shard->replicas)
+            pool->drain();
+}
+
+void
+ClusterServer::shutdown()
+{
+    for (const auto &shard : shards_)
+        for (const auto &pool : shard->replicas)
+            pool->shutdown();
+}
+
+ClusterSnapshot
+ClusterServer::snapshot() const
+{
+    ClusterSnapshot snap;
+    {
+        std::lock_guard<std::mutex> lk(statsMu_);
+        snap.queries = queries_;
+        snap.degraded = degraded_;
+        snap.hedgesIssued = hedgesIssued_;
+        snap.hedgeWins = hedgeWins_;
+        snap.shardAnswers = shardAnswers_;
+        snap.shardMisses = shardMisses_;
+        snap.queryNs = queryNs_;
+        snap.shardNs = shardNs_;
+    }
+    snap.shards.reserve(shards_.size());
+    for (const auto &shard : shards_) {
+        ShardSnapshot ss;
+        {
+            std::lock_guard<std::mutex> lk(shard->mu);
+            ss.answered = shard->answered;
+            ss.missed = shard->missed;
+            ss.hedges = shard->hedges;
+            ss.hedgeWins = shard->hedgeWins;
+            ss.latencyNs = shard->latencyNs;
+        }
+        for (const auto &pool : shard->replicas)
+            ss.pool.merge(pool->snapshot());
+        snap.shards.push_back(std::move(ss));
+    }
+    return snap;
+}
+
+void
+printClusterReport(const ClusterSnapshot &snap, double duration_sec)
+{
+    Table summary({"Metric", "Value"});
+    summary.addRow({"queries", Table::fmtInt(snap.queries)});
+    summary.addRow({"degraded", Table::fmtInt(snap.degraded)});
+    summary.addRow({"coverage",
+                    Table::fmtPct(snap.meanCoverage(), 2)});
+    summary.addRow({"hedges issued",
+                    Table::fmtInt(snap.hedgesIssued)});
+    summary.addRow({"hedge wins", Table::fmtInt(snap.hedgeWins)});
+    summary.addRow({"leaf executed",
+                    Table::fmtInt(snap.leafExecuted())});
+    if (duration_sec > 0) {
+        summary.addRow(
+            {"achieved QPS",
+             Table::fmt(static_cast<double>(snap.queries) /
+                            duration_sec,
+                        1)});
+    }
+    const LatencyHistogram &q = snap.queryNs;
+    summary.addRow({"query p50 (us)", fmtUsec(q.quantile(0.50))});
+    summary.addRow({"query p95 (us)", fmtUsec(q.quantile(0.95))});
+    summary.addRow({"query p99 (us)", fmtUsec(q.quantile(0.99))});
+    summary.addRow({"query p99.9 (us)", fmtUsec(q.quantile(0.999))});
+    summary.addRow({"shard p50 (us)",
+                    fmtUsec(snap.shardNs.quantile(0.50))});
+    summary.addRow({"shard p99 (us)",
+                    fmtUsec(snap.shardNs.quantile(0.99))});
+    summary.print();
+
+    Table shards({"Shard", "Answered", "Missed", "Hedges", "Wins",
+                  "p50 (us)", "p99 (us)", "Executed", "Expired",
+                  "Cancelled", "Shed"});
+    for (size_t s = 0; s < snap.shards.size(); ++s) {
+        const ShardSnapshot &ss = snap.shards[s];
+        shards.addRow({Table::fmtInt(s), Table::fmtInt(ss.answered),
+                       Table::fmtInt(ss.missed),
+                       Table::fmtInt(ss.hedges),
+                       Table::fmtInt(ss.hedgeWins),
+                       fmtUsec(ss.latencyNs.quantile(0.50)),
+                       fmtUsec(ss.latencyNs.quantile(0.99)),
+                       Table::fmtInt(ss.pool.executed()),
+                       Table::fmtInt(ss.pool.expired),
+                       Table::fmtInt(ss.pool.cancelled),
+                       Table::fmtInt(ss.pool.shed)});
+    }
+    std::printf("\n");
+    shards.print();
+}
+
+} // namespace wsearch

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Sharded scatter-gather serving cluster (paper Figure 1 at fleet
+ * shape): S disjoint index shards, each served by R replica
+ * LeafWorkerPools, under a root that
+ *
+ *  - scatters every query to all S shards concurrently (one replica
+ *    per shard, picked by query hash),
+ *  - propagates a per-query absolute deadline into each leaf request
+ *    (a leaf drops work whose deadline already passed instead of
+ *    executing it),
+ *  - hedges stragglers: after a configurable delay, shards that have
+ *    not answered get one backup request on another replica; the
+ *    first answer wins and a shared cancel flag keeps the loser from
+ *    executing (bounded extra load, "The Tail at Scale" style),
+ *  - gathers until the deadline and merges whatever answered into a
+ *    degraded-but-valid page tagged with shard coverage
+ *    (MergedPage, e.g. 7/8 shards answered).
+ *
+ * Observability: per-query latency, coverage, hedge counts, and
+ * per-shard answer-latency histograms, plus the underlying pools'
+ * ServeSnapshots, all safe to take mid-traffic.
+ */
+
+#ifndef WSEARCH_SERVE_CLUSTER_HH
+#define WSEARCH_SERVE_CLUSTER_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "search/index.hh"
+#include "search/query.hh"
+#include "search/root.hh"
+#include "serve/serve_stats.hh"
+#include "serve/worker_pool.hh"
+
+namespace wsearch {
+
+/** Cluster shape and per-query policy. */
+struct ClusterConfig
+{
+    /** Replica pools per shard (>= 2 for hedging to have a target). */
+    uint32_t replicasPerShard = 1;
+    /** Per-replica pool config; leaf docIdStride/docIdOffset are
+     *  overwritten per shard when partitionDocIds is set. */
+    LeafWorkerPool::Config pool;
+    /** Per-query budget (ns; 0 = wait for every shard, no deadline). */
+    uint64_t deadlineNs = 50'000'000;
+    /** Hedge stragglers this long after scatter (ns; 0 = off). */
+    uint64_t hedgeDelayNs = 0;
+    /** Backup requests per query (caps hedge load amplification). */
+    uint32_t maxHedgesPerQuery = 1;
+    /** Set each shard's leaf doc-id mapping to (stride = S,
+     *  offset = shard) so results carry global doc ids. */
+    bool partitionDocIds = true;
+};
+
+/** Outcome of one scatter-gather query. */
+struct ClusterResult
+{
+    MergedPage page;       ///< merged top-k + coverage tag
+    uint32_t hedges = 0;   ///< backup requests issued for this query
+    uint64_t latencyNs = 0;
+};
+
+/** Per-shard slice of a ClusterSnapshot. */
+struct ShardSnapshot
+{
+    uint64_t answered = 0;  ///< queries this shard answered in time
+    uint64_t missed = 0;    ///< queries it missed (deadline or shed)
+    uint64_t hedges = 0;    ///< backup requests issued to it
+    uint64_t hedgeWins = 0; ///< answers that came from the backup
+    LatencyHistogram latencyNs; ///< scatter-to-answer latency
+    ServeSnapshot pool;         ///< merged over the shard's replicas
+};
+
+/** Point-in-time view of a ClusterServer. */
+struct ClusterSnapshot
+{
+    uint64_t queries = 0;
+    uint64_t degraded = 0; ///< queries answered by < all shards
+    uint64_t hedgesIssued = 0;
+    uint64_t hedgeWins = 0;
+    uint64_t shardAnswers = 0; ///< sum of per-query answered counts
+    uint64_t shardMisses = 0;
+
+    LatencyHistogram queryNs; ///< end-to-end scatter-gather latency
+    LatencyHistogram shardNs; ///< per-shard answer latency, all shards
+
+    std::vector<ShardSnapshot> shards;
+
+    /** Mean fraction of shards answering per query (1.0 = full). */
+    double
+    meanCoverage() const
+    {
+        const uint64_t total = shardAnswers + shardMisses;
+        return total ? static_cast<double>(shardAnswers) /
+                static_cast<double>(total)
+                     : 0.0;
+    }
+
+    /** Leaf executions across all pools (hedge-load accounting). */
+    uint64_t
+    leafExecuted() const
+    {
+        uint64_t n = 0;
+        for (const ShardSnapshot &s : shards)
+            n += s.pool.executed();
+        return n;
+    }
+};
+
+/** Print summary + per-shard tables for @p snap (EXPERIMENTS.md
+ *  paste-able). @p duration_sec scales rates; 0 omits them. */
+void printClusterReport(const ClusterSnapshot &snap,
+                        double duration_sec);
+
+/** The scatter-gather serving cluster. */
+class ClusterServer
+{
+  public:
+    /**
+     * @param shards non-owning, disjoint partitions (shard s serving
+     *               global docs s, s + S, ... when partitionDocIds);
+     *               must outlive the cluster
+     */
+    ClusterServer(const std::vector<const IndexShard *> &shards,
+                  const ClusterConfig &cfg);
+
+    /** Shuts down every pool and joins. */
+    ~ClusterServer();
+
+    ClusterServer(const ClusterServer &) = delete;
+    ClusterServer &operator=(const ClusterServer &) = delete;
+
+    /**
+     * Scatter @p query to all shards, gather until the deadline, and
+     * merge. Thread-safe; blocks the calling thread for at most the
+     * deadline (plus merge time). A degraded page is returned when
+     * shards miss -- never an error.
+     */
+    ClusterResult handle(const Query &query);
+
+    /** Wait until every accepted leaf request has completed. */
+    void drainAll();
+
+    /** Stop accepting work, finish queues, join all pools. */
+    void shutdown();
+
+    /** Merged cluster + per-shard + pool stats, safe mid-traffic. */
+    ClusterSnapshot snapshot() const;
+
+    uint32_t
+    numShards() const
+    {
+        return static_cast<uint32_t>(shards_.size());
+    }
+
+    const ClusterConfig &config() const { return cfg_; }
+
+    const LeafWorkerPool &
+    replicaPool(uint32_t shard, uint32_t replica) const
+    {
+        return *shards_[shard]->replicas[replica];
+    }
+
+  private:
+    struct Gather;
+
+    /** Per-shard replica set + stats (stats guarded by mu). */
+    struct ShardState
+    {
+        std::vector<std::unique_ptr<LeafWorkerPool>> replicas;
+        mutable std::mutex mu;
+        uint64_t answered = 0;
+        uint64_t missed = 0;
+        uint64_t hedges = 0;
+        uint64_t hedgeWins = 0;
+        LatencyHistogram latencyNs;
+    };
+
+    /** Replica serving attempt @p attempt of (query, shard). */
+    uint32_t replicaFor(uint64_t query_id, uint32_t shard,
+                        uint32_t attempt) const;
+
+    void issue(const Query &query, uint32_t shard, uint32_t attempt,
+               uint64_t t0, uint64_t deadline_ns,
+               const std::shared_ptr<Gather> &gather,
+               const std::shared_ptr<std::atomic<bool>> &cancel);
+
+    ClusterConfig cfg_;
+    std::vector<std::unique_ptr<ShardState>> shards_;
+
+    /** Cluster-level stats, guarded by statsMu_. */
+    mutable std::mutex statsMu_;
+    uint64_t queries_ = 0;
+    uint64_t degraded_ = 0;
+    uint64_t hedgesIssued_ = 0;
+    uint64_t hedgeWins_ = 0;
+    uint64_t shardAnswers_ = 0;
+    uint64_t shardMisses_ = 0;
+    LatencyHistogram queryNs_;
+    LatencyHistogram shardNs_;
+};
+
+} // namespace wsearch
+
+#endif // WSEARCH_SERVE_CLUSTER_HH

@@ -152,4 +152,37 @@ runClosedLoop(LeafWorkerPool &pool, const LoadGenConfig &cfg)
     return buildReport(pool, start, end, sampler);
 }
 
+ClusterLoadReport
+runClusterClosedLoop(ClusterServer &cluster, const LoadGenConfig &cfg)
+{
+    wsearch_assert(cfg.clients >= 1);
+    std::atomic<uint64_t> issued{0};
+
+    const uint64_t start = nowNs();
+    std::vector<std::thread> clients;
+    clients.reserve(cfg.clients);
+    for (uint32_t c = 0; c < cfg.clients; ++c) {
+        clients.emplace_back([&cluster, &cfg, &issued, c] {
+            QueryGenerator gen(cfg.queries,
+                               cfg.seed + 7919ull * (c + 1));
+            while (issued.fetch_add(1) < cfg.numQueries)
+                cluster.handle(gen.next());
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+    // Late stragglers (cancelled hedges, expired leftovers) still sit
+    // in queues; drain so per-pool accounting is settled.
+    cluster.drainAll();
+    const uint64_t end = nowNs();
+
+    ClusterLoadReport r;
+    r.snap = cluster.snapshot();
+    r.durationSec = static_cast<double>(end - start) / 1e9;
+    if (r.durationSec > 0)
+        r.achievedQps =
+            static_cast<double>(r.snap.queries) / r.durationSec;
+    return r;
+}
+
 } // namespace wsearch

@@ -24,6 +24,7 @@
 #include <cstdint>
 
 #include "search/query.hh"
+#include "serve/cluster.hh"
 #include "serve/serve_stats.hh"
 #include "serve/worker_pool.hh"
 
@@ -69,6 +70,39 @@ LoadReport runOpenLoop(LeafWorkerPool &pool, const LoadGenConfig &cfg);
 /** Closed-loop run with cfg.clients concurrent clients. */
 LoadReport runClosedLoop(LeafWorkerPool &pool,
                          const LoadGenConfig &cfg);
+
+/** Outcome of one scatter-gather load run. */
+struct ClusterLoadReport
+{
+    double durationSec = 0.0;
+    double achievedQps = 0.0;
+
+    /** Cluster snapshot taken after all clients finished. */
+    ClusterSnapshot snap;
+
+    /** Backup executions per primary leaf execution: the hedge
+     *  load-amplification factor (0 = no extra leaf work). */
+    double
+    extraLeafLoad() const
+    {
+        const uint64_t primaries = snap.queries *
+            (snap.shards.empty() ? 1 : snap.shards.size());
+        const uint64_t executed = snap.leafExecuted();
+        return primaries && executed > primaries
+            ? static_cast<double>(executed - primaries) /
+                static_cast<double>(primaries)
+            : 0.0;
+    }
+};
+
+/**
+ * Closed-loop scatter-gather run: cfg.clients front-end threads each
+ * issuing ClusterServer::handle back-to-back until cfg.numQueries
+ * have been issued cluster-wide. Use a fresh cluster per measurement
+ * point (the report is built from its cumulative snapshot).
+ */
+ClusterLoadReport runClusterClosedLoop(ClusterServer &cluster,
+                                       const LoadGenConfig &cfg);
 
 } // namespace wsearch
 

@@ -13,6 +13,25 @@ fmtUsec(uint64_t ns)
 }
 
 void
+ServeSnapshot::merge(const ServeSnapshot &other)
+{
+    submitted += other.submitted;
+    accepted += other.accepted;
+    shed += other.shed;
+    cacheHits += other.cacheHits;
+    completed += other.completed;
+    expired += other.expired;
+    cancelled += other.cancelled;
+    cacheLookups += other.cacheLookups;
+    cacheEvictions += other.cacheEvictions;
+    sojournNs.merge(other.sojournNs);
+    serviceNs.merge(other.serviceNs);
+    cacheHitNs.merge(other.cacheHitNs);
+    workers.insert(workers.end(), other.workers.begin(),
+                   other.workers.end());
+}
+
+void
 printServeReport(const ServeSnapshot &snap, double duration_sec)
 {
     Table summary({"Metric", "Value"});
@@ -21,6 +40,11 @@ printServeReport(const ServeSnapshot &snap, double duration_sec)
     summary.addRow({"shed", Table::fmtInt(snap.shed)});
     summary.addRow({"cache hits", Table::fmtInt(snap.cacheHits)});
     summary.addRow({"completed", Table::fmtInt(snap.completed)});
+    if (snap.expired || snap.cancelled) {
+        summary.addRow({"expired", Table::fmtInt(snap.expired)});
+        summary.addRow({"cancelled", Table::fmtInt(snap.cancelled)});
+        summary.addRow({"executed", Table::fmtInt(snap.executed())});
+    }
     if (snap.cacheLookups) {
         summary.addRow({"cache lookups",
                         Table::fmtInt(snap.cacheLookups)});

@@ -35,8 +35,13 @@ struct ServeSnapshot
     uint64_t shed = 0;      ///< refused (queue full or closed)
     uint64_t cacheHits = 0; ///< answered by the query-cache tier
 
-    // Completion.
-    uint64_t completed = 0; ///< worker-executed requests finished
+    // Completion. completed counts every accepted request a worker
+    // took off the queue, including the ones it dropped un-executed:
+    // expired (sat in queue past the request deadline) and cancelled
+    // (hedge twin already answered). Executed work is the difference.
+    uint64_t completed = 0; ///< accepted requests finished (any way)
+    uint64_t expired = 0;   ///< dropped: deadline already passed
+    uint64_t cancelled = 0; ///< dropped: cancellation flag was set
 
     // Query-cache tier (zeros when the cache is disabled).
     uint64_t cacheLookups = 0;
@@ -51,12 +56,23 @@ struct ServeSnapshot
 
     std::vector<WorkerCounters> workers;
 
+    /** Requests a worker actually ran to completion. */
+    uint64_t
+    executed() const
+    {
+        return completed - expired - cancelled;
+    }
+
     /** submitted == accepted + shed + cacheHits must always hold. */
     bool
     consistent() const
     {
-        return submitted == accepted + shed + cacheHits;
+        return submitted == accepted + shed + cacheHits &&
+            completed >= expired + cancelled;
     }
+
+    /** Accumulate @p other's counters/histograms (fleet-wide view). */
+    void merge(const ServeSnapshot &other);
 };
 
 /**

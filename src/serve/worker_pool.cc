@@ -35,34 +35,70 @@ LeafWorkerPool::~LeafWorkerPool()
     shutdown();
 }
 
+void
+LeafWorkerPool::finish(ServeRequest &req,
+                       std::vector<ScoredDoc> &&results, bool ok)
+{
+    if (req.done) {
+        // The callback consumes the results; give the promise (rarely
+        // both are set) a copy first.
+        if (req.reply)
+            req.reply->set_value(results);
+        req.done(std::move(results), ok);
+    } else if (req.reply) {
+        req.reply->set_value(std::move(results));
+    }
+    req.reply.reset();
+    req.done = nullptr;
+}
+
 LeafWorkerPool::Admit
 LeafWorkerPool::submit(const Query &query, bool block, Reply reply)
 {
+    ServeRequest req;
+    req.query = query;
+    req.reply = std::move(reply);
+    return enqueue(std::move(req), block);
+}
+
+LeafWorkerPool::Admit
+LeafWorkerPool::submitAsync(const Query &query, bool block,
+                            uint64_t deadline_ns, ServeCompletion done,
+                            std::shared_ptr<std::atomic<bool>> cancel)
+{
+    ServeRequest req;
+    req.query = query;
+    req.deadlineNs = deadline_ns;
+    req.cancel = std::move(cancel);
+    req.done = std::move(done);
+    return enqueue(std::move(req), block);
+}
+
+LeafWorkerPool::Admit
+LeafWorkerPool::enqueue(ServeRequest &&req, bool block)
+{
     submitted_.fetch_add(1, std::memory_order_relaxed);
 
+    const bool wants_results = req.reply || req.done;
     if (cfg_.cacheCapacity > 0) {
         const uint64_t t0 = nowNs();
         std::vector<ScoredDoc> hit_results;
         bool hit;
         {
             std::lock_guard<std::mutex> lk(cacheMu_);
-            hit = cache_.lookup(query.id,
-                                reply ? &hit_results : nullptr);
+            hit = cache_.lookup(req.query.id,
+                                wants_results ? &hit_results : nullptr);
             if (hit)
                 cacheHitNs_.record(nowNs() - t0);
         }
         if (hit) {
             cacheHits_.fetch_add(1, std::memory_order_relaxed);
-            if (reply)
-                reply->set_value(std::move(hit_results));
+            finish(req, std::move(hit_results), /*ok=*/true);
             return Admit::CacheHit;
         }
     }
 
-    ServeRequest req;
-    req.query = query;
     req.enqueueNs = nowNs();
-    req.reply = std::move(reply);
 
     // Count the acceptance before the enqueue so drain()'s
     // "completed == accepted" predicate can never observe a completed
@@ -74,8 +110,7 @@ LeafWorkerPool::submit(const Query &query, bool block, Reply reply)
         accepted_.fetch_sub(1, std::memory_order_relaxed);
         shed_.fetch_add(1, std::memory_order_relaxed);
         // req is untouched on a failed push; tell the waiter.
-        if (req.reply)
-            req.reply->set_value({});
+        finish(req, {}, /*ok=*/false);
         return Admit::Shed;
     }
     return Admit::Accepted;
@@ -88,6 +123,35 @@ LeafWorkerPool::workerMain(uint32_t worker_id)
     ServeRequest req;
     while (queue_.pop(req)) {
         const uint64_t start = nowNs();
+
+        // Drop rather than execute work nobody is waiting for: a
+        // hedge whose twin already answered, or a request that sat in
+        // the queue past its deadline.
+        const bool dropped_cancel =
+            req.cancel && req.cancel->load(std::memory_order_acquire);
+        const bool dropped_expired = !dropped_cancel &&
+            req.deadlineNs != 0 && start > req.deadlineNs;
+        if (dropped_cancel || dropped_expired) {
+            (dropped_cancel ? cancelled_ : expired_)
+                .fetch_add(1, std::memory_order_relaxed);
+            finish(req, {}, /*ok=*/false);
+            req.cancel.reset();
+            completed_.fetch_add(1, std::memory_order_release);
+            {
+                std::lock_guard<std::mutex> lk(drainMu_);
+            }
+            drainCv_.notify_all();
+            continue;
+        }
+
+        if (cfg_.interferenceEveryN != 0 &&
+            cfg_.interferencePauseNs != 0 &&
+            interferenceTick_.fetch_add(1, std::memory_order_relaxed) %
+                    cfg_.interferenceEveryN ==
+                cfg_.interferenceEveryN - 1) {
+            sleepUntilNs(start + cfg_.interferencePauseNs);
+        }
+
         std::vector<ScoredDoc> results =
             leaf_.serve(worker_id, req.query);
         const uint64_t end = nowNs();
@@ -103,9 +167,8 @@ LeafWorkerPool::workerMain(uint32_t worker_id)
             slot.serviceNs.record(end - start);
             slot.sojournNs.record(end - req.enqueueNs);
         }
-        if (req.reply)
-            req.reply->set_value(std::move(results));
-        req.reply.reset();
+        finish(req, std::move(results), /*ok=*/true);
+        req.cancel.reset();
 
         completed_.fetch_add(1, std::memory_order_release);
         {
@@ -150,6 +213,8 @@ LeafWorkerPool::snapshot() const
     s.shed = shed_.load(std::memory_order_relaxed);
     s.cacheHits = cacheHits_.load(std::memory_order_relaxed);
     s.completed = completed_.load(std::memory_order_acquire);
+    s.expired = expired_.load(std::memory_order_relaxed);
+    s.cancelled = cancelled_.load(std::memory_order_relaxed);
     s.workers.reserve(slots_.size());
     for (const auto &slot : slots_) {
         std::lock_guard<std::mutex> lk(slot->mu);

@@ -26,6 +26,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -40,13 +41,40 @@
 
 namespace wsearch {
 
+/**
+ * Completion callback: @p ok is true when @p results came from real
+ * execution (or the cache tier), false when the request was shed,
+ * expired past its deadline, or cancelled before running. May fire on
+ * the submitting thread (cache hit, shed) or on a worker thread, so
+ * implementations must be thread-safe and must not call back into the
+ * pool.
+ */
+using ServeCompletion =
+    std::function<void(std::vector<ScoredDoc> &&results, bool ok)>;
+
 /** One queued unit of work. */
 struct ServeRequest
 {
     Query query;
     uint64_t enqueueNs = 0; ///< stamped by submit()
+    /**
+     * Absolute steady-clock deadline (ns; 0 = none). A worker that
+     * pops an already-expired request drops it instead of executing:
+     * past the deadline nobody is waiting, so the cycles are better
+     * spent on requests that can still make theirs (graceful
+     * degradation under overload).
+     */
+    uint64_t deadlineNs = 0;
+    /**
+     * Optional cancellation flag shared between a primary and its
+     * hedge: set once either answers, so the loser is dropped when a
+     * worker pops it instead of burning a second execution.
+     */
+    std::shared_ptr<std::atomic<bool>> cancel;
     /** Optional completion channel (closed-loop clients, tests). */
     std::shared_ptr<std::promise<std::vector<ScoredDoc>>> reply;
+    /** Optional async completion channel (scatter-gather clients). */
+    ServeCompletion done;
 };
 
 /** Thread pool executing queries from a bounded queue. */
@@ -61,6 +89,16 @@ class LeafWorkerPool
         size_t queueCapacity = 1024;
         /** Query-result cache entries in front of the queue (0 off). */
         size_t cacheCapacity = 0;
+        /**
+         * Background-interference model ("The Tail at Scale"): every
+         * interferenceEveryN-th execution on this pool stalls for
+         * interferencePauseNs before serving -- a sleep, not busy
+         * work, the way an antagonist co-runner or a GC pause stalls
+         * a real replica. Either field 0 disables. This is what gives
+         * a hedged cluster stragglers that a backup replica can beat.
+         */
+        uint32_t interferenceEveryN = 0;
+        uint64_t interferencePauseNs = 0;
         /** Leaf configuration; numThreads is overridden to
          *  numWorkers so each worker owns executor tid == worker id. */
         LeafServer::Config leaf;
@@ -93,6 +131,17 @@ class LeafWorkerPool
     Admit submit(const Query &query, bool block,
                  Reply reply = nullptr);
 
+    /**
+     * Asynchronous submit for scatter-gather callers: @p done fires
+     * exactly once per call (ok=false on shed/expiry/cancel; possibly
+     * synchronously, see ServeCompletion). @p deadline_ns and
+     * @p cancel are forwarded into the request (0/null = unused).
+     */
+    Admit submitAsync(const Query &query, bool block,
+                      uint64_t deadline_ns, ServeCompletion done,
+                      std::shared_ptr<std::atomic<bool>> cancel =
+                          nullptr);
+
     /** Wait until every accepted request has completed. */
     void drain();
 
@@ -122,7 +171,10 @@ class LeafWorkerPool
         LatencyHistogram sojournNs;
     };
 
+    Admit enqueue(ServeRequest &&req, bool block);
     void workerMain(uint32_t worker_id);
+    static void finish(ServeRequest &req,
+                       std::vector<ScoredDoc> &&results, bool ok);
 
     Config cfg_;
     LeafServer leaf_;
@@ -141,6 +193,11 @@ class LeafWorkerPool
     std::atomic<uint64_t> shed_{0};
     std::atomic<uint64_t> cacheHits_{0};
     std::atomic<uint64_t> completed_{0};
+    std::atomic<uint64_t> expired_{0};   ///< dropped: deadline passed
+    std::atomic<uint64_t> cancelled_{0}; ///< dropped: cancel flag set
+
+    /** Executions since start, for the interference schedule. */
+    std::atomic<uint64_t> interferenceTick_{0};
 
     // drain() support.
     mutable std::mutex drainMu_;
