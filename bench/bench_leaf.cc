@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Leaf query-execution microbenchmark: the pruned fast path (block
+ * postings + skip-driven AND / MaxScore OR) against the sequential
+ * reference executor (ExecAlgo::kSequential), same shard, same
+ * queries, single thread. Reports QPS, postings decoded, candidates
+ * scored, and the scored/decoded ratio -- the "how much work did
+ * pruning avoid" numbers behind the speedup.
+ *
+ * Every query is executed on both engines and the result lists are
+ * compared bit-identically (doc ids, float scores, order); any
+ * mismatch is fatal, so the speedup claim always stands for the same
+ * answers.
+ *
+ * Flags / env:
+ *   --smoke        tiny corpus + few queries; the CI equivalence gate
+ *   WSEARCH_FAST=1 same as --smoke
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "search/executor.hh"
+#include "util/env.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace wsearch {
+namespace {
+
+uint64_t
+nowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+struct EngineRun
+{
+    double qps = 0;
+    ExecStats stats;
+    std::vector<SearchResponse> responses;
+};
+
+EngineRun
+runEngine(QueryExecutor &ex, const std::vector<Query> &queries,
+          ExecAlgo algo)
+{
+    EngineRun r;
+    r.responses.reserve(queries.size());
+    const uint64_t t0 = nowNs();
+    for (const Query &q : queries) {
+        SearchRequest req;
+        req.query = q;
+        req.algo = algo;
+        r.responses.push_back(ex.execute(req));
+        r.stats.merge(ex.lastStats());
+    }
+    const uint64_t dt = nowNs() - t0;
+    r.qps = queries.size() / (static_cast<double>(dt) * 1e-9);
+    return r;
+}
+
+void
+checkEquivalent(const std::vector<Query> &queries,
+                const EngineRun &pruned, const EngineRun &seq,
+                const char *workload)
+{
+    for (size_t i = 0; i < queries.size(); ++i) {
+        const auto &p = pruned.responses[i].docs;
+        const auto &s = seq.responses[i].docs;
+        bool same = p.size() == s.size();
+        for (size_t j = 0; same && j < p.size(); ++j)
+            same = p[j].doc == s[j].doc && p[j].score == s[j].score;
+        if (!same) {
+            std::fprintf(stderr,
+                         "bench_leaf: %s query %zu: pruned result "
+                         "differs from sequential\n",
+                         workload, i);
+            std::exit(1);
+        }
+    }
+}
+
+void
+addRows(Table &t, const char *workload, const EngineRun &pruned,
+        const EngineRun &seq)
+{
+    auto ratio = [](const ExecStats &s) {
+        return s.postingsDecoded
+            ? static_cast<double>(s.candidatesScored) /
+                static_cast<double>(s.postingsDecoded)
+            : 0.0;
+    };
+    t.addRow({workload, "sequential", Table::fmt(seq.qps, 0),
+              Table::fmtInt(seq.stats.postingsDecoded),
+              Table::fmtInt(seq.stats.candidatesScored),
+              Table::fmt(ratio(seq.stats), 3), "1.00"});
+    t.addRow({workload, "pruned", Table::fmt(pruned.qps, 0),
+              Table::fmtInt(pruned.stats.postingsDecoded),
+              Table::fmtInt(pruned.stats.candidatesScored),
+              Table::fmt(ratio(pruned.stats), 3),
+              Table::fmt(pruned.qps / seq.qps, 2)});
+}
+
+int
+runBenchLeaf(bool smoke)
+{
+    CorpusConfig cc;
+    cc.numDocs = smoke ? 20000 : 80000;
+    cc.vocabSize = 20000;
+    cc.avgDocLen = 120;
+    std::printf("# bench_leaf: %u docs, %u terms%s\n", cc.numDocs,
+                cc.vocabSize, smoke ? " (smoke)" : "");
+    std::fflush(stdout);
+    const CorpusGenerator corpus(cc);
+    const MaterializedIndex index(corpus);
+
+    QueryGenerator::Config qc;
+    qc.vocabSize = cc.vocabSize;
+    qc.distinctQueries = 1u << 16;
+    qc.maxTerms = 4;
+    QueryGenerator gen(qc);
+    const uint64_t num_queries = smoke ? 200 : 2000;
+    std::vector<Query> or_q, and_q;
+    for (uint64_t i = 0; i < num_queries; ++i) {
+        Query q = gen.materialize(i);
+        q.topK = 10;
+        q.conjunctive = false;
+        or_q.push_back(q);
+        q.conjunctive = true;
+        and_q.push_back(q);
+    }
+
+    NullTouchSink sink;
+    QueryExecutor ex(index, 0, &sink);
+    // Warm the arena so steady-state has no allocation on either side.
+    runEngine(ex, {or_q[0], and_q[0]}, ExecAlgo::kAuto);
+
+    Table t({"Workload", "Engine", "QPS", "Postings decoded",
+             "Candidates scored", "Scored/decoded", "Speedup"});
+    const EngineRun or_seq = runEngine(ex, or_q, ExecAlgo::kSequential);
+    const EngineRun or_pruned = runEngine(ex, or_q, ExecAlgo::kOr);
+    checkEquivalent(or_q, or_pruned, or_seq, "OR");
+    addRows(t, "OR", or_pruned, or_seq);
+
+    const EngineRun and_seq =
+        runEngine(ex, and_q, ExecAlgo::kSequential);
+    const EngineRun and_pruned = runEngine(ex, and_q, ExecAlgo::kAnd);
+    checkEquivalent(and_q, and_pruned, and_seq, "AND");
+    addRows(t, "AND", and_pruned, and_seq);
+    t.print();
+
+    std::printf("\nblocks decoded/skipped: OR %llu/%llu, "
+                "AND %llu/%llu; equivalence: %llu queries "
+                "bit-identical\n",
+                static_cast<unsigned long long>(
+                    or_pruned.stats.blocksDecoded),
+                static_cast<unsigned long long>(
+                    or_pruned.stats.blocksSkipped),
+                static_cast<unsigned long long>(
+                    and_pruned.stats.blocksDecoded),
+                static_cast<unsigned long long>(
+                    and_pruned.stats.blocksSkipped),
+                static_cast<unsigned long long>(2 * num_queries));
+    return 0;
+}
+
+} // namespace
+} // namespace wsearch
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = wsearch::fastMode();
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else {
+            std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+            return 2;
+        }
+    }
+    return wsearch::runBenchLeaf(smoke);
+}

@@ -76,14 +76,26 @@ EngineTraceSource::refillThread(uint32_t tid)
     ThreadState &t = threads_[tid];
     while (t.pending.empty()) {
         const Query q = t.queries->next();
+        // The cache-tier probe is real work: one hashed bucket read
+        // per lookup, hit or miss. Emitting it also guarantees the
+        // refill loop makes progress when traffic is so repetitive
+        // that the cache absorbs everything (the pruned executor
+        // yields few records per query, so saturation is reachable
+        // within one trace).
+        t.pending.push_back(
+            PendingTouch{engine_vaddr::queryCacheAddr(q.id),
+                         engine_vaddr::kQueryCacheBucketBytes,
+                         AccessKind::Heap, false});
         if (cache_.lookup(q.id, nullptr)) {
             // Absorbed by the cache tier; the leaf never sees it.
             ++cacheAbsorbed_;
             continue;
         }
         sink_->setQueue(&t.pending);
-        std::vector<ScoredDoc> results = leaf_->serve(tid, q);
-        cache_.insert(q.id, std::move(results));
+        SearchRequest req;
+        req.query = q;
+        SearchResponse resp = leaf_->serve(tid, req);
+        cache_.insert(q.id, std::move(resp.docs));
         ++queriesExecuted_;
     }
 }

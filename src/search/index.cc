@@ -1,5 +1,6 @@
 #include "search/index.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 
@@ -59,7 +60,10 @@ MaterializedIndex::build(const CorpusGenerator &corpus,
             b.add(doc, tf);
         TermData &td = terms_[t];
         td.info.docFreq = b.count();
+        td.skips = b.releaseSkips(); // must precede release()
         td.bytes = b.release();
+        for (const SkipEntry &e : td.skips)
+            td.info.maxTf = std::max(td.info.maxTf, e.maxTf);
         td.info.byteLength = td.bytes.size();
         td.info.shardOffset = offset;
         offset += td.info.byteLength;
@@ -80,6 +84,19 @@ MaterializedIndex::postingBytes(TermId term,
 {
     wsearch_assert(term < terms_.size());
     out = terms_[term].bytes;
+}
+
+bool
+MaterializedIndex::postingView(TermId term, PostingView &out) const
+{
+    wsearch_assert(term < terms_.size());
+    const TermData &td = terms_[term];
+    out.bytes = td.bytes.data();
+    out.size = td.bytes.size();
+    out.skips = td.skips.data();
+    out.numSkips = static_cast<uint32_t>(td.skips.size());
+    out.count = td.info.docFreq;
+    return true;
 }
 
 // ---------------------------------------------------------------------
@@ -165,6 +182,8 @@ ProceduralIndex::termInfo(TermId term) const
     info.byteLength = static_cast<uint64_t>(l.df) *
         (l.gapBytes + 1 + cfg_.payloadBytes);
     info.shardOffset = offsets_[term];
+    // Generated tf is 1 + mix64 % 6: bound without materializing.
+    info.maxTf = 6;
     return info;
 }
 

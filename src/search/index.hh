@@ -39,6 +39,10 @@ struct TermInfo
     uint64_t shardOffset = 0; ///< nominal byte offset in the shard
     uint64_t byteLength = 0;  ///< encoded length
     uint32_t docFreq = 0;     ///< number of documents containing it
+    /** Upper bound of any tf in the list (exact for materialized
+     *  shards, a distribution bound for procedural ones); feeds the
+     *  executor's MaxScore pruning bound. */
+    uint32_t maxTf = 0;
 };
 
 /** Abstract shard interface used by the query executor. */
@@ -64,6 +68,19 @@ class IndexShard
      */
     virtual void postingBytes(TermId term,
                               std::vector<uint8_t> &out) const = 0;
+
+    /**
+     * Borrow a zero-copy view of @p term's encoded postings and skip
+     * table, valid while the shard lives. Returns false when the
+     * backend cannot lend storage (e.g. ProceduralIndex, which
+     * generates bytes on demand); callers then fall back to
+     * postingBytes() + buildSkipEntries() into their own scratch.
+     */
+    virtual bool
+    postingView(TermId, PostingView &) const
+    {
+        return false;
+    }
 
     /** Total nominal shard size in bytes. */
     virtual uint64_t shardBytes() const = 0;
@@ -102,6 +119,7 @@ class MaterializedIndex : public IndexShard
     uint32_t docLen(DocId doc) const override { return docLen_[doc]; }
     void postingBytes(TermId term,
                       std::vector<uint8_t> &out) const override;
+    bool postingView(TermId term, PostingView &out) const override;
     uint64_t shardBytes() const override { return shardBytes_; }
 
   private:
@@ -112,6 +130,7 @@ class MaterializedIndex : public IndexShard
     {
         TermInfo info;
         std::vector<uint8_t> bytes;
+        std::vector<SkipEntry> skips; ///< block metadata (heap)
     };
     std::vector<TermData> terms_;
     std::vector<uint32_t> docLen_;

@@ -14,17 +14,25 @@ LeafServer::LeafServer(const IndexShard &shard, const Config &cfg,
     }
 }
 
-std::vector<ScoredDoc>
-LeafServer::serve(uint32_t tid, const Query &query)
+SearchResponse
+LeafServer::serve(uint32_t tid, const SearchRequest &req)
 {
     wsearch_assert(tid < executors_.size());
-    std::vector<ScoredDoc> results = executors_[tid]->execute(query);
+    SearchResponse resp = executors_[tid]->execute(req);
     if (cfg_.docIdStride != 1 || cfg_.docIdOffset != 0) {
-        for (auto &r : results)
+        for (auto &r : resp.docs)
             r.doc = r.doc * cfg_.docIdStride + cfg_.docIdOffset;
     }
     queriesServed_.fetch_add(1, std::memory_order_relaxed);
-    return results;
+    return resp;
+}
+
+std::vector<ScoredDoc>
+LeafServer::serve(uint32_t tid, const Query &query)
+{
+    SearchRequest req;
+    req.query = query;
+    return serve(tid, req).docs;
 }
 
 FootprintStats

@@ -63,11 +63,17 @@ class LeafServer
                TouchSink *sink = nullptr);
 
     /**
-     * Serve a query on logical thread @p tid; best-first results.
-     * Thread-safe for concurrent calls with distinct tids (each tid
-     * owns its executor; the shard is read-only), which is what the
-     * serve runtime's worker pool relies on.
+     * Serve a request on logical thread @p tid; best-first results
+     * with doc ids mapped to the global document space. Thread-safe
+     * for concurrent calls with distinct tids (each tid owns its
+     * executor; the shard is read-only), which is what the serve
+     * runtime's worker pool relies on. Deadline/cancel in the request
+     * are honored mid-query (response.degraded).
      */
+    SearchResponse serve(uint32_t tid, const SearchRequest &req);
+
+    /** Deprecated shim: serve with default policy (pruned, no
+     *  deadline). Prefer serve(tid, SearchRequest). */
     std::vector<ScoredDoc> serve(uint32_t tid, const Query &query);
 
     /** Figure 4 accounting. */

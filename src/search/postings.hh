@@ -1,12 +1,19 @@
 /**
  * @file
  * Posting lists: delta + varint encoded (docid gap, term frequency)
- * pairs, the core of the index shard. Two backends expose the same
- * cursor interface:
+ * pairs, the core of the index shard. The byte stream is organized in
+ * blocks of kPostingBlockSize postings; a sidecar skip table (one
+ * SkipEntry per block: last doc id, end byte offset, count, max tf)
+ * lets a cursor seek in O(blocks) without decoding skipped blocks and
+ * gives the executor per-block score upper bounds for dynamic pruning.
+ * The skip table is *metadata* (heap segment); only the encoded
+ * posting bytes belong to the shard segment.
+ *
+ * Two backends expose the same cursor interfaces:
  *
  *  - MaterializedPostings: real encoded bytes built by the indexer
  *    (used by the functional engine and all correctness tests).
- *  - Procedural postings (see shard.hh): deterministic content
+ *  - Procedural postings (see index.hh): deterministic content
  *    generated on demand, so a nominal multi-GiB shard can be walked
  *    without materializing it -- the substitution that stands in for
  *    the paper's proprietary 100s-of-GiB production shards.
@@ -15,6 +22,7 @@
 #ifndef WSEARCH_SEARCH_POSTINGS_HH
 #define WSEARCH_SEARCH_POSTINGS_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -24,11 +32,42 @@
 
 namespace wsearch {
 
+/** Postings per block (one SkipEntry per block). */
+constexpr uint32_t kPostingBlockSize = 128;
+
 /** One decoded posting. */
 struct Posting
 {
     DocId doc = kInvalidDoc;
     uint32_t tf = 0;
+};
+
+/**
+ * Per-block skip metadata. Block b spans encoded bytes
+ * [b == 0 ? 0 : skips[b-1].endByte, skips[b].endByte) and decodes
+ * against base doc id (b == 0 ? absolute first gap : skips[b-1].lastDoc).
+ */
+struct SkipEntry
+{
+    DocId lastDoc = 0;    ///< last doc id in the block
+    uint32_t endByte = 0; ///< one past the block's final encoded byte
+    uint32_t count = 0;   ///< postings in the block (tail may be short)
+    uint32_t maxTf = 0;   ///< max term frequency in the block
+};
+
+/**
+ * Borrowed, zero-copy view of one term's encoded postings plus its
+ * skip table. Valid for the lifetime of whatever owns the storage
+ * (the MaterializedIndex, or a per-executor scratch buffer for the
+ * decode-on-demand procedural path).
+ */
+struct PostingView
+{
+    const uint8_t *bytes = nullptr;
+    size_t size = 0;
+    const SkipEntry *skips = nullptr;
+    uint32_t numSkips = 0;
+    uint32_t count = 0; ///< total postings (== docFreq)
 };
 
 /** Builder for an encoded posting list (ascending doc ids). */
@@ -44,6 +83,11 @@ class PostingListBuilder
         varintEncode(tf, bytes_);
         lastDoc_ = doc;
         ++count_;
+        if (tf > blockMaxTf_)
+            blockMaxTf_ = tf;
+        ++blockCount_;
+        if (blockCount_ == kPostingBlockSize)
+            finishBlock();
     }
 
     uint32_t count() const { return count_; }
@@ -55,16 +99,86 @@ class PostingListBuilder
         return std::move(bytes_);
     }
 
+    /**
+     * Skip table for the postings added so far (flushes the tail
+     * block). Call before release(): the tail entry's endByte is the
+     * current encoded length, which moves out with the bytes.
+     */
+    std::vector<SkipEntry>
+    releaseSkips()
+    {
+        wsearch_assert(bytes_.size() >= count_ || count_ == 0);
+        if (blockCount_ > 0)
+            finishBlock();
+        return std::move(skips_);
+    }
+
   private:
+    void
+    finishBlock()
+    {
+        SkipEntry e;
+        e.lastDoc = lastDoc_;
+        e.endByte = static_cast<uint32_t>(bytes_.size());
+        e.count = blockCount_;
+        e.maxTf = blockMaxTf_;
+        skips_.push_back(e);
+        blockCount_ = 0;
+        blockMaxTf_ = 0;
+    }
+
     std::vector<uint8_t> bytes_;
+    std::vector<SkipEntry> skips_;
     DocId lastDoc_ = 0;
     uint32_t count_ = 0;
+    uint32_t blockCount_ = 0;
+    uint32_t blockMaxTf_ = 0;
 };
+
+/**
+ * Build the skip table for an already-encoded posting stream (the
+ * decode-on-demand path for shards that cannot store a sidecar, e.g.
+ * ProceduralIndex). One sequential decode pass; appends into @p out.
+ */
+inline void
+buildSkipEntries(const uint8_t *begin, const uint8_t *end,
+                 uint32_t count, uint32_t payload_bytes,
+                 std::vector<SkipEntry> &out)
+{
+    out.clear();
+    const uint8_t *p = begin;
+    DocId doc = 0;
+    uint32_t in_block = 0;
+    uint32_t max_tf = 0;
+    for (uint32_t i = 0; i < count && p < end; ++i) {
+        const uint64_t gap = varintDecode(p, end);
+        const uint64_t tf = varintDecode(p, end);
+        doc = i == 0 ? static_cast<DocId>(gap)
+                     : doc + static_cast<DocId>(gap);
+        p += payload_bytes <= static_cast<size_t>(end - p)
+            ? payload_bytes : static_cast<size_t>(end - p);
+        if (tf > max_tf)
+            max_tf = static_cast<uint32_t>(tf);
+        ++in_block;
+        if (in_block == kPostingBlockSize || i + 1 == count) {
+            SkipEntry e;
+            e.lastDoc = doc;
+            e.endByte = static_cast<uint32_t>(p - begin);
+            e.count = in_block;
+            e.maxTf = max_tf;
+            out.push_back(e);
+            in_block = 0;
+            max_tf = 0;
+        }
+    }
+}
 
 /** Sequential decoder over encoded posting bytes. */
 class PostingCursor
 {
   public:
+    PostingCursor() = default;
+
     /**
      * @param payload_bytes fixed per-posting payload (positions,
      *        static features, ...) following the tf; skipped on
@@ -72,9 +186,21 @@ class PostingCursor
      */
     PostingCursor(const uint8_t *begin, const uint8_t *end,
                   uint32_t count, uint32_t payload_bytes = 0)
-        : p_(begin), end_(end), remaining_(count),
-          payloadBytes_(payload_bytes)
     {
+        reset(begin, end, count, payload_bytes);
+    }
+
+    /** Rebind to a new byte range (arena reuse across queries). */
+    void
+    reset(const uint8_t *begin, const uint8_t *end, uint32_t count,
+          uint32_t payload_bytes = 0)
+    {
+        p_ = begin;
+        end_ = end;
+        remaining_ = count;
+        payloadBytes_ = payload_bytes;
+        first_ = true;
+        current_ = Posting{kInvalidDoc, 0};
         advance();
     }
 
@@ -124,12 +250,179 @@ class PostingCursor
         --remaining_;
     }
 
-    const uint8_t *p_;
-    const uint8_t *end_;
-    uint32_t remaining_;
+    const uint8_t *p_ = nullptr;
+    const uint8_t *end_ = nullptr;
+    uint32_t remaining_ = 0;
     uint32_t payloadBytes_ = 0;
     bool first_ = true;
     Posting current_{kInvalidDoc, 0};
+};
+
+/**
+ * Skip-aware block decoder. Decodes one block at a time (gap + tf in
+ * bulk into an internal buffer); seek() walks the skip table forward
+ * in O(blocks) and only decodes the landing block, so skipped blocks
+ * are never touched. After any call that may decode, the caller can
+ * collect the newly decoded byte region (takeDecodedBlock) and the
+ * skip entries scanned (takeSkipScan) for touch instrumentation --
+ * at most one block is decoded per cursor call.
+ */
+class BlockPostingCursor
+{
+  public:
+    BlockPostingCursor() = default;
+
+    /** Rebind to @p view; decodes the first block. */
+    void
+    reset(const PostingView &view, uint32_t payload_bytes)
+    {
+        view_ = view;
+        payloadBytes_ = payload_bytes;
+        block_ = 0;
+        idx_ = 0;
+        blockLen_ = 0;
+        decodedBegin_ = decodedEnd_ = 0;
+        decodedCount_ = 0;
+        hasDecoded_ = false;
+        scanBegin_ = scanEnd_ = 0;
+        if (view_.numSkips > 0)
+            decodeBlock(0);
+    }
+
+    bool valid() const { return idx_ < blockLen_; }
+    DocId doc() const { return docs_[idx_]; }
+    uint32_t tf() const { return tfs_[idx_]; }
+
+    /** Step to the next posting (decodes the next block at an edge). */
+    void
+    next()
+    {
+        if (!valid())
+            return;
+        ++idx_;
+        if (idx_ == blockLen_ && block_ + 1 < view_.numSkips)
+            decodeBlock(block_ + 1);
+    }
+
+    /**
+     * Advance to the first posting with doc >= @p target: scan skip
+     * entries forward to the first block whose lastDoc covers the
+     * target (skipped blocks are never decoded), then binary-search
+     * inside the decoded block.
+     */
+    void
+    seek(DocId target)
+    {
+        if (!valid() || docs_[idx_] >= target)
+            return;
+        if (view_.skips[block_].lastDoc < target) {
+            // O(blocks) forward scan of the skip table.
+            uint32_t b = block_ + 1;
+            scanBegin_ = b;
+            while (b < view_.numSkips &&
+                   view_.skips[b].lastDoc < target)
+                ++b;
+            // The landing entry's lastDoc was read too.
+            scanEnd_ = b < view_.numSkips ? b + 1 : view_.numSkips;
+            if (b >= view_.numSkips) { // past the last block: exhausted
+                idx_ = blockLen_;
+                return;
+            }
+            decodeBlock(b);
+        }
+        // In-block gallop: binary search over the decoded doc ids.
+        uint32_t lo = idx_, hi = blockLen_;
+        while (lo < hi) {
+            const uint32_t mid = (lo + hi) / 2;
+            if (docs_[mid] < target)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        idx_ = lo;
+        // lastDoc >= target guarantees an in-block hit.
+        wsearch_assert(idx_ < blockLen_);
+    }
+
+    /** Current block's skip entry (for block-max pruning). */
+    const SkipEntry &
+    blockMeta() const
+    {
+        return view_.skips[block_];
+    }
+
+    /**
+     * Newly decoded byte region since the last call; true at most once
+     * per decode. @p postings receives the block's posting count.
+     */
+    bool
+    takeDecodedBlock(uint64_t &byte_begin, uint64_t &byte_end,
+                     uint32_t &postings)
+    {
+        if (!hasDecoded_)
+            return false;
+        byte_begin = decodedBegin_;
+        byte_end = decodedEnd_;
+        postings = decodedCount_;
+        hasDecoded_ = false;
+        return true;
+    }
+
+    /** Skip-table entries scanned by the last seek (metadata reads). */
+    bool
+    takeSkipScan(uint32_t &first, uint32_t &count)
+    {
+        if (scanBegin_ == scanEnd_)
+            return false;
+        first = scanBegin_;
+        count = scanEnd_ - scanBegin_;
+        scanBegin_ = scanEnd_ = 0;
+        return true;
+    }
+
+  private:
+    void
+    decodeBlock(uint32_t b)
+    {
+        const SkipEntry &e = view_.skips[b];
+        const uint32_t begin = b == 0 ? 0 : view_.skips[b - 1].endByte;
+        const uint8_t *p = view_.bytes + begin;
+        const uint8_t *end = view_.bytes + e.endByte;
+        DocId doc = b == 0 ? 0 : view_.skips[b - 1].lastDoc;
+        for (uint32_t i = 0; i < e.count; ++i) {
+            const uint64_t gap = varintDecode(p, end);
+            const uint64_t tf = varintDecode(p, end);
+            doc = (b == 0 && i == 0) ? static_cast<DocId>(gap)
+                                     : doc + static_cast<DocId>(gap);
+            docs_[i] = doc;
+            tfs_[i] = static_cast<uint32_t>(tf);
+            p += payloadBytes_ <= static_cast<size_t>(end - p)
+                ? payloadBytes_ : static_cast<size_t>(end - p);
+        }
+        block_ = b;
+        idx_ = 0;
+        blockLen_ = e.count;
+        decodedBegin_ = begin;
+        decodedEnd_ = e.endByte;
+        decodedCount_ = e.count;
+        hasDecoded_ = true;
+    }
+
+    PostingView view_;
+    uint32_t payloadBytes_ = 0;
+    uint32_t block_ = 0;    ///< current block index
+    uint32_t idx_ = 0;      ///< position within the decoded block
+    uint32_t blockLen_ = 0; ///< postings decoded in the current block
+    DocId docs_[kPostingBlockSize];
+    uint32_t tfs_[kPostingBlockSize];
+
+    // Instrumentation hand-off (drained by take*()).
+    uint64_t decodedBegin_ = 0;
+    uint64_t decodedEnd_ = 0;
+    uint32_t decodedCount_ = 0;
+    bool hasDecoded_ = false;
+    uint32_t scanBegin_ = 0;
+    uint32_t scanEnd_ = 0;
 };
 
 } // namespace wsearch

@@ -1,15 +1,19 @@
 /**
  * @file
- * Queries and the query generator. Query popularity is Zipf: a small
- * number of distinct queries dominate traffic, which is exactly what
- * the intermediate cache servers absorb (paper Figure 1) -- the leaf
- * then sees the cache-missed tail with far less repetition.
+ * Queries, the unified SearchRequest/SearchResponse pair every serving
+ * layer speaks (leaf, tree, worker pool, cluster), and the query
+ * generator. Query popularity is Zipf: a small number of distinct
+ * queries dominate traffic, which is exactly what the intermediate
+ * cache servers absorb (paper Figure 1) -- the leaf then sees the
+ * cache-missed tail with far less repetition.
  */
 
 #ifndef WSEARCH_SEARCH_QUERY_HH
 #define WSEARCH_SEARCH_QUERY_HH
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "search/types.hh"
@@ -25,6 +29,71 @@ struct Query
     std::vector<TermId> terms;    ///< 1..5 terms
     bool conjunctive = true;      ///< AND (intersection) vs OR
     uint32_t topK = 10;
+};
+
+/** Leaf execution algorithm hint carried by a SearchRequest. */
+enum class ExecAlgo : uint8_t
+{
+    kAuto,       ///< query.conjunctive decides; pruned fast path
+    kAnd,        ///< force conjunctive: skip-driven galloping AND
+    kOr,         ///< force disjunctive: MaxScore-pruned OR
+    kSequential, ///< exhaustive reference executor (no skips/pruning)
+};
+
+/** Per-query execution statistics. */
+struct ExecStats
+{
+    uint64_t postingsDecoded = 0;
+    uint64_t candidatesScored = 0;
+    uint64_t shardBytesRead = 0;
+    uint64_t blocksDecoded = 0;     ///< posting blocks bulk-decoded
+    uint64_t blocksSkipped = 0;     ///< blocks skipped over via seeks
+    uint64_t skipEntriesScanned = 0; ///< block-metadata reads
+
+    void
+    merge(const ExecStats &o)
+    {
+        postingsDecoded += o.postingsDecoded;
+        candidatesScored += o.candidatesScored;
+        shardBytesRead += o.shardBytesRead;
+        blocksDecoded += o.blocksDecoded;
+        blocksSkipped += o.blocksSkipped;
+        skipEntriesScanned += o.skipEntriesScanned;
+    }
+};
+
+/**
+ * One search call: the query plus its serving policy. Deadline and
+ * cancellation used to thread through ad-hoc parameters and shared
+ * flags per layer; every submit/serve/handle path now takes this pair.
+ */
+struct SearchRequest
+{
+    Query query;
+    /**
+     * Absolute steady-clock deadline (ns since the nowNs() epoch;
+     * 0 = none). Layers drop work whose deadline already passed, and
+     * the executor abandons mid-query once it notices expiry,
+     * returning whatever it has (degraded).
+     */
+    uint64_t deadlineNs = 0;
+    /** Optional cooperative cancel flag (e.g. a hedge twin won). */
+    std::shared_ptr<std::atomic<bool>> cancel;
+    ExecAlgo algo = ExecAlgo::kAuto;
+};
+
+/** Outcome of one search call. */
+struct SearchResponse
+{
+    std::vector<ScoredDoc> docs; ///< best-first top-k
+    ExecStats stats;
+    /** False when the request was dropped before executing (shed,
+     *  expired in queue, cancelled); docs is then empty. */
+    bool ok = true;
+    /** True when execution stopped early (deadline/cancel observed
+     *  mid-query) or coverage was partial; docs is still valid and
+     *  correctly ordered over what was evaluated. */
+    bool degraded = false;
 };
 
 /** Zipf-popularity query stream. */

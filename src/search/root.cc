@@ -64,32 +64,44 @@ ServingTree::ServingTree(std::vector<LeafServer *> leaves,
     wsearch_assert(!leaves_.empty());
 }
 
-std::vector<ScoredDoc>
-ServingTree::handle(uint32_t tid, const Query &query)
+SearchResponse
+ServingTree::handle(uint32_t tid, const SearchRequest &req)
 {
+    const Query &query = req.query;
+    SearchResponse resp;
     queries_.fetch_add(1, std::memory_order_relaxed);
     {
-        std::vector<ScoredDoc> cached;
         std::lock_guard<std::mutex> lk(cacheMu_);
-        if (cache_.lookup(query.id, &cached)) {
+        if (cache_.lookup(query.id, &resp.docs)) {
             cacheHits_.fetch_add(1, std::memory_order_relaxed);
-            return cached;
+            return resp;
         }
     }
     std::vector<std::vector<ScoredDoc>> partials;
     partials.reserve(leaves_.size());
     for (LeafServer *leaf : leaves_) {
         const uint32_t leaf_tid = tid % leaf->numThreads();
-        partials.push_back(leaf->serve(leaf_tid, query));
+        SearchResponse leaf_resp = leaf->serve(leaf_tid, req);
+        resp.stats.merge(leaf_resp.stats);
+        resp.degraded = resp.degraded || leaf_resp.degraded ||
+            !leaf_resp.ok;
+        partials.push_back(std::move(leaf_resp.docs));
         leafQueries_.fetch_add(1, std::memory_order_relaxed);
     }
-    std::vector<ScoredDoc> merged = RootServer::merge(partials,
-                                                      query.topK);
-    {
+    resp.docs = RootServer::merge(partials, query.topK);
+    if (!resp.degraded) {
         std::lock_guard<std::mutex> lk(cacheMu_);
-        cache_.insert(query.id, merged);
+        cache_.insert(query.id, resp.docs);
     }
-    return merged;
+    return resp;
+}
+
+std::vector<ScoredDoc>
+ServingTree::handle(uint32_t tid, const Query &query)
+{
+    SearchRequest req;
+    req.query = query;
+    return handle(tid, req).docs;
 }
 
 MultiLevelTree::MultiLevelTree(std::vector<LeafServer *> leaves,
@@ -106,16 +118,17 @@ MultiLevelTree::MultiLevelTree(std::vector<LeafServer *> leaves,
     }
 }
 
-std::vector<ScoredDoc>
-MultiLevelTree::handle(uint32_t tid, const Query &query)
+SearchResponse
+MultiLevelTree::handle(uint32_t tid, const SearchRequest &req)
 {
+    const Query &query = req.query;
+    SearchResponse resp;
     queries_.fetch_add(1, std::memory_order_relaxed);
     {
-        std::vector<ScoredDoc> cached;
         std::lock_guard<std::mutex> lk(cacheMu_);
-        if (cache_.lookup(query.id, &cached)) {
+        if (cache_.lookup(query.id, &resp.docs)) {
             cacheHits_.fetch_add(1, std::memory_order_relaxed);
-            return cached;
+            return resp;
         }
     }
     // Each intermediate parent merges its group's leaf results before
@@ -126,21 +139,32 @@ MultiLevelTree::handle(uint32_t tid, const Query &query)
         std::vector<std::vector<ScoredDoc>> partials;
         partials.reserve(group.size());
         for (LeafServer *leaf : group) {
-            partials.push_back(
-                leaf->serve(tid % leaf->numThreads(), query));
+            SearchResponse leaf_resp =
+                leaf->serve(tid % leaf->numThreads(), req);
+            resp.stats.merge(leaf_resp.stats);
+            resp.degraded = resp.degraded || leaf_resp.degraded ||
+                !leaf_resp.ok;
+            partials.push_back(std::move(leaf_resp.docs));
             leafQueries_.fetch_add(1, std::memory_order_relaxed);
         }
         parent_results.push_back(
             RootServer::merge(partials, query.topK));
         parentMerges_.fetch_add(1, std::memory_order_relaxed);
     }
-    std::vector<ScoredDoc> merged =
-        RootServer::merge(parent_results, query.topK);
-    {
+    resp.docs = RootServer::merge(parent_results, query.topK);
+    if (!resp.degraded) {
         std::lock_guard<std::mutex> lk(cacheMu_);
-        cache_.insert(query.id, merged);
+        cache_.insert(query.id, resp.docs);
     }
-    return merged;
+    return resp;
+}
+
+std::vector<ScoredDoc>
+MultiLevelTree::handle(uint32_t tid, const Query &query)
+{
+    SearchRequest req;
+    req.query = query;
+    return handle(tid, req).docs;
 }
 
 } // namespace wsearch

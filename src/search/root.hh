@@ -91,12 +91,17 @@ class ServingTree
     ServingTree(std::vector<LeafServer *> leaves, size_t cache_capacity);
 
     /**
-     * Handle one query end-to-end on logical thread @p tid.
+     * Handle one request end-to-end on logical thread @p tid.
      * Thread-safe for concurrent callers with distinct tids, each
      * tid < every leaf's numThreads (LeafServer::serve's contract);
      * the cache tier is mutex-guarded and the stats are atomic.
+     * Deadline/cancel propagate to every leaf; a degraded response
+     * (some leaf abandoned mid-query) is never cached.
      * @return final merged results (served from cache when possible)
      */
+    SearchResponse handle(uint32_t tid, const SearchRequest &req);
+
+    /** Deprecated shim: handle with default policy. */
     std::vector<ScoredDoc> handle(uint32_t tid, const Query &query);
 
     /** Consistent-enough counter snapshot, safe mid-traffic. */
@@ -148,9 +153,13 @@ class MultiLevelTree
                    size_t cache_capacity);
 
     /**
-     * Handle one query through cache -> parents -> root merge.
-     * Thread-safe under the same contract as ServingTree::handle.
+     * Handle one request through cache -> parents -> root merge.
+     * Thread-safe under the same contract as ServingTree::handle;
+     * degraded responses are never cached.
      */
+    SearchResponse handle(uint32_t tid, const SearchRequest &req);
+
+    /** Deprecated shim: handle with default policy. */
     std::vector<ScoredDoc> handle(uint32_t tid, const Query &query);
 
     /** Consistent-enough counter snapshot, safe mid-traffic. */

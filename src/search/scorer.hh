@@ -45,6 +45,21 @@ class Bm25Scorer
         return idf(doc_freq) * tfd * (k1_ + 1.0) / (tfd + norm);
     }
 
+    /**
+     * Upper bound of any per-(term, doc) contribution for a term whose
+     * largest tf is @p max_tf: the score is increasing in tf and
+     * decreasing in doc_len, so doc_len -> 0 (norm = k1 * (1 - b))
+     * bounds it. This is the list-wide MaxScore used for dynamic
+     * pruning; per-block max tf gives tighter per-block bounds.
+     */
+    double
+    maxScore(uint32_t max_tf, uint32_t doc_freq) const
+    {
+        const double tfd = static_cast<double>(max_tf);
+        const double norm = k1_ * (1.0 - b_);
+        return idf(doc_freq) * tfd * (k1_ + 1.0) / (tfd + norm);
+    }
+
     double k1() const { return k1_; }
     double b() const { return b_; }
 

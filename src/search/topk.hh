@@ -20,6 +20,14 @@ class TopK
   public:
     explicit TopK(size_t k) : k_(k) {}
 
+    /** Rebind to a new k and empty the heap (keeps capacity). */
+    void
+    reset(size_t k)
+    {
+        k_ = k;
+        heap_.clear();
+    }
+
     /** Offer a candidate; @return true when it entered the heap. */
     bool
     offer(const ScoredDoc &cand)

@@ -15,6 +15,7 @@
 #include "search/types.hh"
 #include "stats/access_kind.hh"
 #include "trace/record.hh"
+#include "util/rng.hh"
 
 namespace wsearch {
 
@@ -71,6 +72,41 @@ lexiconAddr(TermId term)
 {
     return kLexiconBase +
         static_cast<uint64_t>(term) * kLexiconEntryBytes;
+}
+
+/**
+ * Per-term skip tables (block metadata), laid out in posting-list
+ * order after the lexicon. Metadata is heap, not shard: the paper's
+ * leaf keeps index auxiliaries in ordinary heap while the shard bytes
+ * are a separate mapping. One 16 B entry per posting block; a table
+ * never outgrows a quarter of its list's encoded bytes (>= 2 B per
+ * posting, one entry per 128 postings), so offset/4 slots keep tables
+ * disjoint.
+ */
+constexpr uint64_t kSkipBase = vaddr::kHeapBase + (12ull << 40);
+constexpr uint32_t kSkipEntryBytes = 16;
+
+inline uint64_t
+skipAddr(uint64_t term_shard_offset, uint32_t entry)
+{
+    return kSkipBase + term_shard_offset / 4 +
+        static_cast<uint64_t>(entry) * kSkipEntryBytes;
+}
+
+/**
+ * Query-result cache tier buckets (the front tier that absorbs
+ * popular queries). Every lookup -- hit or miss -- probes one hashed
+ * bucket; shared across threads like the rest of the heap metadata.
+ */
+constexpr uint64_t kQueryCacheBase = vaddr::kHeapBase + (20ull << 40);
+constexpr uint32_t kQueryCacheBucketBytes = 64;
+constexpr uint64_t kQueryCacheBuckets = 1ull << 20;
+
+inline uint64_t
+queryCacheAddr(uint64_t query_id)
+{
+    return kQueryCacheBase +
+        (mix64(query_id) % kQueryCacheBuckets) * kQueryCacheBucketBytes;
 }
 
 /** Per-thread query scratch (accumulators, top-k): 32 MiB stride. */

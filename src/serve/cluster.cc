@@ -93,7 +93,7 @@ ClusterServer::replicaFor(uint64_t query_id, uint32_t shard,
 }
 
 void
-ClusterServer::issue(const Query &query, uint32_t shard,
+ClusterServer::issue(const SearchRequest &base, uint32_t shard,
                      uint32_t attempt, uint64_t t0,
                      uint64_t deadline_ns,
                      const std::shared_ptr<Gather> &gather,
@@ -122,23 +122,31 @@ ClusterServer::issue(const Query &query, uint32_t shard,
         }
         gather->cv.notify_all();
     };
-    LeafWorkerPool &pool =
-        *shards_[shard]->replicas[replicaFor(query.id, shard, attempt)];
+    LeafWorkerPool &pool = *shards_[shard]->replicas[replicaFor(
+        base.query.id, shard, attempt)];
+    // Per-attempt leaf request: the caller's query and algo hint, the
+    // effective deadline, and this shard's hedge-shared cancel flag.
+    SearchRequest leaf_req = base;
+    leaf_req.deadlineNs = deadline_ns;
+    leaf_req.cancel = cancel;
     // Non-blocking admission: a full replica queue sheds, which the
     // completion reports as a failed attempt (ok = false) -- blocking
     // here would stall the scatter loop behind one hot shard.
-    pool.submitAsync(query, /*block=*/false, deadline_ns, std::move(done),
-                     cancel);
+    pool.submitAsync(leaf_req, /*block=*/false, std::move(done));
 }
 
 ClusterResult
-ClusterServer::handle(const Query &query)
+ClusterServer::handle(const SearchRequest &req)
 {
+    const Query &query = req.query;
     const uint32_t num_shards = numShards();
     auto gather = std::make_shared<Gather>(num_shards);
     const uint64_t t0 = nowNs();
-    const uint64_t deadline =
-        cfg_.deadlineNs ? t0 + cfg_.deadlineNs : 0;
+    // A caller-supplied absolute deadline wins over the cluster-wide
+    // per-query budget.
+    const uint64_t deadline = req.deadlineNs != 0
+        ? req.deadlineNs
+        : (cfg_.deadlineNs ? t0 + cfg_.deadlineNs : 0);
 
     std::vector<std::shared_ptr<std::atomic<bool>>> cancels;
     cancels.reserve(num_shards);
@@ -146,7 +154,7 @@ ClusterServer::handle(const Query &query)
         cancels.push_back(std::make_shared<std::atomic<bool>>(false));
 
     for (uint32_t s = 0; s < num_shards; ++s)
-        issue(query, s, 0, t0, deadline, gather, cancels[s]);
+        issue(req, s, 0, t0, deadline, gather, cancels[s]);
 
     uint32_t hedges = 0;
     std::unique_lock<std::mutex> lk(gather->mu);
@@ -174,7 +182,7 @@ ClusterServer::handle(const Query &query)
             // which takes gather->mu: issue outside the lock.
             lk.unlock();
             for (const uint32_t s : stragglers)
-                issue(query, s, 1, t0, deadline, gather, cancels[s]);
+                issue(req, s, 1, t0, deadline, gather, cancels[s]);
             hedges = static_cast<uint32_t>(stragglers.size());
             lk.lock();
         }
@@ -237,6 +245,14 @@ ClusterServer::handle(const Query &query)
                 shardNs_.record(lat[s]);
     }
     return res;
+}
+
+ClusterResult
+ClusterServer::handle(const Query &query)
+{
+    SearchRequest req;
+    req.query = query;
+    return handle(req);
 }
 
 void

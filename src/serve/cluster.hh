@@ -136,11 +136,17 @@ class ClusterServer
     ClusterServer &operator=(const ClusterServer &) = delete;
 
     /**
-     * Scatter @p query to all shards, gather until the deadline, and
+     * Scatter @p req to all shards, gather until the deadline, and
      * merge. Thread-safe; blocks the calling thread for at most the
      * deadline (plus merge time). A degraded page is returned when
-     * shards miss -- never an error.
+     * shards miss -- never an error. req.deadlineNs, when set,
+     * overrides the cluster-wide ClusterConfig::deadlineNs; the algo
+     * hint is forwarded to every leaf. req.cancel is not forwarded
+     * (each shard gets its own hedge-shared flag).
      */
+    ClusterResult handle(const SearchRequest &req);
+
+    /** Deprecated shim: cluster-config deadline, default policy. */
     ClusterResult handle(const Query &query);
 
     /** Wait until every accepted leaf request has completed. */
@@ -185,8 +191,8 @@ class ClusterServer
     uint32_t replicaFor(uint64_t query_id, uint32_t shard,
                         uint32_t attempt) const;
 
-    void issue(const Query &query, uint32_t shard, uint32_t attempt,
-               uint64_t t0, uint64_t deadline_ns,
+    void issue(const SearchRequest &base, uint32_t shard,
+               uint32_t attempt, uint64_t t0, uint64_t deadline_ns,
                const std::shared_ptr<Gather> &gather,
                const std::shared_ptr<std::atomic<bool>> &cancel);
 

@@ -53,10 +53,30 @@ LeafWorkerPool::finish(ServeRequest &req,
 }
 
 LeafWorkerPool::Admit
+LeafWorkerPool::submit(const SearchRequest &request, bool block,
+                       Reply reply)
+{
+    ServeRequest req;
+    req.request = request;
+    req.reply = std::move(reply);
+    return enqueue(std::move(req), block);
+}
+
+LeafWorkerPool::Admit
+LeafWorkerPool::submitAsync(const SearchRequest &request, bool block,
+                            ServeCompletion done)
+{
+    ServeRequest req;
+    req.request = request;
+    req.done = std::move(done);
+    return enqueue(std::move(req), block);
+}
+
+LeafWorkerPool::Admit
 LeafWorkerPool::submit(const Query &query, bool block, Reply reply)
 {
     ServeRequest req;
-    req.query = query;
+    req.request.query = query;
     req.reply = std::move(reply);
     return enqueue(std::move(req), block);
 }
@@ -67,9 +87,9 @@ LeafWorkerPool::submitAsync(const Query &query, bool block,
                             std::shared_ptr<std::atomic<bool>> cancel)
 {
     ServeRequest req;
-    req.query = query;
-    req.deadlineNs = deadline_ns;
-    req.cancel = std::move(cancel);
+    req.request.query = query;
+    req.request.deadlineNs = deadline_ns;
+    req.request.cancel = std::move(cancel);
     req.done = std::move(done);
     return enqueue(std::move(req), block);
 }
@@ -86,7 +106,7 @@ LeafWorkerPool::enqueue(ServeRequest &&req, bool block)
         bool hit;
         {
             std::lock_guard<std::mutex> lk(cacheMu_);
-            hit = cache_.lookup(req.query.id,
+            hit = cache_.lookup(req.request.query.id,
                                 wants_results ? &hit_results : nullptr);
             if (hit)
                 cacheHitNs_.record(nowNs() - t0);
@@ -127,15 +147,16 @@ LeafWorkerPool::workerMain(uint32_t worker_id)
         // Drop rather than execute work nobody is waiting for: a
         // hedge whose twin already answered, or a request that sat in
         // the queue past its deadline.
-        const bool dropped_cancel =
-            req.cancel && req.cancel->load(std::memory_order_acquire);
+        const bool dropped_cancel = req.request.cancel &&
+            req.request.cancel->load(std::memory_order_acquire);
         const bool dropped_expired = !dropped_cancel &&
-            req.deadlineNs != 0 && start > req.deadlineNs;
+            req.request.deadlineNs != 0 &&
+            start > req.request.deadlineNs;
         if (dropped_cancel || dropped_expired) {
             (dropped_cancel ? cancelled_ : expired_)
                 .fetch_add(1, std::memory_order_relaxed);
             finish(req, {}, /*ok=*/false);
-            req.cancel.reset();
+            req.request.cancel.reset();
             completed_.fetch_add(1, std::memory_order_release);
             {
                 std::lock_guard<std::mutex> lk(drainMu_);
@@ -152,13 +173,14 @@ LeafWorkerPool::workerMain(uint32_t worker_id)
             sleepUntilNs(start + cfg_.interferencePauseNs);
         }
 
-        std::vector<ScoredDoc> results =
-            leaf_.serve(worker_id, req.query);
+        SearchResponse resp = leaf_.serve(worker_id, req.request);
         const uint64_t end = nowNs();
 
-        if (cfg_.cacheCapacity > 0) {
+        // Never cache a degraded page: the next asker deserves the
+        // full answer, not whatever a deadline-clipped run salvaged.
+        if (cfg_.cacheCapacity > 0 && !resp.degraded) {
             std::lock_guard<std::mutex> lk(cacheMu_);
-            cache_.insert(req.query.id, results);
+            cache_.insert(req.request.query.id, resp.docs);
         }
         {
             std::lock_guard<std::mutex> lk(slot.mu);
@@ -167,8 +189,8 @@ LeafWorkerPool::workerMain(uint32_t worker_id)
             slot.serviceNs.record(end - start);
             slot.sojournNs.record(end - req.enqueueNs);
         }
-        finish(req, std::move(results), /*ok=*/true);
-        req.cancel.reset();
+        finish(req, std::move(resp.docs), /*ok=*/resp.ok);
+        req.request.cancel.reset();
 
         completed_.fetch_add(1, std::memory_order_release);
         {

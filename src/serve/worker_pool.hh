@@ -55,22 +55,17 @@ using ServeCompletion =
 /** One queued unit of work. */
 struct ServeRequest
 {
-    Query query;
+    /**
+     * The query plus its serving policy. A worker that pops a request
+     * whose deadline already passed (or whose cancel flag is set --
+     * e.g. its hedge twin answered) drops it instead of executing:
+     * nobody is waiting, so the cycles are better spent on requests
+     * that can still make their deadlines. A request that starts in
+     * time still honors deadline/cancel *mid-query* inside the
+     * executor (degraded response).
+     */
+    SearchRequest request;
     uint64_t enqueueNs = 0; ///< stamped by submit()
-    /**
-     * Absolute steady-clock deadline (ns; 0 = none). A worker that
-     * pops an already-expired request drops it instead of executing:
-     * past the deadline nobody is waiting, so the cycles are better
-     * spent on requests that can still make theirs (graceful
-     * degradation under overload).
-     */
-    uint64_t deadlineNs = 0;
-    /**
-     * Optional cancellation flag shared between a primary and its
-     * hedge: set once either answers, so the loser is dropped when a
-     * worker pops it instead of burning a second execution.
-     */
-    std::shared_ptr<std::atomic<bool>> cancel;
     /** Optional completion channel (closed-loop clients, tests). */
     std::shared_ptr<std::promise<std::vector<ScoredDoc>>> reply;
     /** Optional async completion channel (scatter-gather clients). */
@@ -122,21 +117,30 @@ class LeafWorkerPool
     LeafWorkerPool &operator=(const LeafWorkerPool &) = delete;
 
     /**
-     * Submit one query.
+     * Submit one request (query + deadline/cancel/algo policy).
      * @param block true: wait for queue space (closed-loop); false:
      *              shed immediately when the queue is full (open-loop)
      * @param reply optional; fulfilled with the results on CacheHit /
      *              completion, or with {} when shed
      */
-    Admit submit(const Query &query, bool block,
+    Admit submit(const SearchRequest &request, bool block,
                  Reply reply = nullptr);
 
     /**
      * Asynchronous submit for scatter-gather callers: @p done fires
      * exactly once per call (ok=false on shed/expiry/cancel; possibly
-     * synchronously, see ServeCompletion). @p deadline_ns and
-     * @p cancel are forwarded into the request (0/null = unused).
+     * synchronously, see ServeCompletion). Deadline and cancel ride
+     * in @p request (0/null = unused).
      */
+    Admit submitAsync(const SearchRequest &request, bool block,
+                      ServeCompletion done);
+
+    /** Deprecated shim: submit with default policy. */
+    Admit submit(const Query &query, bool block,
+                 Reply reply = nullptr);
+
+    /** Deprecated shim: explicit deadline/cancel parameters. Prefer
+     *  submitAsync(SearchRequest, block, done). */
     Admit submitAsync(const Query &query, bool block,
                       uint64_t deadline_ns, ServeCompletion done,
                       std::shared_ptr<std::atomic<bool>> cancel =

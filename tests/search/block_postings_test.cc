@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "search/postings.hh"
+
+namespace wsearch {
+namespace {
+
+/** Build an encoded list of @p count postings with doc = i * gap. */
+struct BuiltList
+{
+    std::vector<uint8_t> bytes;
+    std::vector<SkipEntry> skips;
+    std::vector<Posting> plain;
+    PostingView view;
+
+    BuiltList(uint32_t count, uint32_t gap)
+    {
+        PostingListBuilder b;
+        for (uint32_t i = 0; i < count; ++i) {
+            const Posting p{i * gap, 1 + i % 7};
+            b.add(p.doc, p.tf);
+            plain.push_back(p);
+        }
+        skips = b.releaseSkips(); // must precede release()
+        bytes = b.release();
+        view.bytes = bytes.data();
+        view.size = bytes.size();
+        view.skips = skips.data();
+        view.numSkips = static_cast<uint32_t>(skips.size());
+        view.count = count;
+    }
+};
+
+TEST(BlockPostings, BuilderSkipsMatchRebuiltSkips)
+{
+    // Exact block multiples, short tails, and sub-block lists must
+    // all produce the same table as the decode-on-demand path.
+    for (const uint32_t count : {1u, 127u, 128u, 129u, 256u, 300u}) {
+        BuiltList l(count, 3);
+        std::vector<SkipEntry> rebuilt;
+        buildSkipEntries(l.bytes.data(),
+                         l.bytes.data() + l.bytes.size(), count, 0,
+                         rebuilt);
+        ASSERT_EQ(l.skips.size(), rebuilt.size()) << count;
+        for (size_t i = 0; i < rebuilt.size(); ++i) {
+            EXPECT_EQ(l.skips[i].lastDoc, rebuilt[i].lastDoc);
+            EXPECT_EQ(l.skips[i].endByte, rebuilt[i].endByte);
+            EXPECT_EQ(l.skips[i].count, rebuilt[i].count);
+            EXPECT_EQ(l.skips[i].maxTf, rebuilt[i].maxTf);
+        }
+    }
+}
+
+TEST(BlockPostings, TailEntryCoversFinalBytes)
+{
+    // Regression: releaseSkips() flushes the tail block against the
+    // *current* encoded length. Releasing the bytes first left the
+    // tail entry with endByte == 0, so the tail block decoded an
+    // empty range (doc = previous lastDoc, tf = 0).
+    BuiltList l(300, 2);
+    ASSERT_EQ(l.skips.size(), 3u);
+    EXPECT_EQ(l.skips.back().endByte, l.bytes.size());
+    EXPECT_EQ(l.skips.back().count, 300u - 2 * kPostingBlockSize);
+    EXPECT_EQ(l.skips.back().lastDoc, l.plain.back().doc);
+}
+
+TEST(BlockPostings, CursorMatchesSequentialDecode)
+{
+    for (const uint32_t count : {1u, 128u, 200u, 256u, 385u}) {
+        BuiltList l(count, 3);
+        BlockPostingCursor c;
+        c.reset(l.view, 0);
+        for (uint32_t i = 0; i < count; ++i) {
+            ASSERT_TRUE(c.valid()) << count << " @" << i;
+            EXPECT_EQ(c.doc(), l.plain[i].doc);
+            EXPECT_EQ(c.tf(), l.plain[i].tf);
+            c.next();
+        }
+        EXPECT_FALSE(c.valid());
+    }
+}
+
+TEST(BlockPostings, TailBlockFirstPostingDecodes)
+{
+    // The first posting after each block edge is where a broken
+    // boundary shows up (wrong base doc or byte offset).
+    BuiltList l(385, 3); // blocks of 128, 128, 128, 1
+    BlockPostingCursor c;
+    c.reset(l.view, 0);
+    for (uint32_t i = 0; i < 385; ++i, c.next()) {
+        if (i % kPostingBlockSize != 0)
+            continue;
+        ASSERT_TRUE(c.valid());
+        EXPECT_EQ(c.doc(), l.plain[i].doc) << "block edge @" << i;
+        EXPECT_EQ(c.tf(), l.plain[i].tf) << "block edge @" << i;
+    }
+}
+
+TEST(BlockPostings, SeekWithinBlock)
+{
+    BuiltList l(100, 5); // single block
+    BlockPostingCursor c;
+    c.reset(l.view, 0);
+    c.seek(251); // docs are multiples of 5: land on 255
+    ASSERT_TRUE(c.valid());
+    EXPECT_EQ(c.doc(), 255u);
+    c.seek(255); // exact hit is a no-op
+    EXPECT_EQ(c.doc(), 255u);
+    c.seek(100); // backwards target never rewinds
+    EXPECT_EQ(c.doc(), 255u);
+}
+
+TEST(BlockPostings, SeekAcrossBlockBoundaries)
+{
+    BuiltList l(385, 3); // blocks of 128, 128, 128, 1
+    const uint32_t edges[] = {127, 128, 255, 256, 383, 384};
+    for (const uint32_t i : edges) {
+        BlockPostingCursor c;
+        c.reset(l.view, 0);
+        c.seek(l.plain[i].doc);
+        ASSERT_TRUE(c.valid()) << "edge " << i;
+        EXPECT_EQ(c.doc(), l.plain[i].doc);
+        EXPECT_EQ(c.tf(), l.plain[i].tf);
+        // Target between this doc and the next lands on the next.
+        if (i + 1 < 385) {
+            c.seek(l.plain[i].doc + 1);
+            ASSERT_TRUE(c.valid());
+            EXPECT_EQ(c.doc(), l.plain[i + 1].doc);
+        }
+    }
+}
+
+TEST(BlockPostings, SeekIntoLastBlockTail)
+{
+    BuiltList l(300, 2); // tail block of 44 postings
+    BlockPostingCursor c;
+    c.reset(l.view, 0);
+    c.seek(l.plain[299].doc); // very last posting
+    ASSERT_TRUE(c.valid());
+    EXPECT_EQ(c.doc(), l.plain[299].doc);
+    EXPECT_EQ(c.tf(), l.plain[299].tf);
+    c.next();
+    EXPECT_FALSE(c.valid());
+}
+
+TEST(BlockPostings, SeekPastEndExhausts)
+{
+    BuiltList l(300, 2);
+    BlockPostingCursor c;
+    c.reset(l.view, 0);
+    c.seek(l.plain.back().doc + 1);
+    EXPECT_FALSE(c.valid());
+}
+
+TEST(BlockPostings, SeekSkipsInteriorBlocksWithoutDecoding)
+{
+    BuiltList l(5 * kPostingBlockSize, 3);
+    BlockPostingCursor c;
+    c.reset(l.view, 0);
+    uint64_t b0, b1;
+    uint32_t n;
+    ASSERT_TRUE(c.takeDecodedBlock(b0, b1, n)); // reset decoded block 0
+    EXPECT_EQ(b0, 0u);
+    EXPECT_EQ(n, kPostingBlockSize);
+
+    // Jump straight into block 3: blocks 1 and 2 are never decoded.
+    const uint32_t i = 3 * kPostingBlockSize + 7;
+    c.seek(l.plain[i].doc);
+    EXPECT_EQ(c.doc(), l.plain[i].doc);
+    ASSERT_TRUE(c.takeDecodedBlock(b0, b1, n));
+    EXPECT_EQ(b0, l.skips[2].endByte);
+    EXPECT_EQ(b1, l.skips[3].endByte);
+    EXPECT_FALSE(c.takeDecodedBlock(b0, b1, n)); // drained
+
+    // The scan read skip entries 1..3 (landing entry included).
+    uint32_t first, count;
+    ASSERT_TRUE(c.takeSkipScan(first, count));
+    EXPECT_EQ(first, 1u);
+    EXPECT_EQ(count, 3u);
+    EXPECT_FALSE(c.takeSkipScan(first, count)); // drained
+}
+
+TEST(BlockPostings, PayloadBytesAreSkipped)
+{
+    // Encode (gap, tf, 4-byte payload) postings by hand; the cursor
+    // must step over the payload on decode and at block edges.
+    const uint32_t count = 200, payload = 4;
+    std::vector<uint8_t> bytes;
+    std::vector<Posting> plain;
+    for (uint32_t i = 0; i < count; ++i) {
+        const Posting p{i * 7, 1 + i % 5};
+        varintEncode(i == 0 ? p.doc : 7u, bytes);
+        varintEncode(p.tf, bytes);
+        for (uint32_t b = 0; b < payload; ++b)
+            bytes.push_back(0xab);
+        plain.push_back(p);
+    }
+    std::vector<SkipEntry> skips;
+    buildSkipEntries(bytes.data(), bytes.data() + bytes.size(),
+                     count, payload, skips);
+    ASSERT_EQ(skips.size(), 2u);
+    EXPECT_EQ(skips.back().endByte, bytes.size());
+
+    PostingView v;
+    v.bytes = bytes.data();
+    v.size = bytes.size();
+    v.skips = skips.data();
+    v.numSkips = static_cast<uint32_t>(skips.size());
+    v.count = count;
+    BlockPostingCursor c;
+    c.reset(v, payload);
+    for (uint32_t i = 0; i < count; ++i) {
+        ASSERT_TRUE(c.valid()) << i;
+        EXPECT_EQ(c.doc(), plain[i].doc);
+        EXPECT_EQ(c.tf(), plain[i].tf);
+        c.next();
+    }
+    EXPECT_FALSE(c.valid());
+}
+
+TEST(BlockPostings, EmptyListIsInvalid)
+{
+    PostingListBuilder b;
+    std::vector<SkipEntry> skips = b.releaseSkips();
+    std::vector<uint8_t> bytes = b.release();
+    EXPECT_TRUE(skips.empty());
+    PostingView v;
+    v.bytes = bytes.data();
+    v.size = 0;
+    v.skips = skips.data();
+    v.numSkips = 0;
+    v.count = 0;
+    BlockPostingCursor c;
+    c.reset(v, 0);
+    EXPECT_FALSE(c.valid());
+    c.seek(42);
+    EXPECT_FALSE(c.valid());
+}
+
+TEST(BlockPostings, BlockMetaExposesMaxTf)
+{
+    BuiltList l(300, 2); // tfs cycle 1..7
+    BlockPostingCursor c;
+    c.reset(l.view, 0);
+    EXPECT_EQ(c.blockMeta().maxTf, 7u);
+    EXPECT_EQ(c.blockMeta().count, kPostingBlockSize);
+    c.seek(l.plain[2 * kPostingBlockSize].doc); // tail block
+    EXPECT_EQ(c.blockMeta().count, 300u - 2 * kPostingBlockSize);
+    EXPECT_EQ(c.blockMeta().lastDoc, l.plain.back().doc);
+}
+
+} // namespace
+} // namespace wsearch

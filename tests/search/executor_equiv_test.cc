@@ -1,0 +1,296 @@
+/**
+ * Equivalence suite: the pruned fast path (block cursors, skip-driven
+ * AND, MaxScore OR) must return byte-identical top-k -- same doc ids,
+ * bit-equal float scores, same order -- as the exhaustive sequential
+ * reference executor (ExecAlgo::kSequential), across corpus seeds,
+ * AND/OR, and k in {1, 10, 100}. This is the contract that lets
+ * bench_leaf's speedup claim stand for the same result set.
+ */
+
+#include <gtest/gtest.h>
+
+#include "search/executor.hh"
+
+namespace wsearch {
+namespace {
+
+MaterializedIndex
+makeIndex(uint64_t seed, uint32_t num_docs = 600,
+          uint32_t vocab = 300)
+{
+    CorpusConfig c;
+    c.numDocs = num_docs;
+    c.vocabSize = vocab;
+    c.avgDocLen = 60;
+    c.seed = seed;
+    CorpusGenerator corpus(c);
+    return MaterializedIndex(corpus);
+}
+
+SearchResponse
+run(QueryExecutor &ex, const Query &q, ExecAlgo algo)
+{
+    SearchRequest req;
+    req.query = q;
+    req.algo = algo;
+    return ex.execute(req);
+}
+
+/** Assert bit-identical result lists (doc ids, scores, order). */
+void
+expectIdentical(const SearchResponse &pruned,
+                const SearchResponse &seq, const Query &q)
+{
+    ASSERT_TRUE(pruned.ok);
+    ASSERT_TRUE(seq.ok);
+    EXPECT_FALSE(pruned.degraded);
+    ASSERT_EQ(pruned.docs.size(), seq.docs.size())
+        << "k=" << q.topK << " and=" << q.conjunctive;
+    for (size_t i = 0; i < pruned.docs.size(); ++i) {
+        EXPECT_EQ(pruned.docs[i].doc, seq.docs[i].doc) << "rank " << i;
+        // Byte-identical, not approximately equal: both engines
+        // accumulate contributions in the same canonical order.
+        EXPECT_EQ(pruned.docs[i].score, seq.docs[i].score)
+            << "rank " << i << " doc " << pruned.docs[i].doc;
+    }
+}
+
+TEST(ExecutorEquiv, PrunedMatchesSequentialAcrossSeeds)
+{
+    for (const uint64_t seed : {0xc0de5ull, 0x1234ull, 0xbeefull}) {
+        MaterializedIndex index = makeIndex(seed);
+        NullTouchSink sink;
+        QueryExecutor ex(index, 0, &sink);
+        QueryGenerator::Config qc;
+        qc.vocabSize = index.numTerms();
+        qc.distinctQueries = 4096;
+        qc.seed = seed ^ 0x5eedull;
+        QueryGenerator gen(qc);
+        for (uint32_t n = 0; n < 60; ++n) {
+            Query q = gen.materialize(n);
+            for (const uint32_t k : {1u, 10u, 100u}) {
+                q.topK = k;
+                const auto pruned = run(ex, q, ExecAlgo::kAuto);
+                const auto seq = run(ex, q, ExecAlgo::kSequential);
+                expectIdentical(pruned, seq, q);
+            }
+        }
+    }
+}
+
+TEST(ExecutorEquiv, ForcedAndOrOverridesMatchSequential)
+{
+    MaterializedIndex index = makeIndex(0xc0de5ull);
+    NullTouchSink sink;
+    QueryExecutor ex(index, 0, &sink);
+    for (TermId a = 0; a < 8; ++a) {
+        Query q;
+        q.terms = {a, static_cast<TermId>(a + 3),
+                   static_cast<TermId>(a + 40)};
+        q.topK = 10;
+        for (const ExecAlgo algo : {ExecAlgo::kAnd, ExecAlgo::kOr}) {
+            q.conjunctive = algo == ExecAlgo::kAnd;
+            const auto pruned = run(ex, q, algo);
+            const auto seq = run(ex, q, ExecAlgo::kSequential);
+            expectIdentical(pruned, seq, q);
+        }
+    }
+}
+
+TEST(ExecutorEquiv, DuplicateAndMissingTerms)
+{
+    MaterializedIndex index = makeIndex(0xc0de5ull);
+    NullTouchSink sink;
+    QueryExecutor ex(index, 0, &sink);
+    // Duplicate terms (each occurrence contributes) and a term with
+    // the smallest df in the vocabulary tail.
+    const std::vector<std::vector<TermId>> cases = {
+        {0, 0},
+        {5, 5, 5},
+        {0, 299},
+        {299, 298, 0},
+    };
+    for (const auto &terms : cases) {
+        for (const bool conj : {true, false}) {
+            Query q;
+            q.terms = terms;
+            q.conjunctive = conj;
+            q.topK = 10;
+            const auto pruned = run(ex, q, ExecAlgo::kAuto);
+            const auto seq = run(ex, q, ExecAlgo::kSequential);
+            expectIdentical(pruned, seq, q);
+        }
+    }
+}
+
+TEST(ExecutorEquiv, ProceduralShardMatchesSequential)
+{
+    ProceduralIndex::Config c;
+    c.numDocs = 50000;
+    c.numTerms = 2000;
+    c.maxDocFreq = 3000;
+    c.minDocFreq = 8;
+    c.payloadBytes = 8;
+    ProceduralIndex index(c);
+    NullTouchSink sink;
+    QueryExecutor ex(index, 0, &sink);
+    for (TermId a = 0; a < 12; a += 3) {
+        Query q;
+        q.terms = {a, static_cast<TermId>(a + 1),
+                   static_cast<TermId>(a + 50)};
+        for (const bool conj : {true, false}) {
+            q.conjunctive = conj;
+            for (const uint32_t k : {1u, 10u, 100u}) {
+                q.topK = k;
+                const auto pruned = run(ex, q, ExecAlgo::kAuto);
+                const auto seq = run(ex, q, ExecAlgo::kSequential);
+                expectIdentical(pruned, seq, q);
+            }
+        }
+    }
+}
+
+TEST(ExecutorEquiv, PruningDoesNotScoreMoreThanSequential)
+{
+    MaterializedIndex index = makeIndex(0xc0de5ull, 3000, 400);
+    NullTouchSink sink;
+    QueryExecutor ex(index, 0, &sink);
+    Query q;
+    q.terms = {0, 1, 7}; // common terms: pruning has work to do
+    q.conjunctive = false;
+    q.topK = 10;
+    const auto pruned = run(ex, q, ExecAlgo::kOr);
+    const ExecStats ps = ex.lastStats();
+    const auto seq = run(ex, q, ExecAlgo::kSequential);
+    const ExecStats ss = ex.lastStats();
+    expectIdentical(pruned, seq, q);
+    EXPECT_LT(ps.candidatesScored, ss.candidatesScored);
+    EXPECT_LE(ps.postingsDecoded, ss.postingsDecoded);
+}
+
+/** Two-term shard with full control over posting placement. */
+class TinyShard : public IndexShard
+{
+  public:
+    TinyShard(uint32_t num_docs,
+              const std::vector<std::vector<DocId>> &lists)
+        : numDocs_(num_docs)
+    {
+        uint64_t offset = 0;
+        for (const auto &docs : lists) {
+            TermData td;
+            PostingListBuilder b;
+            for (const DocId d : docs)
+                b.add(d, 2);
+            td.skips = b.releaseSkips(); // must precede release()
+            td.bytes = b.release();
+            td.info.docFreq = b.count();
+            td.info.maxTf = 2;
+            td.info.byteLength = td.bytes.size();
+            td.info.shardOffset = offset;
+            offset += td.info.byteLength;
+            terms_.push_back(std::move(td));
+        }
+        shardBytes_ = offset;
+    }
+
+    uint32_t numDocs() const override { return numDocs_; }
+    uint32_t
+    numTerms() const override
+    {
+        return static_cast<uint32_t>(terms_.size());
+    }
+    double avgDocLen() const override { return 60.0; }
+    TermInfo
+    termInfo(TermId t) const override
+    {
+        return terms_[t].info;
+    }
+    uint32_t docLen(DocId) const override { return 60; }
+    void
+    postingBytes(TermId t, std::vector<uint8_t> &out) const override
+    {
+        out = terms_[t].bytes;
+    }
+    bool
+    postingView(TermId t, PostingView &out) const override
+    {
+        const TermData &td = terms_[t];
+        out.bytes = td.bytes.data();
+        out.size = td.bytes.size();
+        out.skips = td.skips.data();
+        out.numSkips = static_cast<uint32_t>(td.skips.size());
+        out.count = td.info.docFreq;
+        return true;
+    }
+    uint64_t shardBytes() const override { return shardBytes_; }
+
+  private:
+    struct TermData
+    {
+        TermInfo info;
+        std::vector<uint8_t> bytes;
+        std::vector<SkipEntry> skips;
+    };
+    uint32_t numDocs_;
+    std::vector<TermData> terms_;
+    uint64_t shardBytes_ = 0;
+};
+
+TEST(ExecutorEquiv, ConjunctiveSkipsBlocks)
+{
+    // Term 0: every doc (79 blocks). Term 1: two docs far apart.
+    // Driving the rare list must land in only a handful of term-0
+    // blocks; the sequential engine decodes thousands of postings.
+    std::vector<DocId> dense(10000);
+    for (DocId d = 0; d < 10000; ++d)
+        dense[d] = d;
+    TinyShard index(10000, {dense, {5000, 9000}});
+    NullTouchSink sink;
+    QueryExecutor ex(index, 0, &sink);
+    Query q;
+    q.terms = {0, 1};
+    q.conjunctive = true;
+    q.topK = 10;
+    const auto pruned = run(ex, q, ExecAlgo::kAnd);
+    const ExecStats ps = ex.lastStats();
+    const auto seq = run(ex, q, ExecAlgo::kSequential);
+    const ExecStats ss = ex.lastStats();
+    expectIdentical(pruned, seq, q);
+    ASSERT_EQ(pruned.docs.size(), 2u);
+    EXPECT_GT(ps.blocksSkipped, 60u);
+    EXPECT_LT(ps.postingsDecoded, 1000u);
+    EXPECT_LT(ps.postingsDecoded, ss.postingsDecoded);
+    EXPECT_LT(ps.shardBytesRead, ss.shardBytesRead);
+}
+
+TEST(ExecutorEquiv, CancelledRequestIsDegraded)
+{
+    MaterializedIndex index = makeIndex(0xc0de5ull);
+    NullTouchSink sink;
+    QueryExecutor ex(index, 0, &sink);
+    SearchRequest req;
+    req.query.terms = {0, 1};
+    req.query.conjunctive = false;
+    req.cancel = std::make_shared<std::atomic<bool>>(true);
+    const SearchResponse resp = ex.execute(req);
+    EXPECT_FALSE(resp.ok);
+    EXPECT_TRUE(resp.degraded);
+    EXPECT_TRUE(resp.docs.empty());
+}
+
+TEST(ExecutorEquiv, ExpiredDeadlineIsDegraded)
+{
+    MaterializedIndex index = makeIndex(0xc0de5ull);
+    NullTouchSink sink;
+    QueryExecutor ex(index, 0, &sink);
+    SearchRequest req;
+    req.query.terms = {0, 1};
+    req.query.conjunctive = false;
+    req.deadlineNs = 1; // epoch + 1ns: long past
+    const SearchResponse resp = ex.execute(req);
+    EXPECT_TRUE(resp.degraded);
+}
+
+} // namespace
+} // namespace wsearch
