@@ -17,17 +17,24 @@
  *      answers cuts p99 for a few percent of extra executed leaf
  *      load (cancellation reclaims the rest).
  *
+ * A fourth section, selected with --faults, injects deterministic
+ * fault plans (serve/fault.hh) into a hedged, retrying cluster and
+ * reports what each failure mode costs: coverage, unavailable-shard
+ * counts, retry/hedge traffic, and the latency tail.
+ *
  * WSEARCH_FAST=1 shrinks the run; WSEARCH_CLUSTER_CLIENTS overrides
  * the closed-loop client count (default 4).
  */
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "search/corpus.hh"
 #include "search/sharding.hh"
 #include "serve/cluster.hh"
+#include "serve/fault.hh"
 #include "serve/loadgen.hh"
 #include "util/env.hh"
 #include "util/table.hh"
@@ -219,12 +226,114 @@ runBenchCluster()
     }
 }
 
+// --- 4. Fault sweep (--faults). ----------------------------------
+void
+runBenchFaults()
+{
+    const bool fast = fastMode();
+    const uint32_t clients = static_cast<uint32_t>(
+        envU64("WSEARCH_CLUSTER_CLIENTS", 4));
+    const uint32_t num_shards = 4;
+    const uint32_t per_shard_docs = fast ? 1000 : 2500;
+    CorpusConfig cc;
+    cc.vocabSize = 20000;
+    cc.numDocs = per_shard_docs * num_shards;
+    std::printf("# bench_cluster --faults: %u shards x 2 replicas, "
+                "%u docs/shard, %u clients\n",
+                num_shards, per_shard_docs, clients);
+    std::fflush(stdout);
+    const CorpusGenerator corpus(cc);
+    const ShardedIndex si = buildShardedIndex(corpus, num_shards);
+
+    LoadGenConfig lg;
+    lg.queries = trafficFor(cc);
+    lg.clients = clients;
+    lg.numQueries = fast ? 600 : 2000;
+
+    const uint64_t deadline = 10'000'000; // 10 ms
+    std::printf("deadline %s, hedge at 2 ms, 1 retry/shard, eject "
+                "after 3 failures\n",
+                fmtDeadline(deadline).c_str());
+
+    struct Scenario
+    {
+        const char *name;
+        void (*setup)(FaultPlan &);
+    };
+    const Scenario scenarios[] = {
+        {"none", [](FaultPlan &) {}},
+        // 1% of executions stall 2-8 ms: stragglers for hedging.
+        {"1% delay 2-8ms",
+         [](FaultPlan &p) {
+             p.defaultSpec().delayProb = 0.01;
+             p.defaultSpec().delayMinNs = 2'000'000;
+             p.defaultSpec().delayMaxNs = 8'000'000;
+         }},
+        // 5% of executions fail outright: retries go elsewhere.
+        {"5% failures",
+         [](FaultPlan &p) { p.defaultSpec().failProb = 0.05; }},
+        // One replica of shard 0 dead: its twin carries the shard.
+        {"1 replica crashed",
+         [](FaultPlan &p) { p.replicaSpec(0, 0).crashAtNs = 1; }},
+        // Shard 0 fully dead: coverage loss, fail-fast unavailable.
+        {"shard 0 crashed",
+         [](FaultPlan &p) {
+             p.replicaSpec(0, 0).crashAtNs = 1;
+             p.replicaSpec(0, 1).crashAtNs = 1;
+         }},
+        // Everything at once, milder rates.
+        {"combo",
+         [](FaultPlan &p) {
+             p.defaultSpec().delayProb = 0.005;
+             p.defaultSpec().delayMinNs = 2'000'000;
+             p.defaultSpec().delayMaxNs = 8'000'000;
+             p.defaultSpec().failProb = 0.02;
+             p.defaultSpec().dropProb = 0.005;
+             p.defaultSpec().corruptProb = 0.005;
+             p.replicaSpec(0, 0).crashAtNs = 1;
+         }},
+    };
+
+    Table t({"Scenario", "Coverage", "Unavail", "Retries", "Hedges",
+             "Wins", "p50 (us)", "p99 (us)", "p99.9 (us)"});
+    for (const Scenario &sc : scenarios) {
+        FaultPlan plan;
+        sc.setup(plan);
+        ClusterConfig cfg;
+        cfg.replicasPerShard = 2;
+        cfg.pool.numWorkers = 1;
+        cfg.deadlineNs = deadline;
+        cfg.hedgeDelayNs = 2'000'000;
+        cfg.maxRetriesPerShard = 1;
+        cfg.retryBackoffNs = 200'000;
+        cfg.ejectAfterFailures = 3;
+        cfg.probationNs = 50'000'000;
+        cfg.faults = &plan;
+        ClusterServer cluster(si.shardPtrs(), cfg);
+        const ClusterLoadReport r = runClusterClosedLoop(cluster, lg);
+        const LatencyHistogram &q = r.snap.queryNs;
+        t.addRow({sc.name, Table::fmtPct(r.snap.meanCoverage(), 2),
+                  Table::fmtInt(r.snap.shardsUnavailable),
+                  Table::fmtInt(r.snap.retriesIssued),
+                  Table::fmtInt(r.snap.hedgesIssued),
+                  Table::fmtInt(r.snap.hedgeWins),
+                  fmtUsec(q.quantile(0.50)), fmtUsec(q.quantile(0.99)),
+                  fmtUsec(q.quantile(0.999))});
+        std::fflush(stdout);
+    }
+    t.print();
+}
+
 } // namespace
 } // namespace wsearch
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (argc > 1 && std::strcmp(argv[1], "--faults") == 0) {
+        wsearch::runBenchFaults();
+        return 0;
+    }
     wsearch::runBenchCluster();
     return 0;
 }

@@ -20,16 +20,6 @@ constexpr uint64_t kAccumSlots = (8ull << 20) / kAccumEntryBytes;
 /** Deadline/cancel poll period (candidate evaluations). */
 constexpr uint64_t kStopCheckMask = 0x3FF;
 
-/** Steady-clock ns, same epoch as serve/clock.hh's nowNs(). */
-uint64_t
-steadyNowNs()
-{
-    return static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now().time_since_epoch())
-            .count());
-}
-
 /**
  * Conservative pruning margin. A document is pruned only when its
  * score upper bound falls below the top-k threshold by more than this
@@ -48,9 +38,9 @@ pruneEps(double bound)
 } // namespace
 
 QueryExecutor::QueryExecutor(const IndexShard &shard, uint32_t tid,
-                             TouchSink *sink)
+                             TouchSink *sink, const Clock *clock)
     : shard_(shard), scorer_(shard.numDocs(), shard.avgDocLen()),
-      tid_(tid), sink_(sink)
+      tid_(tid), sink_(sink), clock_(clock)
 {
     wsearch_assert(sink != nullptr);
 }
@@ -110,7 +100,7 @@ QueryExecutor::shouldStop(const SearchRequest &policy)
         degraded_ = true;
         return true;
     }
-    if (policy.deadlineNs != 0 && steadyNowNs() > policy.deadlineNs) {
+    if (policy.deadlineNs != 0 && timeNowNs() > policy.deadlineNs) {
         degraded_ = true;
         return true;
     }
@@ -482,7 +472,7 @@ QueryExecutor::executeImpl(const Query &q, const SearchRequest &policy)
     if ((policy.cancel &&
          policy.cancel->load(std::memory_order_acquire)) ||
         (policy.deadlineNs != 0 &&
-         steadyNowNs() > policy.deadlineNs)) {
+         timeNowNs() > policy.deadlineNs)) {
         resp.ok = false;
         resp.degraded = true;
         resp.stats = lastStats_;

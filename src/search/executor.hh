@@ -44,6 +44,7 @@
 #include "search/scorer.hh"
 #include "search/topk.hh"
 #include "search/touch.hh"
+#include "serve/clock.hh"
 
 namespace wsearch {
 
@@ -52,11 +53,14 @@ class QueryExecutor
 {
   public:
     /**
-     * @param tid  logical thread id (selects scratch/stack regions)
-     * @param sink touch receiver (never null; use NullTouchSink)
+     * @param tid   logical thread id (selects scratch/stack regions)
+     * @param sink  touch receiver (never null; use NullTouchSink)
+     * @param clock time source for mid-query deadline polls (null =
+     *              real steady clock; tests inject a SimClock so
+     *              deadline expiry is a function of virtual time)
      */
     QueryExecutor(const IndexShard &shard, uint32_t tid,
-                  TouchSink *sink);
+                  TouchSink *sink, const Clock *clock = nullptr);
 
     /**
      * Execute one request. All scratch (cursors, decode buffers,
@@ -105,6 +109,13 @@ class QueryExecutor
     double scoreCandidate(DocId doc, uint32_t tf, uint32_t doc_freq);
     bool shouldStop(const SearchRequest &policy);
 
+    /** Deadline time source (injected clock or the steady clock). */
+    uint64_t
+    timeNowNs() const
+    {
+        return clock_ ? clock_->now() : nowNs();
+    }
+
     /** Drain cursor instrumentation (decoded block -> shard touch,
      *  skip scan -> heap touch) after any cursor operation. */
     void drainCursor(TermCursorData &t);
@@ -134,6 +145,7 @@ class QueryExecutor
     Bm25Scorer scorer_;
     uint32_t tid_;
     TouchSink *sink_;
+    const Clock *clock_;
     ExecStats lastStats_;
     uint64_t scratchHighWater_ = 0;
     bool degraded_ = false; ///< deadline/cancel hit mid-query

@@ -9,8 +9,8 @@ LeafServer::LeafServer(const IndexShard &shard, const Config &cfg,
     wsearch_assert(cfg.numThreads >= 1);
     TouchSink *effective = sink ? sink : &nullSink_;
     for (uint32_t t = 0; t < cfg.numThreads; ++t) {
-        executors_.push_back(
-            std::make_unique<QueryExecutor>(shard, t, effective));
+        executors_.push_back(std::make_unique<QueryExecutor>(
+            shard, t, effective, cfg.clock));
     }
 }
 

@@ -53,6 +53,9 @@ class LeafServer
          */
         uint32_t docIdStride = 1;
         uint32_t docIdOffset = 0;
+        /** Time source for mid-query deadline polls (null = steady
+         *  clock; tests inject a SimClock). */
+        const Clock *clock = nullptr;
     };
 
     /**

@@ -57,6 +57,26 @@ RootServer::mergeWithCoverage(
     return page;
 }
 
+MergedPage
+RootServer::mergeWithCoverage(
+    const std::vector<std::vector<ScoredDoc>> &partials,
+    const std::vector<ShardOutcome> &outcomes, uint32_t k)
+{
+    wsearch_assert(partials.size() == outcomes.size());
+    MergedPage page;
+    page.shardsTotal = static_cast<uint32_t>(partials.size());
+    for (const ShardOutcome o : outcomes) {
+        if (o == ShardOutcome::Answered)
+            ++page.shardsAnswered;
+        else if (o == ShardOutcome::Unavailable)
+            ++page.shardsUnavailable;
+    }
+    page.docs = dedupMerge(partials, k, [&](size_t s) {
+        return outcomes[s] == ShardOutcome::Answered;
+    });
+    return page;
+}
+
 ServingTree::ServingTree(std::vector<LeafServer *> leaves,
                          size_t cache_capacity)
     : leaves_(std::move(leaves)), cache_(cache_capacity)

@@ -22,18 +22,36 @@
 namespace wsearch {
 
 /**
+ * How one shard resolved within a scatter-gather query. Missed and
+ * Unavailable both leave a coverage hole, but they mean different
+ * things operationally: Missed is deadline pressure (the shard was
+ * healthy, the query ran out of time), Unavailable is a shard whose
+ * every attempt failed or whose replicas are all down -- the signal
+ * an operator pages on.
+ */
+enum class ShardOutcome : uint8_t
+{
+    Answered,    ///< contributed a partial result
+    Missed,      ///< no answer by the deadline (shard may be fine)
+    Unavailable, ///< every replica crashed/failed; gave up early
+};
+
+/**
  * A merged result page tagged with shard coverage: how many of the
  * shards that should have contributed actually did. A degraded page
  * (shardsAnswered < shardsTotal) is still valid and correctly ordered
  * over the shards that answered -- the scatter-gather layer returns
  * it when a shard misses its deadline or sheds, rather than failing
- * the whole query.
+ * the whole query. shardsUnavailable counts the subset of the missing
+ * shards that were *known dead* (all replicas crashed or exhausted
+ * their retries) rather than merely late.
  */
 struct MergedPage
 {
     std::vector<ScoredDoc> docs;
     uint32_t shardsTotal = 0;
     uint32_t shardsAnswered = 0;
+    uint32_t shardsUnavailable = 0;
 
     bool degraded() const { return shardsAnswered < shardsTotal; }
 
@@ -69,6 +87,17 @@ class RootServer
     static MergedPage
     mergeWithCoverage(const std::vector<std::vector<ScoredDoc>> &partials,
                       const std::vector<uint8_t> &answered, uint32_t k);
+
+    /**
+     * Outcome-aware merge: only ShardOutcome::Answered partials
+     * contribute; Unavailable shards are additionally reported in
+     * MergedPage::shardsUnavailable so callers can distinguish "late"
+     * from "dead". @p outcomes must be the same length as @p partials.
+     */
+    static MergedPage
+    mergeWithCoverage(const std::vector<std::vector<ScoredDoc>> &partials,
+                      const std::vector<ShardOutcome> &outcomes,
+                      uint32_t k);
 };
 
 /** The full serving system: cache tier + root + leaves. */

@@ -5,25 +5,11 @@
 #include <condition_variable>
 #include <cstdio>
 
-#include "serve/clock.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 #include "util/table.hh"
 
 namespace wsearch {
-
-namespace {
-
-/** Steady-clock time point for an absolute nowNs()-epoch value. */
-std::chrono::steady_clock::time_point
-toTimePoint(uint64_t ns)
-{
-    return std::chrono::steady_clock::time_point(
-        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-            std::chrono::nanoseconds(ns)));
-}
-
-} // namespace
 
 /**
  * Shared gather state for one in-flight query. Completions (possibly
@@ -34,20 +20,50 @@ toTimePoint(uint64_t ns)
 struct ClusterServer::Gather
 {
     explicit Gather(uint32_t num_shards)
-        : got(num_shards, 0), partials(num_shards),
-          latNs(num_shards, 0), winner(num_shards, 0),
-          outstanding(num_shards, 0)
+        : got(num_shards, 0), dead(num_shards, 0),
+          partials(num_shards), latNs(num_shards, 0),
+          winnerIsHedge(num_shards, 0), outstanding(num_shards, 0),
+          attempts(num_shards, 0), retriesUsed(num_shards, 0),
+          nextRetryNs(num_shards, 0)
     {
     }
 
     std::mutex mu;
     std::condition_variable cv;
-    std::vector<uint8_t> got; ///< shard answered (first attempt wins)
+    std::vector<uint8_t> got;  ///< shard answered (first answer wins)
+    std::vector<uint8_t> dead; ///< provably unavailable this query
     std::vector<std::vector<ScoredDoc>> partials;
     std::vector<uint64_t> latNs;
-    std::vector<uint32_t> winner;      ///< attempt that answered
-    std::vector<uint32_t> outstanding; ///< attempts not yet resolved
+    std::vector<uint8_t> winnerIsHedge; ///< answer came from a hedge
+    std::vector<uint32_t> outstanding;  ///< attempts not yet resolved
+    std::vector<uint32_t> attempts;     ///< attempts issued so far
+    std::vector<uint32_t> retriesUsed;
+    std::vector<uint64_t> nextRetryNs; ///< retry due then (0 = none)
     uint32_t answered = 0;
+    bool hedgePending = false; ///< hedge phase has not fired yet
+    /**
+     * Bumped on every state change so the gather loop can tell a
+     * wakeup with news from a timeout: its wait predicate is
+     * "events moved or settled", which closes the race where a
+     * failure lands right after the loop computed its next wake time.
+     */
+    uint64_t events = 0;
+
+    /** Nothing more can change this query's page: every shard
+     *  answered, died, or has no attempt in flight, no retry
+     *  scheduled, and no hedge still to come. Caller holds mu. */
+    bool
+    settled() const
+    {
+        for (size_t s = 0; s < got.size(); ++s) {
+            if (got[s] || dead[s])
+                continue;
+            if (outstanding[s] != 0 || nextRetryNs[s] != 0 ||
+                hedgePending)
+                return false;
+        }
+        return true;
+    }
 };
 
 ClusterServer::ClusterServer(
@@ -66,10 +82,18 @@ ClusterServer::ClusterServer(
             pc.leaf.docIdStride = num_shards;
             pc.leaf.docIdOffset = s;
         }
+        pc.shardId = s;
+        if (cfg.clock)
+            pc.clock = cfg.clock;
+        if (cfg.faults)
+            pc.faults = cfg.faults;
+        state->health.resize(cfg.replicasPerShard);
         state->replicas.reserve(cfg.replicasPerShard);
-        for (uint32_t r = 0; r < cfg.replicasPerShard; ++r)
+        for (uint32_t r = 0; r < cfg.replicasPerShard; ++r) {
+            pc.replicaId = r;
             state->replicas.push_back(
                 std::make_unique<LeafWorkerPool>(*shards[s], pc));
+        }
         shards_.push_back(std::move(state));
     }
 }
@@ -84,69 +108,163 @@ ClusterServer::replicaFor(uint64_t query_id, uint32_t shard,
                           uint32_t attempt) const
 {
     // Hash-spread primaries across replicas; each further attempt
-    // moves to the next replica so a hedge lands on a different pool
-    // (when R >= 2) than the straggling primary.
+    // moves to the next replica so a hedge or retry lands on a
+    // different pool (when R >= 2) than the attempt it follows.
     const uint64_t h =
         mix64(query_id ^ (0x9e3779b97f4a7c15ull * (shard + 1)));
     return static_cast<uint32_t>((h + attempt) %
                                  cfg_.replicasPerShard);
 }
 
+bool
+ClusterServer::pickReplica(uint64_t query_id, uint32_t shard,
+                           uint32_t attempt, uint64_t now_ns,
+                           uint32_t *replica) const
+{
+    const uint32_t R = cfg_.replicasPerShard;
+    const uint32_t preferred = replicaFor(query_id, shard, attempt);
+    const ShardState &st = *shards_[shard];
+    std::lock_guard<std::mutex> lk(st.mu);
+    for (uint32_t i = 0; i < R; ++i) {
+        const uint32_t r = (preferred + i) % R;
+        // An ejected replica whose probation has lapsed is admitted
+        // again: this attempt is its probe. Success resets its
+        // health; another failure re-ejects it immediately.
+        if (st.health[r].ejectedUntilNs <= now_ns) {
+            *replica = r;
+            return true;
+        }
+    }
+    return false;
+}
+
 void
+ClusterServer::noteAttemptResult(uint32_t shard, uint32_t replica,
+                                 bool failed, uint64_t now_ns)
+{
+    ShardState &st = *shards_[shard];
+    std::lock_guard<std::mutex> lk(st.mu);
+    ReplicaHealth &h = st.health[replica];
+    if (!failed) {
+        h.consecutiveFailures = 0;
+        h.ejectedUntilNs = 0;
+        return;
+    }
+    ++st.failures;
+    ++h.consecutiveFailures;
+    if (cfg_.ejectAfterFailures != 0 &&
+        h.consecutiveFailures >= cfg_.ejectAfterFailures)
+        h.ejectedUntilNs = now_ns + cfg_.probationNs;
+}
+
+void
+ClusterServer::markUnavailable(const std::shared_ptr<Gather> &gather,
+                               uint32_t shard)
+{
+    std::lock_guard<std::mutex> lk(gather->mu);
+    if (!gather->got[shard])
+        gather->dead[shard] = 1;
+    ++gather->events;
+    gather->cv.notify_all();
+}
+
+bool
 ClusterServer::issue(const SearchRequest &base, uint32_t shard,
-                     uint32_t attempt, uint64_t t0,
-                     uint64_t deadline_ns,
+                     bool is_hedge, uint64_t t0, uint64_t deadline_ns,
                      const std::shared_ptr<Gather> &gather,
                      const std::shared_ptr<std::atomic<bool>> &cancel)
 {
+    uint32_t attempt;
+    {
+        std::lock_guard<std::mutex> lk(gather->mu);
+        attempt = gather->attempts[shard]++;
+    }
+    uint32_t replica = 0;
+    if (!pickReplica(base.query.id, shard, attempt, clock().now(),
+                     &replica))
+        return false;
     {
         std::lock_guard<std::mutex> lk(gather->mu);
         ++gather->outstanding[shard];
     }
-    if (attempt > 0) {
+    if (is_hedge) {
         std::lock_guard<std::mutex> lk(shards_[shard]->mu);
         ++shards_[shard]->hedges;
     }
-    auto done = [gather, shard, attempt, t0,
-                 cancel](std::vector<ScoredDoc> &&results, bool ok) {
+    auto done = [this, gather, shard, replica, is_hedge, t0,
+                 cancel](std::vector<ScoredDoc> &&results,
+                         ServeOutcome outcome) {
+        const uint64_t now = clock().now();
+        // Shed/Refused/Failed are replica problems; Expired/Cancelled
+        // (deadline pressure, a hedge twin winning) say nothing about
+        // the replica. Health first (ShardState::mu), gather state
+        // second -- the two locks are never held together.
+        const bool failed = outcome == ServeOutcome::Shed ||
+            outcome == ServeOutcome::Refused ||
+            outcome == ServeOutcome::Failed;
+        if (outcome == ServeOutcome::Ok || failed)
+            noteAttemptResult(shard, replica, failed, now);
         std::lock_guard<std::mutex> lk(gather->mu);
         --gather->outstanding[shard];
-        if (ok && !gather->got[shard]) {
+        ++gather->events;
+        if (outcome == ServeOutcome::Ok && !gather->got[shard]) {
             gather->got[shard] = 1;
             gather->partials[shard] = std::move(results);
-            gather->latNs[shard] = nowNs() - t0;
-            gather->winner[shard] = attempt;
+            gather->latNs[shard] = now - t0;
+            gather->winnerIsHedge[shard] = is_hedge ? 1 : 0;
             ++gather->answered;
             // First answer wins; stop the twin before it executes.
             cancel->store(true, std::memory_order_release);
+        } else if (failed && !gather->got[shard]) {
+            if (gather->retriesUsed[shard] <
+                cfg_.maxRetriesPerShard) {
+                // Schedule a backoff retry; the gather loop issues it
+                // (a completion must not call back into a pool).
+                const uint32_t used = gather->retriesUsed[shard]++;
+                gather->nextRetryNs[shard] = now +
+                    (cfg_.retryBackoffNs << std::min(used, 10u));
+            } else if (gather->outstanding[shard] == 0 &&
+                       gather->nextRetryNs[shard] == 0) {
+                // Retries exhausted and nothing left in flight: the
+                // shard is provably down for this query. Fail fast
+                // rather than burn the rest of the deadline.
+                gather->dead[shard] = 1;
+            }
         }
         gather->cv.notify_all();
     };
-    LeafWorkerPool &pool = *shards_[shard]->replicas[replicaFor(
-        base.query.id, shard, attempt)];
+    LeafWorkerPool &pool = *shards_[shard]->replicas[replica];
     // Per-attempt leaf request: the caller's query and algo hint, the
     // effective deadline, and this shard's hedge-shared cancel flag.
     SearchRequest leaf_req = base;
     leaf_req.deadlineNs = deadline_ns;
     leaf_req.cancel = cancel;
     // Non-blocking admission: a full replica queue sheds, which the
-    // completion reports as a failed attempt (ok = false) -- blocking
-    // here would stall the scatter loop behind one hot shard.
+    // completion reports as a failed attempt -- blocking here would
+    // stall the scatter loop behind one hot shard.
     pool.submitAsync(leaf_req, /*block=*/false, std::move(done));
+    return true;
 }
 
 ClusterResult
 ClusterServer::handle(const SearchRequest &req)
 {
+    Clock &clk = clock();
     const Query &query = req.query;
     const uint32_t num_shards = numShards();
     auto gather = std::make_shared<Gather>(num_shards);
-    const uint64_t t0 = nowNs();
+    const uint64_t t0 = clk.now();
     // A caller-supplied absolute deadline wins over the cluster-wide
     // per-query budget.
     const uint64_t deadline = req.deadlineNs != 0
         ? req.deadlineNs
         : (cfg_.deadlineNs ? t0 + cfg_.deadlineNs : 0);
+
+    gather->hedgePending =
+        cfg_.hedgeDelayNs != 0 && cfg_.maxHedgesPerQuery > 0;
+    const uint64_t hedge_at = deadline
+        ? std::min(t0 + cfg_.hedgeDelayNs, deadline)
+        : t0 + cfg_.hedgeDelayNs;
 
     std::vector<std::shared_ptr<std::atomic<bool>>> cancels;
     cancels.reserve(num_shards);
@@ -154,94 +272,144 @@ ClusterServer::handle(const SearchRequest &req)
         cancels.push_back(std::make_shared<std::atomic<bool>>(false));
 
     for (uint32_t s = 0; s < num_shards; ++s)
-        issue(req, s, 0, t0, deadline, gather, cancels[s]);
+        if (!issue(req, s, /*is_hedge=*/false, t0, deadline, gather,
+                   cancels[s]))
+            markUnavailable(gather, s);
 
     uint32_t hedges = 0;
-    std::unique_lock<std::mutex> lk(gather->mu);
+    uint32_t retries = 0;
 
-    // Hedge phase: wait out the hedge delay, then back up whichever
-    // shards are still silent (the stragglers), bounded by
-    // maxHedgesPerQuery.
-    if (cfg_.hedgeDelayNs != 0 && cfg_.maxHedgesPerQuery > 0) {
-        const uint64_t hedge_at = deadline
-            ? std::min(t0 + cfg_.hedgeDelayNs, deadline)
-            : t0 + cfg_.hedgeDelayNs;
-        gather->cv.wait_until(lk, toTimePoint(hedge_at), [&] {
-            return gather->answered == num_shards;
-        });
-        if (gather->answered < num_shards &&
-            (deadline == 0 || nowNs() < deadline)) {
+    // Gather event loop: sleep until the next actionable instant (a
+    // due retry, the hedge fire, the deadline) or a completion event,
+    // act, repeat -- until nothing more can change the page.
+    std::unique_lock<std::mutex> lk(gather->mu);
+    uint64_t seen = gather->events;
+    while (!gather->settled()) {
+        const uint64_t now = clk.now();
+        if (deadline && now >= deadline)
+            break;
+
+        std::vector<uint32_t> due;
+        for (uint32_t s = 0; s < num_shards; ++s) {
+            if (!gather->got[s] && !gather->dead[s] &&
+                gather->nextRetryNs[s] != 0 &&
+                gather->nextRetryNs[s] <= now) {
+                gather->nextRetryNs[s] = 0;
+                due.push_back(s);
+            }
+        }
+        if (!due.empty()) {
+            // Submitting can complete synchronously (shed/refused),
+            // which takes gather->mu: issue outside the lock.
+            lk.unlock();
+            for (const uint32_t s : due) {
+                {
+                    std::lock_guard<std::mutex> slk(shards_[s]->mu);
+                    ++shards_[s]->retries;
+                }
+                ++retries;
+                if (!issue(req, s, /*is_hedge=*/false, t0, deadline,
+                           gather, cancels[s]))
+                    markUnavailable(gather, s);
+            }
+            lk.lock();
+            seen = gather->events;
+            continue;
+        }
+
+        if (gather->hedgePending && now >= hedge_at) {
+            // Hedge phase (fires once): back up whichever shards are
+            // still silent, bounded by maxHedgesPerQuery.
+            gather->hedgePending = false;
             std::vector<uint32_t> stragglers;
             for (uint32_t s = 0; s < num_shards &&
                  stragglers.size() < cfg_.maxHedgesPerQuery;
                  ++s) {
-                if (!gather->got[s])
+                if (!gather->got[s] && !gather->dead[s])
                     stragglers.push_back(s);
             }
-            // Submitting can complete synchronously (shed/cache hit),
-            // which takes gather->mu: issue outside the lock.
             lk.unlock();
-            for (const uint32_t s : stragglers)
-                issue(req, s, 1, t0, deadline, gather, cancels[s]);
-            hedges = static_cast<uint32_t>(stragglers.size());
+            for (const uint32_t s : stragglers) {
+                if (issue(req, s, /*is_hedge=*/true, t0, deadline,
+                          gather, cancels[s]))
+                    ++hedges;
+                else
+                    markUnavailable(gather, s);
+            }
             lk.lock();
+            seen = gather->events;
+            continue;
         }
+
+        uint64_t wake = deadline;
+        if (gather->hedgePending)
+            wake = wake ? std::min(wake, hedge_at) : hedge_at;
+        for (uint32_t s = 0; s < num_shards; ++s)
+            if (!gather->got[s] && gather->nextRetryNs[s] != 0)
+                wake = wake
+                    ? std::min(wake, gather->nextRetryNs[s])
+                    : gather->nextRetryNs[s];
+        clk.waitUntil(gather->cv, lk, wake, [&] {
+            return gather->events != seen || gather->settled();
+        });
+        seen = gather->events;
     }
 
-    // Gather phase: all shards answered, every remaining attempt
-    // failed (shed -- nothing more will arrive), or deadline.
-    const auto settled = [&] {
-        if (gather->answered == num_shards)
-            return true;
-        for (uint32_t s = 0; s < num_shards; ++s)
-            if (!gather->got[s] && gather->outstanding[s] != 0)
-                return false;
-        return true;
-    };
-    if (deadline)
-        gather->cv.wait_until(lk, toTimePoint(deadline), settled);
-    else
-        gather->cv.wait(lk, settled);
-
     ClusterResult res;
+    std::vector<ShardOutcome> outcomes(num_shards,
+                                       ShardOutcome::Missed);
+    for (uint32_t s = 0; s < num_shards; ++s) {
+        outcomes[s] = gather->got[s] ? ShardOutcome::Answered
+            : gather->dead[s]        ? ShardOutcome::Unavailable
+                                     : ShardOutcome::Missed;
+    }
     res.page = RootServer::mergeWithCoverage(gather->partials,
-                                             gather->got, query.topK);
+                                             outcomes, query.topK);
     res.hedges = hedges;
+    res.retries = retries;
     // Copy what the stats need: stragglers may still mutate the
     // gather block after the lock is released.
-    const std::vector<uint8_t> got = gather->got;
     const std::vector<uint64_t> lat = gather->latNs;
-    const std::vector<uint32_t> winner = gather->winner;
+    const std::vector<uint8_t> winner_is_hedge = gather->winnerIsHedge;
     lk.unlock();
-    res.latencyNs = nowNs() - t0;
+    res.latencyNs = clk.now() - t0;
 
     uint32_t wins = 0;
     for (uint32_t s = 0; s < num_shards; ++s) {
         ShardState &st = *shards_[s];
         std::lock_guard<std::mutex> slk(st.mu);
-        if (got[s]) {
+        switch (outcomes[s]) {
+        case ShardOutcome::Answered:
             ++st.answered;
             st.latencyNs.record(lat[s]);
-            if (winner[s] > 0) {
+            if (winner_is_hedge[s]) {
                 ++st.hedgeWins;
                 ++wins;
             }
-        } else {
+            break;
+        case ShardOutcome::Unavailable:
             ++st.missed;
+            ++st.unavailable;
+            break;
+        case ShardOutcome::Missed:
+            ++st.missed;
+            break;
         }
     }
     {
-        std::lock_guard<std::mutex> clk(statsMu_);
+        std::lock_guard<std::mutex> stats_lk(statsMu_);
         ++queries_;
         if (res.page.degraded())
             ++degraded_;
         hedgesIssued_ += hedges;
         hedgeWins_ += wins;
+        retriesIssued_ += retries;
         shardAnswers_ += res.page.shardsAnswered;
         shardMisses_ += num_shards - res.page.shardsAnswered;
+        shardsUnavailable_ += res.page.shardsUnavailable;
         queryNs_.record(res.latencyNs);
         for (uint32_t s = 0; s < num_shards; ++s)
-            if (got[s])
+            if (outcomes[s] == ShardOutcome::Answered)
                 shardNs_.record(lat[s]);
     }
     return res;
@@ -281,11 +449,14 @@ ClusterServer::snapshot() const
         snap.degraded = degraded_;
         snap.hedgesIssued = hedgesIssued_;
         snap.hedgeWins = hedgeWins_;
+        snap.retriesIssued = retriesIssued_;
         snap.shardAnswers = shardAnswers_;
         snap.shardMisses = shardMisses_;
+        snap.shardsUnavailable = shardsUnavailable_;
         snap.queryNs = queryNs_;
         snap.shardNs = shardNs_;
     }
+    const uint64_t now = clock().now();
     snap.shards.reserve(shards_.size());
     for (const auto &shard : shards_) {
         ShardSnapshot ss;
@@ -293,8 +464,14 @@ ClusterServer::snapshot() const
             std::lock_guard<std::mutex> lk(shard->mu);
             ss.answered = shard->answered;
             ss.missed = shard->missed;
+            ss.unavailable = shard->unavailable;
             ss.hedges = shard->hedges;
             ss.hedgeWins = shard->hedgeWins;
+            ss.retries = shard->retries;
+            ss.failures = shard->failures;
+            for (const ReplicaHealth &h : shard->health)
+                if (h.ejectedUntilNs > now)
+                    ++ss.replicasEjected;
             ss.latencyNs = shard->latencyNs;
         }
         for (const auto &pool : shard->replicas)
@@ -315,6 +492,12 @@ printClusterReport(const ClusterSnapshot &snap, double duration_sec)
     summary.addRow({"hedges issued",
                     Table::fmtInt(snap.hedgesIssued)});
     summary.addRow({"hedge wins", Table::fmtInt(snap.hedgeWins)});
+    if (snap.retriesIssued || snap.shardsUnavailable) {
+        summary.addRow({"retries issued",
+                        Table::fmtInt(snap.retriesIssued)});
+        summary.addRow({"shards unavailable",
+                        Table::fmtInt(snap.shardsUnavailable)});
+    }
     summary.addRow({"leaf executed",
                     Table::fmtInt(snap.leafExecuted())});
     if (duration_sec > 0) {
@@ -335,15 +518,17 @@ printClusterReport(const ClusterSnapshot &snap, double duration_sec)
                     fmtUsec(snap.shardNs.quantile(0.99))});
     summary.print();
 
-    Table shards({"Shard", "Answered", "Missed", "Hedges", "Wins",
-                  "p50 (us)", "p99 (us)", "Executed", "Expired",
-                  "Cancelled", "Shed"});
+    Table shards({"Shard", "Answered", "Missed", "Unavail", "Hedges",
+                  "Wins", "Retries", "p50 (us)", "p99 (us)",
+                  "Executed", "Expired", "Cancelled", "Shed"});
     for (size_t s = 0; s < snap.shards.size(); ++s) {
         const ShardSnapshot &ss = snap.shards[s];
         shards.addRow({Table::fmtInt(s), Table::fmtInt(ss.answered),
                        Table::fmtInt(ss.missed),
+                       Table::fmtInt(ss.unavailable),
                        Table::fmtInt(ss.hedges),
                        Table::fmtInt(ss.hedgeWins),
+                       Table::fmtInt(ss.retries),
                        fmtUsec(ss.latencyNs.quantile(0.50)),
                        fmtUsec(ss.latencyNs.quantile(0.99)),
                        Table::fmtInt(ss.pool.executed()),

@@ -13,13 +13,30 @@
  *    not answered get one backup request on another replica; the
  *    first answer wins and a shared cancel flag keeps the loser from
  *    executing (bounded extra load, "The Tail at Scale" style),
+ *  - retries *failed* attempts (shed, refused by a crashed replica,
+ *    or an injected execution failure) on another replica with
+ *    doubling backoff, bounded by maxRetriesPerShard -- failures are
+ *    distinct from silence: a failure is a signal to go elsewhere
+ *    immediately, not to wait out the hedge delay,
+ *  - tracks per-replica health: consecutive failures eject a replica
+ *    for probationNs, after which one probe query re-admits it (and a
+ *    failed probe re-ejects it on the spot),
  *  - gathers until the deadline and merges whatever answered into a
  *    degraded-but-valid page tagged with shard coverage
- *    (MergedPage, e.g. 7/8 shards answered).
+ *    (MergedPage, e.g. 7/8 shards answered). A shard whose every
+ *    replica is down fails fast: it is marked Unavailable the moment
+ *    its last attempt resolves, so the query does not burn its
+ *    deadline waiting for a shard that provably cannot answer.
  *
- * Observability: per-query latency, coverage, hedge counts, and
- * per-shard answer-latency histograms, plus the underlying pools'
- * ServeSnapshots, all safe to take mid-traffic.
+ * Observability: per-query latency, coverage, hedge/retry counts,
+ * unavailable-shard counts, and per-shard answer-latency histograms,
+ * plus the underlying pools' ServeSnapshots, all safe to take
+ * mid-traffic.
+ *
+ * Determinism hooks: a ClusterConfig::clock (fanned out to every
+ * pool and leaf) virtualizes all timing, and a
+ * ClusterConfig::faults plan injects crashes/delays/failures at the
+ * replicas -- see serve/clock.hh and serve/fault.hh.
  */
 
 #ifndef WSEARCH_SERVE_CLUSTER_HH
@@ -33,6 +50,8 @@
 #include "search/index.hh"
 #include "search/query.hh"
 #include "search/root.hh"
+#include "serve/clock.hh"
+#include "serve/fault.hh"
 #include "serve/serve_stats.hh"
 #include "serve/worker_pool.hh"
 
@@ -44,7 +63,9 @@ struct ClusterConfig
     /** Replica pools per shard (>= 2 for hedging to have a target). */
     uint32_t replicasPerShard = 1;
     /** Per-replica pool config; leaf docIdStride/docIdOffset are
-     *  overwritten per shard when partitionDocIds is set. */
+     *  overwritten per shard when partitionDocIds is set, and
+     *  shardId/replicaId are always overwritten with the replica's
+     *  cluster coordinates. */
     LeafWorkerPool::Config pool;
     /** Per-query budget (ns; 0 = wait for every shard, no deadline). */
     uint64_t deadlineNs = 50'000'000;
@@ -52,9 +73,26 @@ struct ClusterConfig
     uint64_t hedgeDelayNs = 0;
     /** Backup requests per query (caps hedge load amplification). */
     uint32_t maxHedgesPerQuery = 1;
+    /** Retries per shard per query after *failed* attempts (shed /
+     *  refused / injected failure; 0 = no retries). */
+    uint32_t maxRetriesPerShard = 1;
+    /** Base backoff before a retry; doubles per retry (ns). */
+    uint64_t retryBackoffNs = 100'000;
+    /** Eject a replica after this many consecutive failed attempts
+     *  (0 = never eject). */
+    uint32_t ejectAfterFailures = 3;
+    /** How long an ejected replica sits out before one probe query
+     *  re-admits it (ns). */
+    uint64_t probationNs = 50'000'000;
     /** Set each shard's leaf doc-id mapping to (stride = S,
      *  offset = shard) so results carry global doc ids. */
     bool partitionDocIds = true;
+    /** Time source for gather waits, backoff, and ejection windows;
+     *  fanned out to every pool and leaf (null = real clock). */
+    Clock *clock = nullptr;
+    /** Fault injector fanned out to every replica pool (null = none;
+     *  must outlive the cluster). */
+    const FaultInjector *faults = nullptr;
 };
 
 /** Outcome of one scatter-gather query. */
@@ -62,16 +100,21 @@ struct ClusterResult
 {
     MergedPage page;       ///< merged top-k + coverage tag
     uint32_t hedges = 0;   ///< backup requests issued for this query
+    uint32_t retries = 0;  ///< retry attempts issued for this query
     uint64_t latencyNs = 0;
 };
 
 /** Per-shard slice of a ClusterSnapshot. */
 struct ShardSnapshot
 {
-    uint64_t answered = 0;  ///< queries this shard answered in time
-    uint64_t missed = 0;    ///< queries it missed (deadline or shed)
+    uint64_t answered = 0; ///< queries this shard answered in time
+    uint64_t missed = 0;   ///< queries with no answer (incl. unavail)
+    uint64_t unavailable = 0; ///< misses where it was provably down
     uint64_t hedges = 0;    ///< backup requests issued to it
     uint64_t hedgeWins = 0; ///< answers that came from the backup
+    uint64_t retries = 0;   ///< retry attempts issued to it
+    uint64_t failures = 0;  ///< attempts that failed (shed/refused/..)
+    uint32_t replicasEjected = 0; ///< replicas ejected right now
     LatencyHistogram latencyNs; ///< scatter-to-answer latency
     ServeSnapshot pool;         ///< merged over the shard's replicas
 };
@@ -83,8 +126,12 @@ struct ClusterSnapshot
     uint64_t degraded = 0; ///< queries answered by < all shards
     uint64_t hedgesIssued = 0;
     uint64_t hedgeWins = 0;
+    uint64_t retriesIssued = 0;
     uint64_t shardAnswers = 0; ///< sum of per-query answered counts
     uint64_t shardMisses = 0;
+    /** Sum of per-query unavailable-shard counts (subset of
+     *  shardMisses: the misses that were proven dead, not late). */
+    uint64_t shardsUnavailable = 0;
 
     LatencyHistogram queryNs; ///< end-to-end scatter-gather latency
     LatencyHistogram shardNs; ///< per-shard answer latency, all shards
@@ -172,29 +219,74 @@ class ClusterServer
         return *shards_[shard]->replicas[replica];
     }
 
+    /** The replica a fault-free primary attempt of (@p query_id,
+     *  @p shard) lands on -- lets tests aim faults at the exact
+     *  replica a query will use. */
+    uint32_t
+    plannedReplica(uint64_t query_id, uint32_t shard) const
+    {
+        return replicaFor(query_id, shard, 0);
+    }
+
   private:
     struct Gather;
+
+    /** Ejection state of one replica (guarded by ShardState::mu). */
+    struct ReplicaHealth
+    {
+        uint32_t consecutiveFailures = 0;
+        uint64_t ejectedUntilNs = 0; ///< 0 = admitted
+    };
 
     /** Per-shard replica set + stats (stats guarded by mu). */
     struct ShardState
     {
         std::vector<std::unique_ptr<LeafWorkerPool>> replicas;
         mutable std::mutex mu;
+        std::vector<ReplicaHealth> health;
         uint64_t answered = 0;
         uint64_t missed = 0;
+        uint64_t unavailable = 0;
         uint64_t hedges = 0;
         uint64_t hedgeWins = 0;
+        uint64_t retries = 0;
+        uint64_t failures = 0;
         LatencyHistogram latencyNs;
     };
 
-    /** Replica serving attempt @p attempt of (query, shard). */
+    Clock &
+    clock() const
+    {
+        return cfg_.clock ? *cfg_.clock : realClock();
+    }
+
+    /** Hash-preferred replica for attempt @p attempt of
+     *  (query, shard), health-blind. */
     uint32_t replicaFor(uint64_t query_id, uint32_t shard,
                         uint32_t attempt) const;
 
-    void issue(const SearchRequest &base, uint32_t shard,
-               uint32_t attempt, uint64_t t0, uint64_t deadline_ns,
+    /** Health-aware replica choice: the hash-preferred replica, or
+     *  the next non-ejected one. @return false when every replica of
+     *  the shard is ejected (shard is unavailable right now). */
+    bool pickReplica(uint64_t query_id, uint32_t shard,
+                     uint32_t attempt, uint64_t now_ns,
+                     uint32_t *replica) const;
+
+    /** Update @p replica's health after an attempt resolves. */
+    void noteAttemptResult(uint32_t shard, uint32_t replica,
+                           bool failed, uint64_t now_ns);
+
+    /** Issue one attempt; @return false when no replica is
+     *  admittable (caller must settle the shard as unavailable). */
+    bool issue(const SearchRequest &base, uint32_t shard,
+               bool is_hedge, uint64_t t0, uint64_t deadline_ns,
                const std::shared_ptr<Gather> &gather,
                const std::shared_ptr<std::atomic<bool>> &cancel);
+
+    /** Mark @p shard provably dead for this query and wake the
+     *  gatherer. Caller must not hold gather->mu. */
+    static void markUnavailable(const std::shared_ptr<Gather> &gather,
+                                uint32_t shard);
 
     ClusterConfig cfg_;
     std::vector<std::unique_ptr<ShardState>> shards_;
@@ -205,8 +297,10 @@ class ClusterServer
     uint64_t degraded_ = 0;
     uint64_t hedgesIssued_ = 0;
     uint64_t hedgeWins_ = 0;
+    uint64_t retriesIssued_ = 0;
     uint64_t shardAnswers_ = 0;
     uint64_t shardMisses_ = 0;
+    uint64_t shardsUnavailable_ = 0;
     LatencyHistogram queryNs_;
     LatencyHistogram shardNs_;
 };

@@ -1,0 +1,96 @@
+#include "serve/fault.hh"
+
+#include "util/rng.hh"
+
+namespace wsearch {
+
+namespace {
+
+/**
+ * Stateless uniform double in [0, 1) for one (plan, replica, query,
+ * fault-kind) tuple. Each fault kind mixes a distinct salt so the
+ * draws are independent of one another and of any evaluation order.
+ */
+double
+draw(uint64_t seed, uint32_t shard, uint32_t replica,
+     uint64_t query_id, uint64_t salt)
+{
+    uint64_t h = seed;
+    h = mix64(h ^ (0x9e3779b97f4a7c15ull +
+                   (static_cast<uint64_t>(shard) << 32 | replica)));
+    h = mix64(h ^ query_id);
+    h = mix64(h ^ salt);
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+constexpr uint64_t kSaltDelay = 0xde1a;
+constexpr uint64_t kSaltDelayMag = 0xde1b;
+constexpr uint64_t kSaltHang = 0xa4a6;
+constexpr uint64_t kSaltFail = 0xfa11;
+constexpr uint64_t kSaltDrop = 0xd209;
+constexpr uint64_t kSaltCorrupt = 0xc099;
+
+} // namespace
+
+const FaultSpec &
+FaultPlan::specFor(uint32_t shard, uint32_t replica) const
+{
+    const auto it = overrides_.find(key(shard, replica));
+    return it != overrides_.end() ? it->second : default_;
+}
+
+bool
+FaultPlan::admit(uint32_t shard, uint32_t replica, uint64_t query_id,
+                 uint64_t now_ns) const
+{
+    (void)query_id;
+    return !specFor(shard, replica).crashed(now_ns);
+}
+
+FaultDecision
+FaultPlan::onExecute(uint32_t shard, uint32_t replica,
+                     uint64_t query_id, uint64_t now_ns) const
+{
+    const FaultSpec &spec = specFor(shard, replica);
+    FaultDecision d;
+    // A request already queued when the replica crashed still fails:
+    // a dead process executes nothing.
+    if (spec.crashed(now_ns)) {
+        d.fail = true;
+        return d;
+    }
+    if (spec.failProb > 0.0 &&
+        draw(seed_, shard, replica, query_id, kSaltFail) <
+            spec.failProb) {
+        d.fail = true;
+        return d;
+    }
+    if (spec.hangProb > 0.0 &&
+        draw(seed_, shard, replica, query_id, kSaltHang) <
+            spec.hangProb) {
+        d.delayNs = spec.hangNs;
+    } else if (spec.delayProb > 0.0 &&
+               draw(seed_, shard, replica, query_id, kSaltDelay) <
+                   spec.delayProb) {
+        const uint64_t span = spec.delayMaxNs > spec.delayMinNs
+            ? spec.delayMaxNs - spec.delayMinNs
+            : 0;
+        d.delayNs = spec.delayMinNs +
+            (span ? static_cast<uint64_t>(
+                        draw(seed_, shard, replica, query_id,
+                             kSaltDelayMag) *
+                        static_cast<double>(span + 1))
+                  : 0);
+    }
+    if (spec.dropProb > 0.0 &&
+        draw(seed_, shard, replica, query_id, kSaltDrop) <
+            spec.dropProb)
+        d.dropReply = true;
+    if (spec.corruptProb > 0.0 &&
+        draw(seed_, shard, replica, query_id, kSaltCorrupt) <
+            spec.corruptProb)
+        d.corrupt = true;
+    return d;
+}
+
+} // namespace wsearch

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Deterministic fault injection for the sharded serving stack.
+ *
+ * A FaultPlan describes, per (shard, replica), what can go wrong and
+ * how often: added service delays, stuck-worker hangs (a delay far
+ * beyond any deadline), instant execution failures, silently dropped
+ * completions, corrupted/truncated leaf responses, and crashed
+ * replicas (refuse everything between crashAtNs and recoverAtNs).
+ * The plan is consumed through the FaultInjector interface at exactly
+ * two boundaries:
+ *
+ *  - admission (LeafWorkerPool::submit*): a crashed replica refuses
+ *    the request instantly, the way a dead TCP endpoint does;
+ *  - execution (the worker loop, after it pops a request): delays and
+ *    hangs are slept on the pool's Clock (virtual under SimClock),
+ *    failures/drops/corruption are applied around the real engine
+ *    call.
+ *
+ * Determinism: every probabilistic decision is a stateless hash of
+ * (seed, shard, replica, query id) -- no draw order, no shared RNG
+ * state -- so a given plan makes identical decisions for a given
+ * query stream regardless of thread interleaving. Crash windows are
+ * functions of the clock, which tests pin with SimClock.
+ *
+ * Configure specs before traffic starts; the decision path is const
+ * and thread-safe.
+ */
+
+#ifndef WSEARCH_SERVE_FAULT_HH
+#define WSEARCH_SERVE_FAULT_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace wsearch {
+
+/** What the injector decided for one execution. */
+struct FaultDecision
+{
+    /** Added service latency (slept on the pool's Clock before the
+     *  engine runs; hangs are just very large delays). */
+    uint64_t delayNs = 0;
+    /** Replica answers with an explicit failure (no execution). */
+    bool fail = false;
+    /** Executes normally, but the completion callback is suppressed
+     *  -- the caller sees silence, as with a lost response packet. */
+    bool dropReply = false;
+    /** Reply payload is truncated/perturbed after execution. */
+    bool corrupt = false;
+};
+
+/** Decision source consumed by LeafWorkerPool (and thus the cluster). */
+class FaultInjector
+{
+  public:
+    virtual ~FaultInjector() = default;
+
+    /**
+     * Admission-time check (connection establishment): false means
+     * the replica is crashed and refuses @p query_id instantly.
+     */
+    virtual bool admit(uint32_t shard, uint32_t replica,
+                       uint64_t query_id, uint64_t now_ns) const = 0;
+
+    /** Execution-time decision, consulted by a worker after pop. */
+    virtual FaultDecision onExecute(uint32_t shard, uint32_t replica,
+                                    uint64_t query_id,
+                                    uint64_t now_ns) const = 0;
+};
+
+/** Per-replica fault probabilities and windows (all default benign). */
+struct FaultSpec
+{
+    /** Probability of an added service delay, uniform in
+     *  [delayMinNs, delayMaxNs]. */
+    double delayProb = 0.0;
+    uint64_t delayMinNs = 0;
+    uint64_t delayMaxNs = 0;
+
+    /** Probability of a stuck worker: a delay of hangNs, sized far
+     *  beyond any deadline (bounded so RealClock teardown cannot
+     *  block forever; SimClock tests may raise it arbitrarily). */
+    double hangProb = 0.0;
+    uint64_t hangNs = 250'000'000; // 250 ms
+
+    /** Probability the execution fails outright (connection reset). */
+    double failProb = 0.0;
+
+    /** Probability the completion is silently dropped. */
+    double dropProb = 0.0;
+
+    /** Probability the reply payload is corrupted/truncated. */
+    double corruptProb = 0.0;
+
+    /** Crash window: the replica refuses all requests (admission and
+     *  execution) while crashAtNs <= now < recoverAtNs. 0 crashAtNs =
+     *  never crashes; 0 recoverAtNs = never recovers. */
+    uint64_t crashAtNs = 0;
+    uint64_t recoverAtNs = 0;
+
+    bool
+    crashed(uint64_t now_ns) const
+    {
+        return crashAtNs != 0 && now_ns >= crashAtNs &&
+            (recoverAtNs == 0 || now_ns < recoverAtNs);
+    }
+};
+
+/**
+ * Seeded, per-replica fault plan. Replica-specific specs override the
+ * default spec.
+ */
+class FaultPlan : public FaultInjector
+{
+  public:
+    explicit FaultPlan(uint64_t seed = 0x5eedfa17ull) : seed_(seed) {}
+
+    /** Spec applied to replicas without an override (mutable for
+     *  setup; do not modify once traffic runs). */
+    FaultSpec &defaultSpec() { return default_; }
+
+    /** Override the spec for one (shard, replica). */
+    FaultSpec &
+    replicaSpec(uint32_t shard, uint32_t replica)
+    {
+        return overrides_[key(shard, replica)];
+    }
+
+    bool admit(uint32_t shard, uint32_t replica, uint64_t query_id,
+               uint64_t now_ns) const override;
+
+    FaultDecision onExecute(uint32_t shard, uint32_t replica,
+                            uint64_t query_id,
+                            uint64_t now_ns) const override;
+
+    uint64_t seed() const { return seed_; }
+
+  private:
+    static uint64_t
+    key(uint32_t shard, uint32_t replica)
+    {
+        return (static_cast<uint64_t>(shard) << 32) | replica;
+    }
+
+    const FaultSpec &specFor(uint32_t shard, uint32_t replica) const;
+
+    uint64_t seed_;
+    FaultSpec default_;
+    std::unordered_map<uint64_t, FaultSpec> overrides_;
+};
+
+} // namespace wsearch
+
+#endif // WSEARCH_SERVE_FAULT_HH

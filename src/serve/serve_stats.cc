@@ -19,9 +19,13 @@ ServeSnapshot::merge(const ServeSnapshot &other)
     accepted += other.accepted;
     shed += other.shed;
     cacheHits += other.cacheHits;
+    refused += other.refused;
     completed += other.completed;
     expired += other.expired;
     cancelled += other.cancelled;
+    faultFailed += other.faultFailed;
+    faultDropped += other.faultDropped;
+    faultCorrupted += other.faultCorrupted;
     cacheLookups += other.cacheLookups;
     cacheEvictions += other.cacheEvictions;
     sojournNs.merge(other.sojournNs);
@@ -40,10 +44,20 @@ printServeReport(const ServeSnapshot &snap, double duration_sec)
     summary.addRow({"shed", Table::fmtInt(snap.shed)});
     summary.addRow({"cache hits", Table::fmtInt(snap.cacheHits)});
     summary.addRow({"completed", Table::fmtInt(snap.completed)});
-    if (snap.expired || snap.cancelled) {
+    if (snap.expired || snap.cancelled || snap.faultFailed) {
         summary.addRow({"expired", Table::fmtInt(snap.expired)});
         summary.addRow({"cancelled", Table::fmtInt(snap.cancelled)});
         summary.addRow({"executed", Table::fmtInt(snap.executed())});
+    }
+    if (snap.refused || snap.faultFailed || snap.faultDropped ||
+        snap.faultCorrupted) {
+        summary.addRow({"refused", Table::fmtInt(snap.refused)});
+        summary.addRow({"fault failed",
+                        Table::fmtInt(snap.faultFailed)});
+        summary.addRow({"fault dropped",
+                        Table::fmtInt(snap.faultDropped)});
+        summary.addRow({"fault corrupted",
+                        Table::fmtInt(snap.faultCorrupted)});
     }
     if (snap.cacheLookups) {
         summary.addRow({"cache lookups",

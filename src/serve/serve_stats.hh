@@ -34,14 +34,21 @@ struct ServeSnapshot
     uint64_t accepted = 0;  ///< enqueued for a worker
     uint64_t shed = 0;      ///< refused (queue full or closed)
     uint64_t cacheHits = 0; ///< answered by the query-cache tier
+    uint64_t refused = 0;   ///< refused by the fault injector (crash)
 
     // Completion. completed counts every accepted request a worker
     // took off the queue, including the ones it dropped un-executed:
-    // expired (sat in queue past the request deadline) and cancelled
-    // (hedge twin already answered). Executed work is the difference.
+    // expired (sat in queue past the request deadline), cancelled
+    // (hedge twin already answered), and injected failures
+    // (faultFailed). Executed work is the difference.
     uint64_t completed = 0; ///< accepted requests finished (any way)
     uint64_t expired = 0;   ///< dropped: deadline already passed
     uint64_t cancelled = 0; ///< dropped: cancellation flag was set
+
+    // Fault-injection outcomes (zeros without an injector).
+    uint64_t faultFailed = 0;    ///< injected execution failures
+    uint64_t faultDropped = 0;   ///< executed, completion suppressed
+    uint64_t faultCorrupted = 0; ///< executed, payload corrupted
 
     // Query-cache tier (zeros when the cache is disabled).
     uint64_t cacheLookups = 0;
@@ -60,15 +67,17 @@ struct ServeSnapshot
     uint64_t
     executed() const
     {
-        return completed - expired - cancelled;
+        return completed - expired - cancelled - faultFailed;
     }
 
-    /** submitted == accepted + shed + cacheHits must always hold. */
+    /** Every submit is accounted exactly once, and completions cover
+     *  their drop reasons. Must hold at any instant, under faults. */
     bool
     consistent() const
     {
-        return submitted == accepted + shed + cacheHits &&
-            completed >= expired + cancelled;
+        return submitted == accepted + shed + cacheHits + refused &&
+            completed >= expired + cancelled + faultFailed &&
+            faultDropped + faultCorrupted <= completed;
     }
 
     /** Accumulate @p other's counters/histograms (fleet-wide view). */

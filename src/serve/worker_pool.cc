@@ -1,6 +1,6 @@
 #include "serve/worker_pool.hh"
 
-#include "serve/clock.hh"
+#include <algorithm>
 
 namespace wsearch {
 
@@ -11,7 +11,21 @@ leafConfigFor(const LeafWorkerPool::Config &cfg)
 {
     LeafServer::Config lc = cfg.leaf;
     lc.numThreads = cfg.numWorkers;
+    lc.clock = cfg.clock;
     return lc;
+}
+
+/**
+ * Model a corrupted/truncated leaf response: the tail is lost and
+ * what remains arrives out of order. The root's merge must cope (it
+ * re-sorts and dedups), so a corrupt reply degrades result quality
+ * without ever producing an invalid page.
+ */
+void
+corruptReply(std::vector<ScoredDoc> &docs)
+{
+    docs.resize(docs.size() / 2);
+    std::reverse(docs.begin(), docs.end());
 }
 
 } // namespace
@@ -37,14 +51,15 @@ LeafWorkerPool::~LeafWorkerPool()
 
 void
 LeafWorkerPool::finish(ServeRequest &req,
-                       std::vector<ScoredDoc> &&results, bool ok)
+                       std::vector<ScoredDoc> &&results,
+                       ServeOutcome outcome)
 {
     if (req.done) {
         // The callback consumes the results; give the promise (rarely
         // both are set) a copy first.
         if (req.reply)
             req.reply->set_value(results);
-        req.done(std::move(results), ok);
+        req.done(std::move(results), outcome);
     } else if (req.reply) {
         req.reply->set_value(std::move(results));
     }
@@ -98,10 +113,21 @@ LeafWorkerPool::Admit
 LeafWorkerPool::enqueue(ServeRequest &&req, bool block)
 {
     submitted_.fetch_add(1, std::memory_order_relaxed);
+    Clock &clk = clock();
+
+    // A crashed replica refuses instantly -- before the cache tier,
+    // the way a dead endpoint never opens the connection.
+    if (cfg_.faults &&
+        !cfg_.faults->admit(cfg_.shardId, cfg_.replicaId,
+                            req.request.query.id, clk.now())) {
+        refused_.fetch_add(1, std::memory_order_relaxed);
+        finish(req, {}, ServeOutcome::Refused);
+        return Admit::Refused;
+    }
 
     const bool wants_results = req.reply || req.done;
     if (cfg_.cacheCapacity > 0) {
-        const uint64_t t0 = nowNs();
+        const uint64_t t0 = clk.now();
         std::vector<ScoredDoc> hit_results;
         bool hit;
         {
@@ -109,16 +135,16 @@ LeafWorkerPool::enqueue(ServeRequest &&req, bool block)
             hit = cache_.lookup(req.request.query.id,
                                 wants_results ? &hit_results : nullptr);
             if (hit)
-                cacheHitNs_.record(nowNs() - t0);
+                cacheHitNs_.record(clk.now() - t0);
         }
         if (hit) {
             cacheHits_.fetch_add(1, std::memory_order_relaxed);
-            finish(req, std::move(hit_results), /*ok=*/true);
+            finish(req, std::move(hit_results), ServeOutcome::Ok);
             return Admit::CacheHit;
         }
     }
 
-    req.enqueueNs = nowNs();
+    req.enqueueNs = clk.now();
 
     // Count the acceptance before the enqueue so drain()'s
     // "completed == accepted" predicate can never observe a completed
@@ -130,19 +156,36 @@ LeafWorkerPool::enqueue(ServeRequest &&req, bool block)
         accepted_.fetch_sub(1, std::memory_order_relaxed);
         shed_.fetch_add(1, std::memory_order_relaxed);
         // req is untouched on a failed push; tell the waiter.
-        finish(req, {}, /*ok=*/false);
+        finish(req, {}, ServeOutcome::Shed);
         return Admit::Shed;
     }
     return Admit::Accepted;
 }
 
 void
+LeafWorkerPool::dropRequest(ServeRequest &req, ServeOutcome outcome,
+                            std::atomic<uint64_t> &counter)
+{
+    counter.fetch_add(1, std::memory_order_relaxed);
+    finish(req, {}, outcome);
+    req.request.cancel.reset();
+    completed_.fetch_add(1, std::memory_order_release);
+    {
+        // Empty critical section pairs with drain()'s wait so the
+        // notify cannot slip between its predicate check and sleep.
+        std::lock_guard<std::mutex> lk(drainMu_);
+    }
+    drainCv_.notify_all();
+}
+
+void
 LeafWorkerPool::workerMain(uint32_t worker_id)
 {
     WorkerSlot &slot = *slots_[worker_id];
+    Clock &clk = clock();
     ServeRequest req;
     while (queue_.pop(req)) {
-        const uint64_t start = nowNs();
+        uint64_t start = clk.now();
 
         // Drop rather than execute work nobody is waiting for: a
         // hedge whose twin already answered, or a request that sat in
@@ -152,16 +195,40 @@ LeafWorkerPool::workerMain(uint32_t worker_id)
         const bool dropped_expired = !dropped_cancel &&
             req.request.deadlineNs != 0 &&
             start > req.request.deadlineNs;
-        if (dropped_cancel || dropped_expired) {
-            (dropped_cancel ? cancelled_ : expired_)
-                .fetch_add(1, std::memory_order_relaxed);
-            finish(req, {}, /*ok=*/false);
-            req.request.cancel.reset();
-            completed_.fetch_add(1, std::memory_order_release);
-            {
-                std::lock_guard<std::mutex> lk(drainMu_);
+        if (dropped_cancel) {
+            dropRequest(req, ServeOutcome::Cancelled, cancelled_);
+            continue;
+        }
+        if (dropped_expired) {
+            dropRequest(req, ServeOutcome::Expired, expired_);
+            continue;
+        }
+
+        FaultDecision fd;
+        if (cfg_.faults)
+            fd = cfg_.faults->onExecute(cfg_.shardId, cfg_.replicaId,
+                                        req.request.query.id, start);
+        if (fd.delayNs != 0) {
+            // Injected slowness (or a stuck worker, which is just a
+            // very large delay). The sleep may outlive the deadline
+            // or the hedge twin: re-check before executing, exactly
+            // like the pop-time checks above.
+            clk.sleepUntil(start + fd.delayNs);
+            const uint64_t now = clk.now();
+            if (req.request.cancel &&
+                req.request.cancel->load(std::memory_order_acquire)) {
+                dropRequest(req, ServeOutcome::Cancelled, cancelled_);
+                continue;
             }
-            drainCv_.notify_all();
+            if (req.request.deadlineNs != 0 &&
+                now > req.request.deadlineNs) {
+                dropRequest(req, ServeOutcome::Expired, expired_);
+                continue;
+            }
+            start = now; // service time excludes the injected delay
+        }
+        if (fd.fail) {
+            dropRequest(req, ServeOutcome::Failed, faultFailed_);
             continue;
         }
 
@@ -170,11 +237,17 @@ LeafWorkerPool::workerMain(uint32_t worker_id)
             interferenceTick_.fetch_add(1, std::memory_order_relaxed) %
                     cfg_.interferenceEveryN ==
                 cfg_.interferenceEveryN - 1) {
-            sleepUntilNs(start + cfg_.interferencePauseNs);
+            clk.sleepUntil(start + cfg_.interferencePauseNs);
         }
 
         SearchResponse resp = leaf_.serve(worker_id, req.request);
-        const uint64_t end = nowNs();
+        const uint64_t end = clk.now();
+
+        if (fd.corrupt) {
+            faultCorrupted_.fetch_add(1, std::memory_order_relaxed);
+            corruptReply(resp.docs);
+            resp.degraded = true; // never cache a corrupted page
+        }
 
         // Never cache a degraded page: the next asker deserves the
         // full answer, not whatever a deadline-clipped run salvaged.
@@ -189,7 +262,22 @@ LeafWorkerPool::workerMain(uint32_t worker_id)
             slot.serviceNs.record(end - start);
             slot.sojournNs.record(end - req.enqueueNs);
         }
-        finish(req, std::move(resp.docs), /*ok=*/resp.ok);
+        if (fd.dropReply) {
+            // The reply is lost in flight: the caller sees silence.
+            // (The promise channel -- closed-loop tests -- is still
+            // fulfilled; silence only makes sense for async callers
+            // that own a deadline.)
+            faultDropped_.fetch_add(1, std::memory_order_relaxed);
+            req.done = nullptr;
+        }
+        // The executor reports !ok only when it observed the cancel
+        // flag or an already-passed deadline before starting.
+        const ServeOutcome outcome = resp.ok ? ServeOutcome::Ok
+            : (req.request.cancel &&
+               req.request.cancel->load(std::memory_order_acquire))
+            ? ServeOutcome::Cancelled
+            : ServeOutcome::Expired;
+        finish(req, std::move(resp.docs), outcome);
         req.request.cancel.reset();
 
         completed_.fetch_add(1, std::memory_order_release);
@@ -234,9 +322,14 @@ LeafWorkerPool::snapshot() const
     s.accepted = accepted_.load(std::memory_order_relaxed);
     s.shed = shed_.load(std::memory_order_relaxed);
     s.cacheHits = cacheHits_.load(std::memory_order_relaxed);
+    s.refused = refused_.load(std::memory_order_relaxed);
     s.completed = completed_.load(std::memory_order_acquire);
     s.expired = expired_.load(std::memory_order_relaxed);
     s.cancelled = cancelled_.load(std::memory_order_relaxed);
+    s.faultFailed = faultFailed_.load(std::memory_order_relaxed);
+    s.faultDropped = faultDropped_.load(std::memory_order_relaxed);
+    s.faultCorrupted =
+        faultCorrupted_.load(std::memory_order_relaxed);
     s.workers.reserve(slots_.size());
     for (const auto &slot : slots_) {
         std::lock_guard<std::mutex> lk(slot->mu);

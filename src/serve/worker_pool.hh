@@ -37,20 +37,37 @@
 #include "search/leaf.hh"
 #include "search/query.hh"
 #include "serve/bounded_queue.hh"
+#include "serve/clock.hh"
+#include "serve/fault.hh"
 #include "serve/serve_stats.hh"
 
 namespace wsearch {
 
 /**
- * Completion callback: @p ok is true when @p results came from real
- * execution (or the cache tier), false when the request was shed,
- * expired past its deadline, or cancelled before running. May fire on
- * the submitting thread (cache hit, shed) or on a worker thread, so
- * implementations must be thread-safe and must not call back into the
- * pool.
+ * How one submitted request resolved. Scatter-gather callers use the
+ * distinction to pick a recovery action: Shed/Refused/Failed are
+ * *replica* problems (retry elsewhere, count against its health);
+ * Expired/Cancelled are *query* outcomes (deadline pressure or a
+ * hedge twin winning) that say nothing about replica health.
  */
-using ServeCompletion =
-    std::function<void(std::vector<ScoredDoc> &&results, bool ok)>;
+enum class ServeOutcome : uint8_t
+{
+    Ok,        ///< executed (or cache hit); results are valid
+    Shed,      ///< refused at admission: queue full or shut down
+    Refused,   ///< refused at admission: replica crashed
+    Expired,   ///< dropped: deadline passed before execution
+    Cancelled, ///< dropped: cancel flag set before execution
+    Failed,    ///< execution failed at the replica
+};
+
+/**
+ * Completion callback: results are valid only for ServeOutcome::Ok.
+ * May fire on the submitting thread (cache hit, shed, refused) or on
+ * a worker thread, so implementations must be thread-safe and must
+ * not call back into the pool.
+ */
+using ServeCompletion = std::function<void(
+    std::vector<ScoredDoc> &&results, ServeOutcome outcome)>;
 
 /** One queued unit of work. */
 struct ServeRequest
@@ -95,8 +112,21 @@ class LeafWorkerPool
         uint32_t interferenceEveryN = 0;
         uint64_t interferencePauseNs = 0;
         /** Leaf configuration; numThreads is overridden to
-         *  numWorkers so each worker owns executor tid == worker id. */
+         *  numWorkers so each worker owns executor tid == worker id,
+         *  and the leaf clock is overridden to this pool's clock. */
         LeafServer::Config leaf;
+        /**
+         * This pool's identity within a cluster, passed to the fault
+         * injector so plans can target one replica of one shard.
+         */
+        uint32_t shardId = 0;
+        uint32_t replicaId = 0;
+        /** Time source for every timestamp, deadline check, and
+         *  injected delay (null = the real steady clock). */
+        Clock *clock = nullptr;
+        /** Fault injector consulted at admission and execution (null
+         *  = no faults; must outlive the pool). */
+        const FaultInjector *faults = nullptr;
     };
 
     /** Admission verdict for one submit(). */
@@ -105,6 +135,7 @@ class LeafWorkerPool
         Accepted, ///< enqueued; a worker will execute it
         CacheHit, ///< answered inline from the cache tier
         Shed,     ///< refused: queue full (non-blocking) or shut down
+        Refused,  ///< refused: the fault injector crashed this replica
     };
 
     /** Workers start immediately. @p shard must outlive the pool. */
@@ -128,9 +159,11 @@ class LeafWorkerPool
 
     /**
      * Asynchronous submit for scatter-gather callers: @p done fires
-     * exactly once per call (ok=false on shed/expiry/cancel; possibly
-     * synchronously, see ServeCompletion). Deadline and cancel ride
-     * in @p request (0/null = unused).
+     * exactly once per call (possibly synchronously, see
+     * ServeCompletion) -- except when the fault injector drops the
+     * completion, which models a lost response: the caller sees
+     * silence and must rely on its own deadline. Deadline and cancel
+     * ride in @p request (0/null = unused).
      */
     Admit submitAsync(const SearchRequest &request, bool block,
                       ServeCompletion done);
@@ -178,7 +211,18 @@ class LeafWorkerPool
     Admit enqueue(ServeRequest &&req, bool block);
     void workerMain(uint32_t worker_id);
     static void finish(ServeRequest &req,
-                       std::vector<ScoredDoc> &&results, bool ok);
+                       std::vector<ScoredDoc> &&results,
+                       ServeOutcome outcome);
+
+    Clock &
+    clock() const
+    {
+        return cfg_.clock ? *cfg_.clock : realClock();
+    }
+
+    /** Count a popped-but-dropped request and wake drain()ers. */
+    void dropRequest(ServeRequest &req, ServeOutcome outcome,
+                     std::atomic<uint64_t> &counter);
 
     Config cfg_;
     LeafServer leaf_;
@@ -199,6 +243,10 @@ class LeafWorkerPool
     std::atomic<uint64_t> completed_{0};
     std::atomic<uint64_t> expired_{0};   ///< dropped: deadline passed
     std::atomic<uint64_t> cancelled_{0}; ///< dropped: cancel flag set
+    std::atomic<uint64_t> refused_{0};   ///< injector refused admission
+    std::atomic<uint64_t> faultFailed_{0};    ///< injected failures
+    std::atomic<uint64_t> faultDropped_{0};   ///< completions lost
+    std::atomic<uint64_t> faultCorrupted_{0}; ///< payloads corrupted
 
     /** Executions since start, for the interference schedule. */
     std::atomic<uint64_t> interferenceTick_{0};

@@ -9,7 +9,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <memory>
+
 #include "search/executor.hh"
+#include "serve/clock.hh"
 
 namespace wsearch {
 namespace {
@@ -290,6 +294,96 @@ TEST(ExecutorEquiv, ExpiredDeadlineIsDegraded)
     req.deadlineNs = 1; // epoch + 1ns: long past
     const SearchResponse resp = ex.execute(req);
     EXPECT_TRUE(resp.degraded);
+}
+
+/** Flips a cancel flag after the executor's Nth posting-block decode
+ *  -- i.e. between blocks, mid-query, from "another thread"'s point
+ *  of view. */
+class CancelAfterBlocksSink : public TouchSink
+{
+  public:
+    CancelAfterBlocksSink(std::shared_ptr<std::atomic<bool>> cancel,
+                          uint32_t after_blocks)
+        : cancel_(std::move(cancel)), remaining_(after_blocks)
+    {
+    }
+
+    void
+    touch(uint64_t, uint32_t, AccessKind kind, bool) override
+    {
+        if (kind == AccessKind::Shard && remaining_ > 0 &&
+            --remaining_ == 0)
+            cancel_->store(true, std::memory_order_release);
+    }
+
+  private:
+    std::shared_ptr<std::atomic<bool>> cancel_;
+    uint32_t remaining_;
+};
+
+TEST(ExecutorEquiv, CancelRaisedBetweenBlocksAbandonsMidQuery)
+{
+    // One dense list: a full scan scores all 10000 postings across
+    // ~79 blocks, with a stop-flag poll every 1024 candidates.
+    std::vector<DocId> dense(10000);
+    for (DocId d = 0; d < 10000; ++d)
+        dense[d] = d;
+    TinyShard index(10000, {dense});
+
+    SearchRequest req;
+    req.query.terms = {0};
+    req.query.conjunctive = false;
+    req.query.topK = 10;
+    req.algo = ExecAlgo::kOr;
+
+    // Control: without cancellation every candidate is scored.
+    NullTouchSink null_sink;
+    QueryExecutor control(index, 0, &null_sink);
+    const SearchResponse full = control.execute(req);
+    ASSERT_TRUE(full.ok);
+    EXPECT_FALSE(full.degraded);
+    const uint64_t all = control.lastStats().candidatesScored;
+    EXPECT_EQ(all, 10000u);
+
+    // Cancel raised after the 3rd block decode: the executor started
+    // clean (ok), must notice at the next poll and abandon the rest.
+    auto cancel = std::make_shared<std::atomic<bool>>(false);
+    CancelAfterBlocksSink sink(cancel, 3);
+    QueryExecutor ex(index, 0, &sink);
+    req.cancel = cancel;
+    const SearchResponse resp = ex.execute(req);
+    EXPECT_TRUE(resp.ok);
+    EXPECT_TRUE(resp.degraded);
+    const uint64_t scored = ex.lastStats().candidatesScored;
+    EXPECT_GT(scored, 0u);
+    EXPECT_LT(scored, all);
+}
+
+TEST(ExecutorEquiv, DeadlineExactlyAtStartStillExecutes)
+{
+    MaterializedIndex index = makeIndex(0xc0de5ull);
+    NullTouchSink sink;
+    SimClock sim; // frozen: virtual time never advances mid-query
+    QueryExecutor ex(index, 0, &sink, &sim);
+    SearchRequest req;
+    req.query.terms = {0, 1};
+    req.query.conjunctive = false;
+
+    // Expiry is strict (now > deadline): a deadline equal to the
+    // start instant is still alive and the query runs to completion.
+    req.deadlineNs = sim.now();
+    const SearchResponse at = ex.execute(req);
+    EXPECT_TRUE(at.ok);
+    EXPECT_FALSE(at.degraded);
+    EXPECT_FALSE(at.docs.empty());
+
+    // One nanosecond earlier is already past at the pre-execution
+    // check: degraded, nothing executed.
+    req.deadlineNs = sim.now() - 1;
+    const SearchResponse past = ex.execute(req);
+    EXPECT_FALSE(past.ok);
+    EXPECT_TRUE(past.degraded);
+    EXPECT_TRUE(past.docs.empty());
 }
 
 } // namespace

@@ -1,0 +1,117 @@
+/**
+ * ServeSnapshot unit tests: merge() must accumulate every counter --
+ * including the fault-injection and drop-reason counters added with
+ * the deadline, hedging, and fault layers -- and executed() /
+ * consistent() must agree with the documented accounting identities.
+ * A merge that silently forgets a counter shows up here, not as a
+ * subtly-wrong fleet report.
+ */
+
+#include <gtest/gtest.h>
+
+#include "serve/serve_stats.hh"
+
+namespace wsearch {
+namespace {
+
+/** A snapshot with every field distinct, so a dropped or swapped
+ *  counter in merge() cannot cancel out. */
+ServeSnapshot
+sampleSnapshot(uint64_t base)
+{
+    ServeSnapshot s;
+    s.shed = base + 1;
+    s.cacheHits = base + 2;
+    s.refused = base + 3;
+    s.expired = base + 4;
+    s.cancelled = base + 5;
+    s.faultFailed = base + 6;
+    s.faultDropped = base + 7;
+    s.faultCorrupted = base + 8;
+    s.cacheLookups = base + 9;
+    s.cacheEvictions = base + 10;
+    // Keeps both consistency identities true for any base.
+    s.completed = s.expired + s.cancelled + s.faultFailed + base + 20;
+    s.accepted = s.completed;
+    s.submitted = s.accepted + s.shed + s.cacheHits + s.refused;
+    s.sojournNs.record(base + 11);
+    s.serviceNs.record(base + 12);
+    s.cacheHitNs.record(base + 13);
+    s.workers.push_back({base + 14, base + 15});
+    return s;
+}
+
+TEST(ServeSnapshot, MergeAccumulatesEveryCounter)
+{
+    ServeSnapshot a = sampleSnapshot(0);
+    const ServeSnapshot a0 = a;
+    const ServeSnapshot b = sampleSnapshot(1000);
+    ASSERT_TRUE(a.consistent());
+    ASSERT_TRUE(b.consistent());
+
+    a.merge(b);
+    EXPECT_EQ(a.submitted, a0.submitted + b.submitted);
+    EXPECT_EQ(a.accepted, a0.accepted + b.accepted);
+    EXPECT_EQ(a.completed, a0.completed + b.completed);
+    EXPECT_EQ(a.shed, 1u + 1001u);
+    EXPECT_EQ(a.cacheHits, 2u + 1002u);
+    EXPECT_EQ(a.refused, 3u + 1003u);
+    EXPECT_EQ(a.expired, 4u + 1004u);
+    EXPECT_EQ(a.cancelled, 5u + 1005u);
+    EXPECT_EQ(a.faultFailed, 6u + 1006u);
+    EXPECT_EQ(a.faultDropped, 7u + 1007u);
+    EXPECT_EQ(a.faultCorrupted, 8u + 1008u);
+    EXPECT_EQ(a.cacheLookups, 9u + 1009u);
+    EXPECT_EQ(a.cacheEvictions, 10u + 1010u);
+    EXPECT_EQ(a.sojournNs.count(), 2u);
+    EXPECT_EQ(a.serviceNs.count(), 2u);
+    EXPECT_EQ(a.cacheHitNs.count(), 2u);
+    ASSERT_EQ(a.workers.size(), 2u);
+    EXPECT_EQ(a.workers[0].served, 14u);
+    EXPECT_EQ(a.workers[1].served, 1014u);
+    EXPECT_EQ(a.workers[1].busyNs, 1015u);
+    // The merge of two consistent snapshots is consistent: both
+    // identities are linear in the counters.
+    EXPECT_TRUE(a.consistent());
+}
+
+TEST(ServeSnapshot, ExecutedExcludesEveryDropReason)
+{
+    ServeSnapshot s;
+    s.completed = 50;
+    s.expired = 7;
+    s.cancelled = 5;
+    s.faultFailed = 3;
+    // Dropped/corrupted requests *did* execute; they must not be
+    // subtracted.
+    s.faultDropped = 4;
+    s.faultCorrupted = 2;
+    EXPECT_EQ(s.executed(), 50u - 7u - 5u - 3u);
+}
+
+TEST(ServeSnapshot, ConsistencyCatchesBrokenAccounting)
+{
+    ServeSnapshot ok = sampleSnapshot(0);
+    EXPECT_TRUE(ok.consistent());
+
+    // A submit not accounted by any admission outcome.
+    ServeSnapshot lost = sampleSnapshot(0);
+    lost.submitted += 1;
+    EXPECT_FALSE(lost.consistent());
+
+    // More drops than completions.
+    ServeSnapshot drops = sampleSnapshot(0);
+    drops.expired = drops.completed + 1;
+    drops.cancelled = 0;
+    drops.faultFailed = 0;
+    EXPECT_FALSE(drops.consistent());
+
+    // More suppressed/corrupted replies than completions.
+    ServeSnapshot faults = sampleSnapshot(0);
+    faults.faultDropped = faults.completed + 1;
+    faults.faultCorrupted = 0;
+    EXPECT_FALSE(faults.consistent());
+}
+
+} // namespace
+} // namespace wsearch
