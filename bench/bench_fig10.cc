@@ -7,13 +7,14 @@
  * +14% QPS over the 18-core, 2.5 MiB/core baseline (SMT on).
  *
  * Inputs: the simulated L3 hit-rate curve (SMT-on and SMT-off
- * variants) + the paper's Eq. 1 IPC model + the area model.
+ * variants) + the paper's Eq. 1 IPC model + the area model. Each
+ * curve's capacity points replay one shared trace buffer in parallel.
  */
 
 #include <cstdio>
 #include <vector>
 
-#include "core/experiments.hh"
+#include "common.hh"
 #include "core/optimizer.hh"
 #include "util/table.hh"
 
@@ -21,41 +22,43 @@ namespace wsearch {
 namespace {
 
 HitRateCurve
-curveFor(uint32_t smt_ways)
+curveFor(uint32_t smt_ways, const bench::Args &args)
 {
     // Hit rates measured on the 1/32-scale sweep profile; the curve
     // is keyed by paper-equivalent capacity.
     const WorkloadProfile prof = WorkloadProfile::s1LeafSweep();
-    RunOptions opt;
-    opt.cores = 18;
-    opt.smtWays = smt_ways;
-    opt.measureRecords = 12'000'000;
-    opt.warmupRecords = 30'000'000;
     std::vector<uint64_t> paper_sizes = {4608ull * KiB,
                                          13824ull * KiB};
     for (uint64_t mib = 9; mib <= 45; mib += 9)
         paper_sizes.push_back(mib * MiB);
-    HitRateCurve curve;
+
+    std::vector<RunOptions> options;
     for (const uint64_t paper : paper_sizes) {
+        RunOptions opt =
+            bench::baseOptions(18, 12'000'000, 30'000'000);
+        opt.smtWays = smt_ways;
         opt.l3Bytes = paper / prof.sweepScale;
-        const SystemResult r =
-            runWorkload(prof, PlatformConfig::plt1(), opt);
-        curve.addPoint(paper, r.l3DataHitRate());
+        options.push_back(opt);
     }
+    const std::vector<SystemResult> results = runWorkloadSweep(
+        prof, PlatformConfig::plt1(), options, bench::sweepControl(args));
+    HitRateCurve curve;
+    for (size_t i = 0; i < paper_sizes.size(); ++i)
+        curve.addPoint(paper_sizes[i], results[i].l3DataHitRate());
     return curve;
 }
 
 void
-runFig10()
+runFig10(const bench::Args &args)
 {
-    printBanner("Figure 10",
-                "Trading L3 capacity for cores (iso-area)");
+    bench::banner(args, "Figure 10",
+                  "Trading L3 capacity for cores (iso-area)");
     const AmatModel amat;
     const IpcModel eq1 = IpcModel::paperEq1();
     const AreaModel area;
 
     for (const uint32_t smt : {2u, 1u}) {
-        const HitRateCurve curve = curveFor(smt);
+        const HitRateCurve curve = curveFor(smt, args);
         CacheForCoresOptimizer optimizer(area, amat, eq1, curve);
         std::printf("--- SMT %s ---\n", smt == 2 ? "on" : "off");
         Table t({"L3 MiB/core", "Cores (ideal)", "Cores (quant)",
@@ -82,8 +85,8 @@ runFig10()
 } // namespace wsearch
 
 int
-main()
+main(int argc, char **argv)
 {
-    wsearch::runFig10();
+    wsearch::runFig10(wsearch::bench::parseArgs(argc, argv));
     return 0;
 }

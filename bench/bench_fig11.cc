@@ -11,7 +11,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/experiments.hh"
+#include "common.hh"
 #include "core/optimizer.hh"
 #include "util/table.hh"
 
@@ -19,26 +19,28 @@ namespace wsearch {
 namespace {
 
 void
-runFig11()
+runFig11(const bench::Args &args)
 {
-    printBanner("Figure 11",
-                "Cores-gain vs cache-loss decomposition");
+    bench::banner(args, "Figure 11",
+                  "Cores-gain vs cache-loss decomposition");
     const WorkloadProfile prof = WorkloadProfile::s1LeafSweep();
-    RunOptions opt;
-    opt.cores = 18;
-    opt.smtWays = 2;
-    opt.measureRecords = 12'000'000;
-    opt.warmupRecords = 30'000'000;
     std::vector<uint64_t> paper_sizes = {4608ull * KiB};
     for (uint64_t mib = 9; mib <= 45; mib += 9)
         paper_sizes.push_back(mib * MiB);
-    HitRateCurve curve;
+
+    std::vector<RunOptions> options;
     for (const uint64_t paper : paper_sizes) {
+        RunOptions opt =
+            bench::baseOptions(18, 12'000'000, 30'000'000);
+        opt.smtWays = 2;
         opt.l3Bytes = paper / prof.sweepScale;
-        const SystemResult r =
-            runWorkload(prof, PlatformConfig::plt1(), opt);
-        curve.addPoint(paper, r.l3DataHitRate());
+        options.push_back(opt);
     }
+    const std::vector<SystemResult> results = runWorkloadSweep(
+        prof, PlatformConfig::plt1(), options, bench::sweepControl(args));
+    HitRateCurve curve;
+    for (size_t i = 0; i < paper_sizes.size(); ++i)
+        curve.addPoint(paper_sizes[i], results[i].l3DataHitRate());
 
     CacheForCoresOptimizer optimizer(AreaModel{}, AmatModel{},
                                      IpcModel::paperEq1(), curve);
@@ -60,8 +62,8 @@ runFig11()
 } // namespace wsearch
 
 int
-main()
+main(int argc, char **argv)
 {
-    wsearch::runFig11();
+    wsearch::runFig11(wsearch::bench::parseArgs(argc, argv));
     return 0;
 }

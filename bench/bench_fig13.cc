@@ -8,39 +8,48 @@
  * toward ~90% at the top capacities.
  *
  * Runs on the 1/32-scale sweep profile; capacities are reported in
- * paper-equivalent units (simulated size x 16).
+ * paper-equivalent units (simulated size x 16). All L4 sizes replay
+ * one shared trace buffer concurrently.
  */
 
 #include <cstdio>
+#include <vector>
 
-#include "core/experiments.hh"
+#include "common.hh"
 #include "util/table.hh"
 
 namespace wsearch {
 namespace {
 
 void
-runFig13()
+runFig13(const bench::Args &args)
 {
-    printBanner("Figure 13",
-                "L4 capacity sweep (direct-mapped victim cache, "
-                "1/32-scale)");
+    bench::banner(args, "Figure 13",
+                  "L4 capacity sweep (direct-mapped victim cache, "
+                  "1/32-scale)");
     const WorkloadProfile prof = WorkloadProfile::s1LeafCapacitySweep();
     const PlatformConfig plt1 = PlatformConfig::plt1();
     const uint64_t l3_sim = (23 * MiB) / prof.sweepScale;
 
-    Table t({"L4 (paper-eq)", "L4 (sim)", "Heap hit", "Shard hit",
-             "Comb. hit", "Heap MPKI", "Shard MPKI", "Comb. MPKI"});
+    std::vector<uint64_t> sizes;
+    std::vector<RunOptions> options;
     for (uint64_t sim = 2 * MiB; sim <= 256 * MiB; sim *= 2) {
-        RunOptions opt;
-        opt.cores = 16;
+        RunOptions opt = bench::baseOptions(16, 24'000'000, 48'000'000);
         opt.l3Bytes = l3_sim;
         L4Config l4;
         l4.sizeBytes = sim;
         opt.l4 = l4;
-        opt.measureRecords = 24'000'000;
-        opt.warmupRecords = 48'000'000;
-        const SystemResult r = runWorkload(prof, plt1, opt);
+        sizes.push_back(sim);
+        options.push_back(opt);
+    }
+    const std::vector<SystemResult> results =
+        runWorkloadSweep(prof, plt1, options, bench::sweepControl(args));
+
+    Table t({"L4 (paper-eq)", "L4 (sim)", "Heap hit", "Shard hit",
+             "Comb. hit", "Heap MPKI", "Shard MPKI", "Comb. MPKI"});
+    for (size_t j = 0; j < sizes.size(); ++j) {
+        const SystemResult &r = results[j];
+        const uint64_t sim = sizes[j];
         const uint64_t i = r.instructions;
         t.addRow({formatBytes(sim * prof.sweepScale), formatBytes(sim),
                   Table::fmtPct(r.l4.hitRate(AccessKind::Heap), 0),
@@ -49,7 +58,6 @@ runFig13()
                   Table::fmt(r.l4.mpki(AccessKind::Heap, i), 2),
                   Table::fmt(r.l4.mpki(AccessKind::Shard, i), 2),
                   Table::fmt(r.l4.mpkiTotal(i), 2)});
-        std::fflush(stdout);
     }
     t.print();
     std::printf("\nPaper: a 1 GiB L4 captures most heap locality; "
@@ -63,8 +71,8 @@ runFig13()
 } // namespace wsearch
 
 int
-main()
+main(int argc, char **argv)
 {
-    wsearch::runFig13();
+    wsearch::runFig13(wsearch::bench::parseArgs(argc, argv));
     return 0;
 }

@@ -17,12 +17,16 @@
  * simulable at 23/45 MiB); the GiB-scale L4's per-kind hit rates come
  * from the 1/32-scale sweep profile and are reweighted by the native
  * miss composition. The QPS model is the paper's Eq. 1.
+ *
+ * All 15 simulator configurations (two L3 points, two 6-point L4
+ * curves, the synergy run) share one trace buffer and replay it
+ * concurrently through the sweep engine.
  */
 
 #include <cstdio>
 #include <vector>
 
-#include "core/experiments.hh"
+#include "common.hh"
 #include "core/l4_evaluator.hh"
 #include "util/table.hh"
 
@@ -36,16 +40,8 @@ struct NativePoint
 };
 
 NativePoint
-sweepL3At(uint64_t paper_bytes)
+nativePoint(const SystemResult &r)
 {
-    const WorkloadProfile prof = WorkloadProfile::s1LeafSweep();
-    RunOptions opt;
-    opt.cores = 16;
-    opt.l3Bytes = paper_bytes / prof.sweepScale;
-    opt.measureRecords = 20'000'000;
-    opt.warmupRecords = 48'000'000;
-    const SystemResult r =
-        runWorkload(prof, PlatformConfig::plt1(), opt);
     NativePoint p;
     p.hitL3 = r.l3DataHitRate();
     const double total = static_cast<double>(r.l3.totalMisses());
@@ -55,17 +51,54 @@ sweepL3At(uint64_t paper_bytes)
 }
 
 void
-runFig14()
+runFig14(const bench::Args &args)
 {
-    printBanner("Figure 14",
-                "Combined L4 + cache-for-cores evaluation");
+    bench::banner(args, "Figure 14",
+                  "Combined L4 + cache-for-cores evaluation");
     const WorkloadProfile sweep = WorkloadProfile::s1LeafSweep();
     const PlatformConfig plt1 = PlatformConfig::plt1();
     const uint32_t scale = sweep.sweepScale;
+    const std::vector<uint64_t> l4_paper_sizes = {
+        128 * MiB, 256 * MiB, 512 * MiB, 1 * GiB, 2 * GiB, 8 * GiB};
+
+    // One batch for every configuration this figure needs.
+    auto base = [&] {
+        return bench::baseOptions(16, 20'000'000, 48'000'000);
+    };
+    std::vector<RunOptions> options;
+    // [0], [1]: the two L3 designs.
+    for (const uint64_t paper : {45 * MiB, 23 * MiB}) {
+        RunOptions opt = base();
+        opt.l3Bytes = paper / scale;
+        options.push_back(opt);
+    }
+    // [2..7] direct-mapped and [8..13] fully-associative L4 curves.
+    for (const bool assoc : {false, true}) {
+        for (const uint64_t paper_size : l4_paper_sizes) {
+            RunOptions opt = base();
+            opt.l3Bytes = (23 * MiB) / scale;
+            L4Config l4;
+            l4.sizeBytes = paper_size / scale;
+            l4.fullyAssociative = assoc;
+            opt.l4 = l4;
+            options.push_back(opt);
+        }
+    }
+    // [14]: the synergy check (same L4 behind the bigger L3).
+    {
+        RunOptions syn = base();
+        syn.l3Bytes = (45 * MiB) / scale;
+        L4Config l4;
+        l4.sizeBytes = (1 * GiB) / scale;
+        syn.l4 = l4;
+        options.push_back(syn);
+    }
+    const std::vector<SystemResult> results =
+        runWorkloadSweep(sweep, plt1, options, bench::sweepControl(args));
 
     // 1. L3 behaviour at the two designs (sweep scale).
-    const NativePoint base45 = sweepL3At(45 * MiB);
-    const NativePoint right23 = sweepL3At(23 * MiB);
+    const NativePoint base45 = nativePoint(results[0]);
+    const NativePoint right23 = nativePoint(results[1]);
     std::printf("hL3(data): baseline(45 MiB-eq) = %.3f, rightsized"
                 "(23 MiB-eq) = %.3f\n", base45.hitL3, right23.hitL3);
     std::printf("L3-miss composition (23 MiB-eq): code %.0f%%, "
@@ -74,32 +107,15 @@ runFig14()
                 100 * right23.missShare[2]);
 
     // 2. L4 hit rates from the sweep profile (data accesses).
-    const std::vector<uint64_t> l4_paper_sizes = {
-        128 * MiB, 256 * MiB, 512 * MiB, 1 * GiB, 2 * GiB, 8 * GiB};
     L4EvalInputs in;
     in.baselineHitL3 = base45.hitL3;
     in.rightsizedHitL3 = right23.hitL3;
-
-    auto reweighted_curve = [&](bool assoc) {
-        HitRateCurve curve;
-        for (const uint64_t paper_size : l4_paper_sizes) {
-            RunOptions opt;
-            opt.cores = 16;
-            opt.l3Bytes = (23 * MiB) / scale;
-            opt.measureRecords = 20'000'000;
-            opt.warmupRecords = 48'000'000;
-            L4Config l4;
-            l4.sizeBytes = paper_size / scale;
-            l4.fullyAssociative = assoc;
-            opt.l4 = l4;
-            const SystemResult r = runWorkload(sweep, plt1, opt);
-            curve.addPoint(paper_size, r.l4.hitRateTotal());
-            std::fflush(stdout);
-        }
-        return curve;
-    };
-    in.l4Direct = reweighted_curve(false);
-    in.l4Assoc = reweighted_curve(true);
+    for (size_t i = 0; i < l4_paper_sizes.size(); ++i) {
+        in.l4Direct.addPoint(l4_paper_sizes[i],
+                             results[2 + i].l4.hitRateTotal());
+        in.l4Assoc.addPoint(l4_paper_sizes[i],
+                            results[8 + i].l4.hitRateTotal());
+    }
     std::printf("Reweighted L4 hit rate at 1 GiB: %.1f%% (paper: "
                 "filters ~50%% of DRAM accesses)\n\n",
                 100.0 * in.l4Direct.hitRate(1 * GiB));
@@ -136,15 +152,7 @@ runFig14()
 
     // Synergy check (§IV-C): with the bigger 45 MiB-eq L3 in front,
     // the same L4 sees colder traffic and hits less.
-    RunOptions syn;
-    syn.cores = 16;
-    syn.measureRecords = 20'000'000;
-    syn.warmupRecords = 48'000'000;
-    syn.l3Bytes = (45 * MiB) / scale;
-    L4Config l4;
-    l4.sizeBytes = (1 * GiB) / scale;
-    syn.l4 = l4;
-    const SystemResult r_big = runWorkload(sweep, plt1, syn);
+    const SystemResult &r_big = results[14];
     std::printf("\nSynergy: 1 GiB L4 hit rate behind 23 MiB L3 = "
                 "%.1f%%, behind 45 MiB L3 = %.1f%% (paper: ~10%% "
                 "hotter behind the rightsized L3).\n",
@@ -156,8 +164,8 @@ runFig14()
 } // namespace wsearch
 
 int
-main()
+main(int argc, char **argv)
 {
-    wsearch::runFig14();
+    wsearch::runFig14(wsearch::bench::parseArgs(argc, argv));
     return 0;
 }

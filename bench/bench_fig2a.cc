@@ -13,42 +13,52 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/experiments.hh"
+#include "common.hh"
 #include "util/table.hh"
 
 namespace wsearch {
 namespace {
 
 void
-runFig2a()
+runFig2a(const bench::Args &args)
 {
-    printBanner("Figure 2a",
-                "Search throughput scaling with core count (SMT off)");
+    bench::banner(args, "Figure 2a",
+                  "Search throughput scaling with core count (SMT off)");
     const PlatformConfig plt1 = PlatformConfig::plt1();
     const WorkloadProfile prof = WorkloadProfile::s1Leaf();
 
-    Table t({"Cores", "Cores/socket", "Per-thread IPC",
-             "Normalized QPS", "Scaling efficiency"});
-    double qps8 = 0;
-    for (uint32_t cores : {8u, 16u, 24u, 32u, 40u, 48u, 56u, 64u, 72u}) {
+    const std::vector<uint32_t> core_counts = {8,  16, 24, 32, 40,
+                                               48, 56, 64, 72};
+    std::vector<uint32_t> per_socket_counts;
+    std::vector<RunOptions> options;
+    for (const uint32_t cores : core_counts) {
         // Sockets are share-nothing for search (disjoint threads,
         // private 45 MiB L3 per socket): simulate one socket's share
         // and scale linearly across sockets, exactly like the real
         // 4-socket system.
         const uint32_t sockets = (cores + 17) / 18;
         const uint32_t per_socket = cores / sockets;
-        RunOptions opt;
-        opt.cores = per_socket;
-        opt.measureRecords = 2'000'000ull * per_socket;
-        const SystemResult r = runWorkload(prof, plt1, opt);
+        per_socket_counts.push_back(per_socket);
+        options.push_back(bench::baseOptions(
+            per_socket, 2'000'000ull * per_socket));
+    }
+    const std::vector<SystemResult> results =
+        runWorkloadSweep(prof, plt1, options, bench::sweepControl(args));
+
+    Table t({"Cores", "Cores/socket", "Per-thread IPC",
+             "Normalized QPS", "Scaling efficiency"});
+    double qps8 = 0;
+    for (size_t i = 0; i < core_counts.size(); ++i) {
+        const uint32_t cores = core_counts[i];
+        const SystemResult &r = results[i];
         const double qps = cores * r.ipcPerThread;
         if (qps8 == 0)
             qps8 = qps;
-        t.addRow({Table::fmtInt(cores), Table::fmtInt(per_socket),
+        t.addRow({Table::fmtInt(cores),
+                  Table::fmtInt(per_socket_counts[i]),
                   Table::fmt(r.ipcPerThread, 3),
                   Table::fmt(qps / qps8, 2),
                   Table::fmtPct(qps / qps8 / (cores / 8.0), 1)});
-        std::fflush(stdout);
     }
     t.print();
     std::printf("\nPaper: near-perfect linear scaling to 72 cores "
@@ -59,8 +69,8 @@ runFig2a()
 } // namespace wsearch
 
 int
-main()
+main(int argc, char **argv)
 {
-    wsearch::runFig2a();
+    wsearch::runFig2a(wsearch::bench::parseArgs(argc, argv));
     return 0;
 }

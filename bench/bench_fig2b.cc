@@ -10,8 +10,9 @@
 #include <cstdio>
 
 #include <algorithm>
+#include <vector>
 
-#include "core/experiments.hh"
+#include "common.hh"
 #include "cpu/smt.hh"
 #include "util/table.hh"
 
@@ -20,23 +21,31 @@ namespace {
 
 void
 runPlatform(const PlatformConfig &plt, const std::vector<uint32_t> &smt,
-            const std::vector<double> &paper_speedups, Table &t)
+            const std::vector<double> &paper_speedups,
+            const bench::Args &args, Table &t)
 {
     const WorkloadProfile prof = WorkloadProfile::s1Leaf();
     const uint32_t cores = 8;
 
-    double base_core_ipc = 0;
-    for (size_t i = 0; i < smt.size(); ++i) {
-        const uint32_t m = smt[i];
-        RunOptions opt;
-        opt.cores = cores;
+    std::vector<RunOptions> options;
+    for (const uint32_t m : smt) {
         // Cache contention is simulated up to SMT-2; beyond that the
         // fine-grained timing interleaving (which a functional model
         // cannot capture) offsets further contention, so the issue
         // model's eta factors carry the remainder.
-        opt.smtWays = std::min(m, 2u);
-        opt.measureRecords = 2'000'000ull * cores * opt.smtWays;
-        const SystemResult r = runWorkload(prof, plt, opt);
+        const uint32_t ways = std::min(m, 2u);
+        RunOptions opt = bench::baseOptions(
+            cores, 2'000'000ull * cores * ways);
+        opt.smtWays = ways;
+        options.push_back(opt);
+    }
+    const std::vector<SystemResult> results =
+        runWorkloadSweep(prof, plt, options, bench::sweepControl(args));
+
+    double base_core_ipc = 0;
+    for (size_t i = 0; i < smt.size(); ++i) {
+        const uint32_t m = smt[i];
+        const SystemResult &r = results[i];
         const double core_ipc =
             smtCoreIpc(r.ipcPerThread, plt.width, m, plt.smt);
         if (m == 1)
@@ -47,21 +56,20 @@ runPlatform(const PlatformConfig &plt, const std::vector<uint32_t> &smt,
                   Table::fmt(core_ipc, 3), Table::fmt(speedup, 2),
                   paper_speedups[i] > 0 ? Table::fmt(paper_speedups[i], 2)
                                         : std::string("-")});
-        std::fflush(stdout);
     }
 }
 
 void
-runFig2b()
+runFig2b(const bench::Args &args)
 {
-    printBanner("Figure 2b",
-                "SMT throughput (threads share L1/L2; contention "
-                "emergent)");
+    bench::banner(args, "Figure 2b",
+                  "SMT throughput (threads share L1/L2; contention "
+                  "emergent)");
     Table t({"Platform", "SMT", "IPC/thread", "Core IPC",
              "Speedup vs SMT-1", "(paper)"});
-    runPlatform(PlatformConfig::plt1(), {1, 2}, {1.0, 1.37}, t);
+    runPlatform(PlatformConfig::plt1(), {1, 2}, {1.0, 1.37}, args, t);
     runPlatform(PlatformConfig::plt2(), {1, 2, 4, 8},
-                {1.0, 1.76, 2.5, 3.24}, t);
+                {1.0, 1.76, 2.5, 3.24}, args, t);
     t.print();
 }
 
@@ -69,8 +77,8 @@ runFig2b()
 } // namespace wsearch
 
 int
-main()
+main(int argc, char **argv)
 {
-    wsearch::runFig2b();
+    wsearch::runFig2b(wsearch::bench::parseArgs(argc, argv));
     return 0;
 }

@@ -8,53 +8,50 @@
  */
 
 #include <cstdio>
+#include <vector>
 
-#include "core/experiments.hh"
+#include "common.hh"
 #include "util/table.hh"
 
 namespace wsearch {
 namespace {
 
-double
-qpsOf(const PlatformConfig &plt, const RunOptions &opt)
-{
-    const SystemResult r =
-        runWorkload(WorkloadProfile::s1Leaf(), plt, opt);
-    return opt.cores * r.ipcPerThread;
-}
-
 void
-runFig2c()
+runFig2c(const bench::Args &args)
 {
-    printBanner("Figure 2c", "Huge pages and hardware prefetching");
+    bench::banner(args, "Figure 2c",
+                  "Huge pages and hardware prefetching");
     Table t({"Platform", "Feature", "QPS improvement", "(paper)"});
 
     for (const PlatformConfig &plt :
          {PlatformConfig::plt1(), PlatformConfig::plt2()}) {
-        RunOptions base;
-        base.cores = 8;
-        base.measureRecords = 16'000'000;
+        RunOptions base = bench::baseOptions(8, 16'000'000);
         base.modelTlb = true;
         base.hugePages = false;
 
-        // Huge pages: 4K->2M on PLT1, 64K->16M on PLT2.
+        // Huge pages: 4K->2M on PLT1, 64K->16M on PLT2. Prefetchers
+        // are evaluated with huge pages on (as deployed); its "off"
+        // baseline is the huge-pages run itself.
         RunOptions huge = base;
         huge.hugePages = true;
-        const double q_base = qpsOf(plt, base);
-        const double q_huge = qpsOf(plt, huge);
+        RunOptions pf_on = huge;
+        pf_on.prefetch = plt.prefetchEngine;
+
+        const std::vector<SystemResult> results =
+            runWorkloadSweep(WorkloadProfile::s1Leaf(), plt,
+                             {base, huge, pf_on},
+                             bench::sweepControl(args));
+        auto qps = [&](const SystemResult &r) {
+            return base.cores * r.ipcPerThread;
+        };
+        const double q_base = qps(results[0]);
+        const double q_huge = qps(results[1]);
+        const double q_pf = qps(results[2]);
         t.addRow({plt.name, "Huge pages",
                   Table::fmtPct(q_huge / q_base - 1.0, 1),
                   plt.name == "PLT1" ? "~10%" : "~9%"});
-        std::fflush(stdout);
-
-        // Prefetchers (TLB with huge pages on, as deployed).
-        RunOptions pf_off = huge;
-        RunOptions pf_on = huge;
-        pf_on.prefetch = plt.prefetchEngine;
-        const double q_off = qpsOf(plt, pf_off);
-        const double q_on = qpsOf(plt, pf_on);
         t.addRow({plt.name, "HW prefetchers",
-                  Table::fmtPct(q_on / q_off - 1.0, 1),
+                  Table::fmtPct(q_pf / q_huge - 1.0, 1),
                   plt.name == "PLT1" ? "~5%" : "slightly negative"});
         std::fflush(stdout);
     }
@@ -65,8 +62,8 @@ runFig2c()
 } // namespace wsearch
 
 int
-main()
+main(int argc, char **argv)
 {
-    wsearch::runFig2c();
+    wsearch::runFig2c(wsearch::bench::parseArgs(argc, argv));
     return 0;
 }

@@ -8,22 +8,23 @@
 
 #include <cstdio>
 
-#include "core/experiments.hh"
+#include "common.hh"
 #include "util/table.hh"
 
 namespace wsearch {
 namespace {
 
 void
-runFig3()
+runFig3(const bench::Args &args)
 {
-    printBanner("Figure 3",
-                "Top-Down breakdown of an S1 leaf on PLT1");
-    RunOptions opt;
-    opt.cores = 16;
-    opt.measureRecords = 24'000'000;
-    const SystemResult r = runWorkload(WorkloadProfile::s1Leaf(),
-                                       PlatformConfig::plt1(), opt);
+    bench::banner(args, "Figure 3",
+                  "Top-Down breakdown of an S1 leaf on PLT1");
+    const SystemResult r =
+        runWorkloadSweep(WorkloadProfile::s1Leaf(),
+                         PlatformConfig::plt1(),
+                         {bench::baseOptions(16, 24'000'000)},
+                         bench::sweepControl(args))
+            .front();
     const TopDown &td = r.topdown;
 
     Table t({"Category", "Measured", "Paper"});
@@ -53,8 +54,8 @@ runFig3()
 } // namespace wsearch
 
 int
-main()
+main(int argc, char **argv)
 {
-    wsearch::runFig3();
+    wsearch::runFig3(wsearch::bench::parseArgs(argc, argv));
     return 0;
 }

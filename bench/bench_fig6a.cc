@@ -8,24 +8,24 @@
 
 #include <cstdio>
 
-#include "core/experiments.hh"
+#include "common.hh"
 #include "util/table.hh"
 
 namespace wsearch {
 namespace {
 
 void
-runFig6a()
+runFig6a(const bench::Args &args)
 {
-    printBanner("Figure 6a",
-                "Cache MPKI across the hierarchy by access type");
-    RunOptions opt;
-    opt.cores = 16;
+    bench::banner(args, "Figure 6a",
+                  "Cache MPKI across the hierarchy by access type");
+    RunOptions opt = bench::baseOptions(16, 32'000'000, 48'000'000);
     opt.l3Bytes = 40 * MiB;
-    opt.measureRecords = 32'000'000;
-    opt.warmupRecords = 48'000'000;
-    const SystemResult r = runWorkload(WorkloadProfile::s1Leaf(),
-                                       PlatformConfig::plt1(), opt);
+    const SystemResult r =
+        runWorkloadSweep(WorkloadProfile::s1Leaf(),
+                         PlatformConfig::plt1(), {opt},
+                         bench::sweepControl(args))
+            .front();
     const uint64_t instr = r.instructions;
     const CacheLevelStats l1 = [&] {
         CacheLevelStats s = r.l1i;
@@ -56,8 +56,8 @@ runFig6a()
 } // namespace wsearch
 
 int
-main()
+main(int argc, char **argv)
 {
-    wsearch::runFig6a();
+    wsearch::runFig6a(wsearch::bench::parseArgs(argc, argv));
     return 0;
 }

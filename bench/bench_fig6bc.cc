@@ -7,38 +7,46 @@
  *
  * Runs on the 1/32-scale sweep profile (see WorkloadProfile::
  * s1LeafSweep); capacities below are simulated sizes, reported with
- * their paper-equivalent (x16) alongside.
+ * their paper-equivalent (x16) alongside. All capacities replay the
+ * same shared trace buffer concurrently via the sweep engine.
  */
 
 #include <cstdio>
 #include <vector>
 
-#include "core/experiments.hh"
+#include "common.hh"
 #include "util/table.hh"
 
 namespace wsearch {
 namespace {
 
 void
-runFig6bc()
+runFig6bc(const bench::Args &args)
 {
-    printBanner("Figure 6b/6c",
-                "L3 hit-rate and MPKI vs capacity, by access type "
-                "(1/32-scale sweep)");
+    bench::banner(args, "Figure 6b/6c",
+                  "L3 hit-rate and MPKI vs capacity, by access type "
+                  "(1/32-scale sweep)");
     const WorkloadProfile prof = WorkloadProfile::s1LeafCapacitySweep();
     const PlatformConfig plt1 = PlatformConfig::plt1();
+
+    std::vector<uint64_t> sizes;
+    std::vector<RunOptions> options;
+    for (uint64_t sim = 128 * KiB; sim <= 64 * MiB; sim *= 2) {
+        RunOptions opt = bench::baseOptions(16, 24'000'000, 48'000'000);
+        opt.l3Bytes = sim;
+        opt.l3Ways = 16; // power-of-two friendly across the sweep
+        sizes.push_back(sim);
+        options.push_back(opt);
+    }
+    const std::vector<SystemResult> results =
+        runWorkloadSweep(prof, plt1, options, bench::sweepControl(args));
 
     Table t({"L3 (paper-eq)", "L3 (sim)", "Code hit", "Heap hit",
              "Shard hit", "Comb. hit", "Code MPKI", "Heap MPKI",
              "Shard MPKI", "Comb. MPKI"});
-    for (uint64_t sim = 128 * KiB; sim <= 64 * MiB; sim *= 2) {
-        RunOptions opt;
-        opt.cores = 16;
-        opt.l3Bytes = sim;
-        opt.l3Ways = 16; // power-of-two friendly across the sweep
-        opt.measureRecords = 24'000'000;
-        opt.warmupRecords = 48'000'000;
-        const SystemResult r = runWorkload(prof, plt1, opt);
+    for (size_t i = 0; i < sizes.size(); ++i) {
+        const SystemResult &r = results[i];
+        const uint64_t sim = sizes[i];
         const uint64_t instr = r.instructions;
         t.addRow({formatBytes(sim * prof.sweepScale), formatBytes(sim),
                   Table::fmtPct(r.l3.hitRate(AccessKind::Code), 0),
@@ -49,7 +57,6 @@ runFig6bc()
                   Table::fmt(r.l3.mpki(AccessKind::Heap, instr), 2),
                   Table::fmt(r.l3.mpki(AccessKind::Shard, instr), 2),
                   Table::fmt(r.l3.mpkiTotal(instr), 2)});
-        std::fflush(stdout);
     }
     t.print();
     std::printf("\nPaper landmarks: code misses vanish by 16 MiB; "
@@ -63,8 +70,8 @@ runFig6bc()
 } // namespace wsearch
 
 int
-main()
+main(int argc, char **argv)
 {
-    wsearch::runFig6bc();
+    wsearch::runFig6bc(wsearch::bench::parseArgs(argc, argv));
     return 0;
 }

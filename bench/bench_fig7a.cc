@@ -11,8 +11,9 @@
  */
 
 #include <cstdio>
+#include <vector>
 
-#include "core/experiments.hh"
+#include "common.hh"
 #include "memsim/miss_class.hh"
 #include "trace/synthetic.hh"
 #include "util/table.hh"
@@ -26,10 +27,10 @@ struct LevelMpki
 };
 
 void
-runFig7a()
+runFig7a(const bench::Args &args)
 {
-    printBanner("Figure 7a",
-                "MPKI decrease from eliminating conflict misses");
+    bench::banner(args, "Figure 7a",
+                  "MPKI decrease from eliminating conflict misses");
     // Conflict-free variants: one level at a time gets enough ways
     // that conflicts effectively vanish (L1: single 512-way set; L2:
     // 8 sets; L3: 64-way -- high enough to kill conflicts while
@@ -37,29 +38,31 @@ runFig7a()
     const PlatformConfig plt = PlatformConfig::plt1();
     const WorkloadProfile prof = WorkloadProfile::s1Leaf();
 
-    auto run_with_ways = [&](uint32_t l1ways, uint32_t l2ways,
-                             uint32_t l3ways,
-                             uint64_t records) -> LevelMpki {
-        SystemConfig cfg = plt.system(prof, 16);
-        cfg.hierarchy.l1i.ways = l1ways;
-        cfg.hierarchy.l1d.ways = l1ways;
-        cfg.hierarchy.l2.ways = l2ways;
-        cfg.hierarchy.l3.ways = l3ways;
-        SyntheticSearchTrace trace(prof, 16);
-        SystemSimulator sim(cfg);
-        const uint64_t n = traceBudget(records);
-        const SystemResult r = sim.run(trace, n / 2, n);
+    // Identical budgets for the baseline and every variant so cold
+    // misses cancel in the comparison; all four replay one shared
+    // trace buffer.
+    auto with_ways = [](uint32_t l1ways, uint32_t l2ways,
+                        uint32_t l3ways) {
+        RunOptions opt = bench::baseOptions(16, 16'000'000);
+        opt.l1Ways = l1ways;
+        opt.l2Ways = l2ways;
+        opt.l3Ways = l3ways;
+        return opt;
+    };
+    const std::vector<RunOptions> options = {
+        with_ways(8, 8, 20), with_ways(512, 8, 20),
+        with_ways(8, 512, 20), with_ways(8, 8, 64)};
+    const std::vector<SystemResult> results =
+        runWorkloadSweep(prof, plt, options, bench::sweepControl(args));
+    auto mpki = [](const SystemResult &r) -> LevelMpki {
         const uint64_t i = r.instructions;
         return {r.l1i.mpkiTotal(i), r.l1d.mpkiTotal(i),
                 r.l2.mpkiTotal(i), r.l3.mpkiTotal(i)};
     };
-
-    // Identical budgets for the baseline and every variant so cold
-    // misses cancel in the comparison.
-    const LevelMpki def = run_with_ways(8, 8, 20, 16'000'000);
-    const LevelMpki fa1 = run_with_ways(512, 8, 20, 16'000'000);
-    const LevelMpki fa2 = run_with_ways(8, 512, 20, 16'000'000);
-    const LevelMpki fa3 = run_with_ways(8, 8, 64, 16'000'000);
+    const LevelMpki def = mpki(results[0]);
+    const LevelMpki fa1 = mpki(results[1]);
+    const LevelMpki fa2 = mpki(results[2]);
+    const LevelMpki fa3 = mpki(results[3]);
 
     Table t({"Level", "Default MPKI", "Conflict-free MPKI",
              "Decrease", "(paper)"});
@@ -106,8 +109,8 @@ runFig7a()
 } // namespace wsearch
 
 int
-main()
+main(int argc, char **argv)
 {
-    wsearch::runFig7a();
+    wsearch::runFig7a(wsearch::bench::parseArgs(argc, argv));
     return 0;
 }

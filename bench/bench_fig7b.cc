@@ -7,31 +7,40 @@
  */
 
 #include <cstdio>
+#include <vector>
 
-#include "core/experiments.hh"
+#include "common.hh"
 #include "util/table.hh"
 
 namespace wsearch {
 namespace {
 
 void
-runFig7b()
+runFig7b(const bench::Args &args)
 {
-    printBanner("Figure 7b", "MPKI vs cache block size (all levels)");
-    Table t({"Block", "L1-I MPKI", "L1-D MPKI", "L2 MPKI", "L3 MPKI"});
-    for (uint32_t block : {32u, 64u, 128u, 256u, 512u, 1024u}) {
-        RunOptions opt;
-        opt.cores = 16;
+    bench::banner(args, "Figure 7b",
+                  "MPKI vs cache block size (all levels)");
+    const std::vector<uint32_t> blocks = {32, 64, 128, 256, 512, 1024};
+    std::vector<RunOptions> options;
+    for (const uint32_t block : blocks) {
+        RunOptions opt = bench::baseOptions(16, 16'000'000);
         opt.blockBytes = block;
-        opt.measureRecords = 16'000'000;
-        const SystemResult r = runWorkload(WorkloadProfile::s1Leaf(),
-                                           PlatformConfig::plt1(), opt);
+        options.push_back(opt);
+    }
+    const std::vector<SystemResult> results =
+        runWorkloadSweep(WorkloadProfile::s1Leaf(),
+                         PlatformConfig::plt1(), options,
+                         bench::sweepControl(args));
+
+    Table t({"Block", "L1-I MPKI", "L1-D MPKI", "L2 MPKI", "L3 MPKI"});
+    for (size_t j = 0; j < blocks.size(); ++j) {
+        const SystemResult &r = results[j];
         const uint64_t i = r.instructions;
-        t.addRow({formatBytes(block), Table::fmt(r.l1i.mpkiTotal(i), 2),
+        t.addRow({formatBytes(blocks[j]),
+                  Table::fmt(r.l1i.mpkiTotal(i), 2),
                   Table::fmt(r.l1d.mpkiTotal(i), 2),
                   Table::fmt(r.l2.mpkiTotal(i), 2),
                   Table::fmt(r.l3.mpkiTotal(i), 2)});
-        std::fflush(stdout);
     }
     t.print();
     std::printf("\nPaper: MPKI shrinks with block size (sequential "
@@ -44,8 +53,8 @@ runFig7b()
 } // namespace wsearch
 
 int
-main()
+main(int argc, char **argv)
 {
-    wsearch::runFig7b();
+    wsearch::runFig7b(wsearch::bench::parseArgs(argc, argv));
     return 0;
 }

@@ -10,18 +10,18 @@
 #include <cstdio>
 #include <vector>
 
+#include "common.hh"
 #include "core/amat_model.hh"
-#include "core/experiments.hh"
 #include "util/table.hh"
 
 namespace wsearch {
 namespace {
 
 void
-runFig8()
+runFig8(const bench::Args &args)
 {
-    printBanner("Figure 8",
-                "IPC vs L3 hit rate / AMAT via CAT partitioning");
+    bench::banner(args, "Figure 8",
+                  "IPC vs L3 hit rate / AMAT via CAT partitioning");
     const PlatformConfig plt1 = PlatformConfig::plt1();
     // CAT on the 45 MiB L3 is exercised at 1/32 scale on the sweep
     // profile (see DESIGN.md: GiB-era locality cannot be warmed at
@@ -29,25 +29,30 @@ runFig8()
     const WorkloadProfile prof = WorkloadProfile::s1LeafSweep();
     const uint32_t scale = prof.sweepScale;
 
+    std::vector<uint32_t> way_counts;
+    std::vector<RunOptions> options;
+    for (uint32_t ways = 2; ways <= 20; ways += 2) {
+        RunOptions opt = bench::baseOptions(16, 16'000'000, 32'000'000);
+        opt.l3Bytes = plt1.l3Bytes / scale;
+        opt.l3PartitionWays = ways;
+        way_counts.push_back(ways);
+        options.push_back(opt);
+    }
+    const std::vector<SystemResult> results =
+        runWorkloadSweep(prof, plt1, options, bench::sweepControl(args));
+
     Table t({"CAT ways", "L3 (paper-eq)", "L3 data hit rate",
              "AMAT (ns)", "IPC"});
     std::vector<double> amats, ipcs;
-    for (uint32_t ways = 2; ways <= 20; ways += 2) {
-        RunOptions opt;
-        opt.cores = 16;
-        opt.l3Bytes = plt1.l3Bytes / scale;
-        opt.l3PartitionWays = ways;
-        opt.measureRecords = 16'000'000;
-        opt.warmupRecords = 32'000'000;
-        const SystemResult r = runWorkload(prof, plt1, opt);
-        t.addRow({Table::fmtInt(ways),
-                  formatBytes(plt1.l3Bytes / 20 * ways),
+    for (size_t i = 0; i < way_counts.size(); ++i) {
+        const SystemResult &r = results[i];
+        t.addRow({Table::fmtInt(way_counts[i]),
+                  formatBytes(plt1.l3Bytes / 20 * way_counts[i]),
                   Table::fmtPct(r.l3DataHitRate(), 1),
                   Table::fmt(r.amatL3Ns, 1),
                   Table::fmt(r.ipcPerThread, 3)});
         amats.push_back(r.amatL3Ns);
         ipcs.push_back(r.ipcPerThread);
-        std::fflush(stdout);
     }
     t.print();
 
@@ -66,8 +71,8 @@ runFig8()
 } // namespace wsearch
 
 int
-main()
+main(int argc, char **argv)
 {
-    wsearch::runFig8();
+    wsearch::runFig8(wsearch::bench::parseArgs(argc, argv));
     return 0;
 }

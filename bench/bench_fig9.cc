@@ -7,59 +7,75 @@
  * area, designs with more cores and ~1 MiB/core of L3 beat the
  * default 2.5 MiB/core ratio, but capacities below the instruction
  * working set (~18 MiB total) are detrimental.
+ *
+ * The 100-configuration grid is the sweep engine's showcase: one
+ * shared trace buffer per core count, every CAT partitioning replayed
+ * concurrently.
  */
 
 #include <cstdio>
+#include <vector>
 
+#include "common.hh"
 #include "core/area_model.hh"
-#include "core/experiments.hh"
 #include "util/table.hh"
 
 namespace wsearch {
 namespace {
 
 void
-runFig9()
+runFig9(const bench::Args &args)
 {
-    printBanner("Figure 9",
-                "QPS vs L3-equivalent area (cores x CAT ways)");
+    bench::banner(args, "Figure 9",
+                  "QPS vs L3-equivalent area (cores x CAT ways)");
     const PlatformConfig plt1 = PlatformConfig::plt1();
     const WorkloadProfile prof = WorkloadProfile::s1LeafSweep();
     const AreaModel area;
+
+    const uint32_t core_counts[] = {4, 6, 8, 9, 10, 11, 12, 14, 16, 18};
+    struct Point
+    {
+        uint32_t cores, ways;
+    };
+    std::vector<Point> points;
+    std::vector<RunOptions> options;
+    for (const uint32_t cores : core_counts) {
+        for (uint32_t ways = 2; ways <= 20; ways += 2) {
+            RunOptions opt =
+                bench::baseOptions(cores, 8'000'000, 24'000'000);
+            opt.l3Bytes = plt1.l3Bytes / prof.sweepScale;
+            opt.l3PartitionWays = ways;
+            points.push_back({cores, ways});
+            options.push_back(opt);
+        }
+    }
+    const std::vector<SystemResult> results =
+        runWorkloadSweep(prof, plt1, options, bench::sweepControl(args));
 
     Table t({"Cores", "L3 ways", "L3 MiB", "MiB/core",
              "Area (L3-eq MiB)", "Norm. QPS"});
     double qps_ref = 0; // 4 cores, 2 ways
     double qps_9c10w = 0, qps_11c6w = 0, qps_18c4w = 0, qps_16c8w = 0;
-    const uint32_t core_counts[] = {4, 6, 8, 9, 10, 11, 12, 14, 16, 18};
-    for (const uint32_t cores : core_counts) {
-        for (uint32_t ways = 2; ways <= 20; ways += 2) {
-            RunOptions opt;
-            opt.cores = cores;
-            opt.l3Bytes = plt1.l3Bytes / prof.sweepScale;
-            opt.l3PartitionWays = ways;
-            opt.measureRecords = 8'000'000;
-            opt.warmupRecords = 24'000'000;
-            const SystemResult r = runWorkload(prof, plt1, opt);
-            const double qps = cores * r.ipcPerThread;
-            if (qps_ref == 0)
-                qps_ref = qps;
-            if (cores == 9 && ways == 10)
-                qps_9c10w = qps;
-            if (cores == 11 && ways == 6)
-                qps_11c6w = qps;
-            if (cores == 18 && ways == 4)
-                qps_18c4w = qps;
-            if (cores == 16 && ways == 8)
-                qps_16c8w = qps;
-            const double l3_mib = 45.0 * ways / 20.0;
-            t.addRow({Table::fmtInt(cores), Table::fmtInt(ways),
-                      Table::fmt(l3_mib, 2),
-                      Table::fmt(l3_mib / cores, 2),
-                      Table::fmt(area.area(cores, l3_mib / cores), 1),
-                      Table::fmt(qps / qps_ref, 2)});
-        }
-        std::fflush(stdout);
+    for (size_t i = 0; i < points.size(); ++i) {
+        const uint32_t cores = points[i].cores;
+        const uint32_t ways = points[i].ways;
+        const double qps = cores * results[i].ipcPerThread;
+        if (qps_ref == 0)
+            qps_ref = qps;
+        if (cores == 9 && ways == 10)
+            qps_9c10w = qps;
+        if (cores == 11 && ways == 6)
+            qps_11c6w = qps;
+        if (cores == 18 && ways == 4)
+            qps_18c4w = qps;
+        if (cores == 16 && ways == 8)
+            qps_16c8w = qps;
+        const double l3_mib = 45.0 * ways / 20.0;
+        t.addRow({Table::fmtInt(cores), Table::fmtInt(ways),
+                  Table::fmt(l3_mib, 2),
+                  Table::fmt(l3_mib / cores, 2),
+                  Table::fmt(area.area(cores, l3_mib / cores), 1),
+                  Table::fmt(qps / qps_ref, 2)});
     }
     t.print();
     std::printf("\nPaper's highlighted equal-area comparisons:\n");
@@ -76,8 +92,8 @@ runFig9()
 } // namespace wsearch
 
 int
-main()
+main(int argc, char **argv)
 {
-    wsearch::runFig9();
+    wsearch::runFig9(wsearch::bench::parseArgs(argc, argv));
     return 0;
 }

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Benchmarks (and gates) the parallel sweep engine itself on a
+ * Figure-6bc-shaped L3 capacity sweep: 8 configurations of the
+ * 1/32-scale S1 leaf, replayed
+ *
+ *   1. serial-classic   one runWorkload per config; each run
+ *                       regenerates its own trace (the pre-sweep
+ *                       code path),
+ *   2. buffered serial  runWorkloadSweep with threads=1; the trace
+ *                       is generated once into a shared BufferedTrace
+ *                       and every config replays chunked spans,
+ *   3. parallel         runWorkloadSweep at 2/4/8 worker threads,
+ *   4. sampled          --smoke's sampled-interval mode (estimates;
+ *                       reported separately, never identity-gated).
+ *
+ * Every exact run is compared counter-for-counter against the
+ * serial-classic oracle; any mismatch makes the binary exit nonzero,
+ * so CI can use it as the determinism gate. Wall-clock timings and
+ * speedups land in BENCH_sweep.json for EXPERIMENTS.md.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.hh"
+#include "util/table.hh"
+
+namespace wsearch {
+namespace {
+
+std::vector<RunOptions>
+sweepOptions(const bench::Args &args)
+{
+    // Smaller budgets in smoke mode: the point there is exercising
+    // the machinery (under TSan in CI), not timing fidelity.
+    const uint64_t measure = args.smoke ? 1'500'000 : 8'000'000;
+    const uint64_t warmup = args.smoke ? 1'000'000 : 16'000'000;
+    std::vector<RunOptions> options;
+    for (uint64_t sim = 128 * KiB; sim <= 16 * MiB; sim *= 2) {
+        RunOptions opt = bench::baseOptions(16, measure, warmup);
+        opt.l3Bytes = sim;
+        opt.l3Ways = 16;
+        options.push_back(opt);
+    }
+    return options;
+}
+
+/** Exact counter equality; prints the first difference found. */
+bool
+identical(const SystemResult &a, const SystemResult &b)
+{
+    auto differ = [](const char *what, uint64_t x, uint64_t y) {
+        if (x == y)
+            return false;
+        std::printf("MISMATCH %s: %llu != %llu\n", what,
+                    static_cast<unsigned long long>(x),
+                    static_cast<unsigned long long>(y));
+        return true;
+    };
+    if (differ("instructions", a.instructions, b.instructions) ||
+        differ("branches", a.branches, b.branches) ||
+        differ("mispredicts", a.mispredicts, b.mispredicts) ||
+        differ("dtlbWalks", a.dtlbWalks, b.dtlbWalks) ||
+        differ("itlbWalks", a.itlbWalks, b.itlbWalks) ||
+        differ("l3Evictions", a.l3Evictions, b.l3Evictions) ||
+        differ("writebacks", a.writebacks, b.writebacks) ||
+        differ("backInvalidations", a.backInvalidations,
+               b.backInvalidations))
+        return false;
+    const CacheLevelStats *as[] = {&a.l1i, &a.l1d, &a.l2, &a.l3, &a.l4};
+    const CacheLevelStats *bs[] = {&b.l1i, &b.l1d, &b.l2, &b.l3, &b.l4};
+    for (int lvl = 0; lvl < 5; ++lvl)
+        for (uint32_t k = 0; k < kNumAccessKinds; ++k)
+            if (differ("cache accesses", as[lvl]->accesses[k],
+                       bs[lvl]->accesses[k]) ||
+                differ("cache misses", as[lvl]->misses[k],
+                       bs[lvl]->misses[k]))
+                return false;
+    if (a.ipcPerThread != b.ipcPerThread ||
+        a.amatL3Ns != b.amatL3Ns ||
+        a.topdown.total() != b.topdown.total()) {
+        std::printf("MISMATCH derived metrics (ipc/amat/topdown)\n");
+        return false;
+    }
+    return true;
+}
+
+int
+runBenchSweep(const bench::Args &args)
+{
+    // In this driver --smoke shrinks budgets but the gated runs stay
+    // exact, so skip the "all numbers are estimates" banner notice;
+    // only the explicitly labelled sampled row is an estimate.
+    bench::Args banner_args = args;
+    banner_args.smoke = false;
+    bench::banner(banner_args, "Sweep engine",
+                  "serial-classic vs shared-buffer vs parallel replay "
+                  "(8-config L3 capacity sweep)");
+    const WorkloadProfile prof = WorkloadProfile::s1LeafCapacitySweep();
+    const PlatformConfig plt1 = PlatformConfig::plt1();
+    const std::vector<RunOptions> options = sweepOptions(args);
+    const uint64_t records_per_config = recordBudget(options[0]).total();
+
+    // 1. Serial-classic oracle: per-config trace regeneration.
+    double t0 = bench::nowSec();
+    std::vector<SystemResult> oracle;
+    for (const RunOptions &opt : options)
+        oracle.push_back(runWorkload(prof, plt1, opt));
+    const double serial_sec = bench::nowSec() - t0;
+    std::printf("serial-classic: %u configs x %llu records in %.2fs\n",
+                static_cast<unsigned>(options.size()),
+                static_cast<unsigned long long>(records_per_config),
+                serial_sec);
+    std::fflush(stdout);
+
+    bench::JsonWriter json;
+    json.add("bench", std::string("sweep"));
+    json.add("smoke", static_cast<uint64_t>(args.smoke ? 1 : 0));
+    json.add("configs", static_cast<uint64_t>(options.size()));
+    json.add("records_per_config", records_per_config);
+    json.add("sim_threads_default", static_cast<uint64_t>(simThreads()));
+    json.add("serial_classic_sec", serial_sec);
+    json.beginArray("runs");
+
+    Table t({"Mode", "Threads", "Wall (s)", "Speedup", "Identical"});
+    t.addRow({"serial-classic", "-", Table::fmt(serial_sec, 2),
+              Table::fmt(1.0, 2), "(oracle)"});
+
+    bool all_identical = true;
+    const std::vector<uint32_t> thread_counts = {1, 2, 4, 8};
+    for (const uint32_t threads : thread_counts) {
+        SweepControl control;
+        control.threads = threads;
+        t0 = bench::nowSec();
+        const std::vector<SystemResult> got =
+            runWorkloadSweep(prof, plt1, options, control);
+        const double sec = bench::nowSec() - t0;
+
+        bool same = got.size() == oracle.size();
+        for (size_t i = 0; same && i < oracle.size(); ++i)
+            same = identical(got[i], oracle[i]);
+        all_identical = all_identical && same;
+
+        const char *mode =
+            threads == 1 ? "buffered serial" : "parallel";
+        t.addRow({mode, Table::fmtInt(threads), Table::fmt(sec, 2),
+                  Table::fmt(serial_sec / sec, 2),
+                  same ? "yes" : "NO"});
+        json.beginObject();
+        json.add("mode", std::string(mode));
+        json.add("threads", static_cast<uint64_t>(threads));
+        json.add("wall_sec", sec);
+        json.add("speedup_vs_serial_classic", serial_sec / sec);
+        json.add("identical", static_cast<uint64_t>(same ? 1 : 0));
+        json.endObject();
+        std::fflush(stdout);
+    }
+
+    // Sampled quick-look mode, timed for reference. Estimates by
+    // design -- never part of the identity gate.
+    {
+        bench::Args smoke_args = args;
+        smoke_args.smoke = true;
+        SweepControl control = bench::sweepControl(smoke_args);
+        control.threads = 1;
+        t0 = bench::nowSec();
+        const std::vector<SystemResult> sampled =
+            runWorkloadSweep(prof, plt1, options, control);
+        const double sec = bench::nowSec() - t0;
+        t.addRow({"sampled (est.)", "1", Table::fmt(sec, 2),
+                  Table::fmt(serial_sec / sec, 2),
+                  "n/a (sampled)"});
+        json.beginObject();
+        json.add("mode", std::string("sampled"));
+        json.add("threads", static_cast<uint64_t>(1));
+        json.add("wall_sec", sec);
+        json.add("speedup_vs_serial_classic", serial_sec / sec);
+        json.add("sampled_windows", sampled[0].sampledWindows);
+        json.add("simulated_fraction",
+                 control.sampling.simulatedFraction());
+        json.endObject();
+    }
+    json.endArray();
+    json.add("all_identical",
+             static_cast<uint64_t>(all_identical ? 1 : 0));
+
+    t.print();
+    const std::string out = "BENCH_sweep.json";
+    if (json.writeFile(out))
+        std::printf("\nTimings written to %s\n", out.c_str());
+
+    if (!all_identical) {
+        std::printf("\nFAIL: sweep results differ from the "
+                    "serial-classic oracle\n");
+        return 1;
+    }
+    std::printf("\nAll sweep modes bit-identical to the "
+                "serial-classic oracle.\n");
+    std::printf("Note: parallel speedup requires hardware threads; "
+                "on a single-CPU host the win comes from generating "
+                "the trace once instead of once per config.\n");
+    return 0;
+}
+
+} // namespace
+} // namespace wsearch
+
+int
+main(int argc, char **argv)
+{
+    return wsearch::runBenchSweep(wsearch::bench::parseArgs(argc, argv));
+}

@@ -6,6 +6,10 @@
  * and PLT2 lab platforms, four SPEC CPU2006 representatives, and the
  * CloudSuite v3 Web Search.
  *
+ * The rows are heterogeneous (different profiles and platforms), so
+ * they run through runWorkloads -- each row gets a private trace and
+ * simulator on a worker thread.
+ *
  * Paper reference values are printed alongside for comparison; see
  * EXPERIMENTS.md for the recorded deltas.
  */
@@ -14,7 +18,7 @@
 #include <string>
 #include <vector>
 
-#include "core/experiments.hh"
+#include "common.hh"
 #include "util/table.hh"
 
 namespace wsearch {
@@ -31,11 +35,11 @@ struct Row
 };
 
 void
-runTable1()
+runTable1(const bench::Args &args)
 {
-    printBanner("Table I",
-                "Key performance metrics for search, SPEC CPU2006, and "
-                "CloudSuite");
+    bench::banner(args, "Table I",
+                  "Key performance metrics for search, SPEC CPU2006, "
+                  "and CloudSuite");
 
     const PlatformConfig plt1 = PlatformConfig::plt1();
     const PlatformConfig plt2 = PlatformConfig::plt2();
@@ -69,20 +73,25 @@ runTable1()
          plt1, 16, 1.61, 0.03, 0.28, 0.51},
     };
 
+    std::vector<WorkloadSpec> specs;
+    for (const auto &row : rows) {
+        RunOptions opt = bench::baseOptions(
+            row.cores, row.cores >= 8 ? 24'000'000 : 8'000'000);
+        specs.push_back({row.profile, row.platform, opt});
+    }
+    const std::vector<SystemResult> results =
+        runWorkloads(specs, bench::sweepControl(args));
+
     Table t({"Workload", "IPC", "(ref)", "L3 load MPKI", "(ref)",
              "L2-I MPKI", "(ref)", "Branch MPKI", "(ref)"});
-    for (const auto &row : rows) {
-        RunOptions opt;
-        opt.cores = row.cores;
-        opt.measureRecords = row.cores >= 8 ? 24'000'000 : 8'000'000;
-        const SystemResult r =
-            runWorkload(row.profile, row.platform, opt);
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row &row = rows[i];
+        const SystemResult &r = results[i];
         t.addRow({row.label, Table::fmt(r.ipcPerThread, 2),
                   Table::fmt(row.refIpc, 2), Table::fmt(r.l3LoadMpki(), 2),
                   Table::fmt(row.refL3, 2), Table::fmt(r.l2InstrMpki(), 2),
                   Table::fmt(row.refL2i, 2), Table::fmt(r.branchMpki(), 2),
                   Table::fmt(row.refBr, 2)});
-        std::fflush(stdout);
     }
     t.print();
 }
@@ -91,8 +100,8 @@ runTable1()
 } // namespace wsearch
 
 int
-main()
+main(int argc, char **argv)
 {
-    wsearch::runTable1();
+    wsearch::runTable1(wsearch::bench::parseArgs(argc, argv));
     return 0;
 }

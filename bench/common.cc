@@ -1,0 +1,155 @@
+#include "common.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace wsearch {
+namespace bench {
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strcmp(a, "--smoke") == 0) {
+            args.smoke = true;
+        } else if (std::strncmp(a, "--threads=", 10) == 0) {
+            args.threads =
+                static_cast<uint32_t>(std::strtoul(a + 10, nullptr, 10));
+        }
+    }
+    return args;
+}
+
+SweepControl
+sweepControl(const Args &args)
+{
+    SweepControl control;
+    control.threads = args.threads;
+    if (args.smoke) {
+        // ~1/4 of the trace in windows of 1/8 warmup + 1/8 measure.
+        control.sampling.periodRecords = traceBudget(4'000'000);
+        control.sampling.warmupRecords = traceBudget(500'000);
+        control.sampling.measureRecords = traceBudget(500'000);
+    }
+    return control;
+}
+
+RunOptions
+baseOptions(uint32_t cores, uint64_t measure_records,
+            uint64_t warmup_records)
+{
+    RunOptions opt;
+    opt.cores = cores;
+    opt.measureRecords = measure_records;
+    opt.warmupRecords = warmup_records;
+    return opt;
+}
+
+void
+banner(const Args &args, const std::string &experiment_id,
+       const std::string &description)
+{
+    printBanner(experiment_id, description);
+    if (args.smoke) {
+        const SampledIntervals s = sweepControl(args).sampling;
+        std::printf("(--smoke: SAMPLED intervals -- %.0f%% of each "
+                    "trace simulated in periodic windows; all numbers "
+                    "are estimates)\n\n",
+                    100.0 * s.simulatedFraction());
+    }
+}
+
+double
+nowSec()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+void
+JsonWriter::comma()
+{
+    if (needComma_)
+        out_ += ",";
+    needComma_ = true;
+}
+
+void
+JsonWriter::add(const std::string &key, double value)
+{
+    comma();
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    out_ += "\"" + key + "\":" + buf;
+}
+
+void
+JsonWriter::add(const std::string &key, uint64_t value)
+{
+    comma();
+    out_ += "\"" + key + "\":" + std::to_string(value);
+}
+
+void
+JsonWriter::add(const std::string &key, const std::string &value)
+{
+    comma();
+    out_ += "\"" + key + "\":\"" + value + "\"";
+}
+
+void
+JsonWriter::beginArray(const std::string &key)
+{
+    comma();
+    out_ += "\"" + key + "\":[";
+    needComma_ = false;
+}
+
+void
+JsonWriter::beginObject()
+{
+    comma();
+    out_ += "{";
+    needComma_ = false;
+}
+
+void
+JsonWriter::endObject()
+{
+    out_ += "}";
+    needComma_ = true;
+}
+
+void
+JsonWriter::endArray()
+{
+    out_ += "]";
+    needComma_ = true;
+}
+
+bool
+JsonWriter::writeFile(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    const std::string body = str();
+    const bool ok =
+        std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    std::fclose(f);
+    return ok;
+}
+
+std::string
+JsonWriter::str() const
+{
+    return out_ + "}\n";
+}
+
+} // namespace bench
+} // namespace wsearch

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Shared harness for the figure/table bench drivers: command-line
+ * parsing (--smoke, --threads), the standard RunOptions/budget
+ * boilerplate every driver used to duplicate, the SweepControl fed to
+ * the parallel sweep engine, wall-clock timing, and a minimal JSON
+ * emitter for machine-readable bench output (BENCH_*.json).
+ *
+ * Runtime knobs (see README.md):
+ *   WSEARCH_SIM_THREADS  sweep worker threads (default: hardware
+ *                        concurrency); --threads=N overrides
+ *   --smoke              sampled-interval quick-look mode: periodic
+ *                        warmup+measure windows instead of the full
+ *                        contiguous replay; results are ESTIMATES and
+ *                        are banner-labelled as sampled
+ */
+
+#ifndef WSEARCH_BENCH_COMMON_HH
+#define WSEARCH_BENCH_COMMON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiments.hh"
+
+namespace wsearch {
+namespace bench {
+
+/** Command-line knobs shared by all drivers. */
+struct Args
+{
+    bool smoke = false;   ///< sampled quick-look mode
+    uint32_t threads = 0; ///< sweep workers; 0 = WSEARCH_SIM_THREADS
+};
+
+/** Parse --smoke / --threads=N; unknown arguments are ignored. */
+Args parseArgs(int argc, char **argv);
+
+/**
+ * SweepControl implied by @p args: worker threads plus, in smoke
+ * mode, sampled intervals covering ~1/4 of each trace (budget-scaled
+ * so WSEARCH_FAST smoke runs still get several windows).
+ */
+SweepControl sweepControl(const Args &args);
+
+/**
+ * The standard driver preamble: cores + nominal record budgets
+ * (warmup 0 = half the measure budget, the repo-wide default).
+ */
+RunOptions baseOptions(uint32_t cores, uint64_t measure_records,
+                       uint64_t warmup_records = 0);
+
+/**
+ * printBanner plus the sampled-mode notice when @p args.smoke: any
+ * numbers printed under a sampled banner are estimates.
+ */
+void banner(const Args &args, const std::string &experiment_id,
+            const std::string &description);
+
+/** Monotonic wall clock in seconds. */
+double nowSec();
+
+/**
+ * Minimal JSON object writer for BENCH_*.json artifacts. Values are
+ * emitted in insertion order; nested arrays of objects supported via
+ * beginArray/add/endArray.
+ */
+class JsonWriter
+{
+  public:
+    void add(const std::string &key, double value);
+    void add(const std::string &key, uint64_t value);
+    void add(const std::string &key, const std::string &value);
+    void beginArray(const std::string &key);
+    void beginObject();
+    void endObject();
+    void endArray();
+
+    /** Write the accumulated object to @p path; returns success. */
+    bool writeFile(const std::string &path) const;
+
+    std::string str() const;
+
+  private:
+    void comma();
+    std::string out_ = "{";
+    bool needComma_ = false;
+};
+
+} // namespace bench
+} // namespace wsearch
+
+#endif // WSEARCH_BENCH_COMMON_HH

@@ -1,14 +1,18 @@
 #include "core/experiments.hh"
 
+#include <algorithm>
 #include <cstdio>
+#include <map>
+#include <memory>
 
+#include "trace/buffered_trace.hh"
 #include "trace/synthetic.hh"
 
 namespace wsearch {
 
-SystemResult
-runWorkload(const WorkloadProfile &profile,
-            const PlatformConfig &platform, const RunOptions &opt)
+SystemConfig
+makeSystemConfig(const WorkloadProfile &profile,
+                 const PlatformConfig &platform, const RunOptions &opt)
 {
     SystemConfig cfg = platform.system(profile, opt.cores, opt.smtWays,
                                        opt.l3PartitionWays, opt.l4);
@@ -16,6 +20,12 @@ runWorkload(const WorkloadProfile &profile,
         cfg.hierarchy.l3.sizeBytes = *opt.l3Bytes;
     if (opt.l3Ways)
         cfg.hierarchy.l3.ways = *opt.l3Ways;
+    if (opt.l1Ways) {
+        cfg.hierarchy.l1i.ways = *opt.l1Ways;
+        cfg.hierarchy.l1d.ways = *opt.l1Ways;
+    }
+    if (opt.l2Ways)
+        cfg.hierarchy.l2.ways = *opt.l2Ways;
     if (opt.blockBytes) {
         cfg.hierarchy.l1i.blockBytes = *opt.blockBytes;
         cfg.hierarchy.l1d.blockBytes = *opt.blockBytes;
@@ -27,14 +37,114 @@ runWorkload(const WorkloadProfile &profile,
     cfg.modelTlb = opt.modelTlb;
     if (opt.modelTlb)
         cfg.dtlb = opt.hugePages ? platform.tlbHuge : platform.tlbBase;
+    return cfg;
+}
 
+RecordBudget
+recordBudget(const RunOptions &opt)
+{
+    RecordBudget b;
+    b.measure = traceBudget(opt.measureRecords);
+    b.warmup = opt.warmupRecords ? traceBudget(opt.warmupRecords)
+                                 : b.measure / 2;
+    return b;
+}
+
+SystemResult
+runWorkload(const WorkloadProfile &profile,
+            const PlatformConfig &platform, const RunOptions &opt)
+{
+    const SystemConfig cfg = makeSystemConfig(profile, platform, opt);
     const uint32_t threads = opt.cores * opt.smtWays;
     SyntheticSearchTrace trace(profile, threads);
     SystemSimulator sim(cfg);
-    const uint64_t measure = traceBudget(opt.measureRecords);
-    const uint64_t warmup =
-        opt.warmupRecords ? traceBudget(opt.warmupRecords) : measure / 2;
-    return sim.run(trace, warmup, measure);
+    const RecordBudget budget = recordBudget(opt);
+    return sim.run(trace, budget.warmup, budget.measure);
+}
+
+std::vector<SystemResult>
+runWorkloadSweep(const WorkloadProfile &profile,
+                 const PlatformConfig &platform,
+                 const std::vector<RunOptions> &options,
+                 const SweepControl &control)
+{
+    // Traces depend on the hardware-thread count, so variations are
+    // grouped by cores x smtWays and each group shares one buffer
+    // sized for its largest warmup+measure budget.
+    struct Group
+    {
+        uint32_t threads = 0;
+        uint64_t records = 0;
+        std::shared_ptr<const BufferedTrace> trace;
+    };
+    std::map<uint32_t, size_t> group_of;
+    std::vector<Group> groups;
+    std::vector<size_t> job_group(options.size());
+    std::vector<RecordBudget> budgets(options.size());
+    for (size_t i = 0; i < options.size(); ++i) {
+        const uint32_t threads =
+            options[i].cores * options[i].smtWays;
+        budgets[i] = recordBudget(options[i]);
+        auto [it, fresh] = group_of.try_emplace(threads, groups.size());
+        if (fresh)
+            groups.push_back(Group{threads, 0, nullptr});
+        Group &g = groups[it->second];
+        g.records = std::max(g.records, budgets[i].total());
+        job_group[i] = it->second;
+    }
+
+    // Generation is itself embarrassingly parallel across groups
+    // (each group owns an independent deterministic source).
+    runParallelJobs(groups.size(), control.threads, [&](size_t gi) {
+        SyntheticSearchTrace src(profile, groups[gi].threads);
+        groups[gi].trace =
+            BufferedTrace::materialize(src, groups[gi].records);
+    });
+
+    std::vector<SystemResult> results(options.size());
+    runParallelJobs(options.size(), control.threads, [&](size_t i) {
+        SystemSimulator sim(
+            makeSystemConfig(profile, platform, options[i]));
+        const BufferedTrace &trace = *groups[job_group[i]].trace;
+        results[i] = control.sampling.enabled()
+            ? sim.runSampled(trace, budgets[i].total(),
+                             control.sampling)
+            : sim.run(trace, budgets[i].warmup, budgets[i].measure);
+    });
+    return results;
+}
+
+std::vector<SystemResult>
+runWorkloads(const std::vector<WorkloadSpec> &specs,
+             const SweepControl &control)
+{
+    std::vector<SystemResult> results(specs.size());
+    runParallelJobs(specs.size(), control.threads, [&](size_t i) {
+        const WorkloadSpec &s = specs[i];
+        if (control.sampling.enabled()) {
+            const RecordBudget budget = recordBudget(s.opt);
+            SyntheticSearchTrace src(s.profile,
+                                     s.opt.cores * s.opt.smtWays);
+            const std::shared_ptr<const BufferedTrace> trace =
+                BufferedTrace::materialize(src, budget.total());
+            SystemSimulator sim(
+                makeSystemConfig(s.profile, s.platform, s.opt));
+            results[i] = sim.runSampled(*trace, budget.total(),
+                                        control.sampling);
+        } else {
+            results[i] =
+                runWorkload(s.profile, s.platform, s.opt);
+        }
+    });
+    return results;
+}
+
+std::vector<SystemResult>
+runWorkloads(const std::vector<WorkloadSpec> &specs, uint32_t threads)
+{
+    SweepControl control;
+    control.threads = threads;
+    return runWorkloads(specs, control);
 }
 
 HitRateCurve
@@ -42,12 +152,16 @@ l3HitCurve(const WorkloadProfile &profile,
            const PlatformConfig &platform, RunOptions opt,
            const std::vector<uint64_t> &sizes)
 {
-    HitRateCurve curve;
+    std::vector<RunOptions> options;
     for (const uint64_t size : sizes) {
         opt.l3Bytes = size;
-        const SystemResult r = runWorkload(profile, platform, opt);
-        curve.addPoint(size, r.l3DataHitRate());
+        options.push_back(opt);
     }
+    const std::vector<SystemResult> results =
+        runWorkloadSweep(profile, platform, options);
+    HitRateCurve curve;
+    for (size_t i = 0; i < sizes.size(); ++i)
+        curve.addPoint(sizes[i], results[i].l3DataHitRate());
     return curve;
 }
 
@@ -56,16 +170,20 @@ l4HitCurve(const WorkloadProfile &profile,
            const PlatformConfig &platform, RunOptions opt,
            const std::vector<uint64_t> &sizes, bool fully_associative)
 {
-    HitRateCurve curve;
+    std::vector<RunOptions> options;
     for (const uint64_t size : sizes) {
         L4Config l4;
         l4.sizeBytes = size;
         l4.fullyAssociative = fully_associative;
         l4.blockBytes = platform.cacheBlockBytes;
         opt.l4 = l4;
-        const SystemResult r = runWorkload(profile, platform, opt);
-        curve.addPoint(size, r.l4.hitRateTotal());
+        options.push_back(opt);
     }
+    const std::vector<SystemResult> results =
+        runWorkloadSweep(profile, platform, options);
+    HitRateCurve curve;
+    for (size_t i = 0; i < sizes.size(); ++i)
+        curve.addPoint(sizes[i], results[i].l4.hitRateTotal());
     return curve;
 }
 

@@ -13,10 +13,12 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/hit_curve.hh"
 #include "core/platform.hh"
 #include "cpu/system.hh"
+#include "memsim/sweep.hh"
 #include "trace/profile.hh"
 #include "util/env.hh"
 
@@ -30,6 +32,8 @@ struct RunOptions
     uint32_t l3PartitionWays = 0;     ///< CAT (0 = all ways)
     std::optional<uint64_t> l3Bytes;  ///< override total L3 size
     std::optional<uint32_t> l3Ways;   ///< override L3 associativity
+    std::optional<uint32_t> l1Ways;   ///< override L1-I/L1-D associativity
+    std::optional<uint32_t> l2Ways;   ///< override L2 associativity
     std::optional<uint32_t> blockBytes; ///< override all block sizes
     std::optional<L4Config> l4;
     PrefetchConfig prefetch;
@@ -40,10 +44,70 @@ struct RunOptions
     uint64_t measureRecords = 20'000'000; ///< pre-scaling nominal
 };
 
+/** Build the full SystemConfig one RunOptions variation implies. */
+SystemConfig makeSystemConfig(const WorkloadProfile &profile,
+                              const PlatformConfig &platform,
+                              const RunOptions &opt);
+
+/** Environment-scaled (warmup, measure) record budgets of @p opt. */
+struct RecordBudget
+{
+    uint64_t warmup = 0;
+    uint64_t measure = 0;
+    uint64_t total() const { return warmup + measure; }
+};
+RecordBudget recordBudget(const RunOptions &opt);
+
 /** Run one configuration end to end. */
 SystemResult runWorkload(const WorkloadProfile &profile,
                          const PlatformConfig &platform,
                          const RunOptions &opt);
+
+/** Knobs of a parallel workload sweep (see runWorkloadSweep). */
+struct SweepControl
+{
+    uint32_t threads = 0;      ///< worker threads; 0 = simThreads()
+    SampledIntervals sampling; ///< opt-in sampled quick-look mode
+};
+
+/**
+ * The parallel sweep: run every RunOptions variation against the same
+ * workload/platform concurrently. The trace is generated ONCE per
+ * distinct hardware-thread count (traces depend on cores x smtWays)
+ * into a shared immutable BufferedTrace; each variation then replays
+ * the shared buffer through its own private simulator on a worker
+ * thread. Results are positionally matched to @p options and
+ * bit-identical to serial runWorkload calls at any thread count --
+ * unless @p control.sampling is enabled, which replaces each
+ * variation's contiguous warmup+measure replay with periodic sampled
+ * windows (results then carry sampledWindows != 0).
+ */
+std::vector<SystemResult>
+runWorkloadSweep(const WorkloadProfile &profile,
+                 const PlatformConfig &platform,
+                 const std::vector<RunOptions> &options,
+                 const SweepControl &control = {});
+
+/** One independent (workload, platform, variation) job. */
+struct WorkloadSpec
+{
+    WorkloadProfile profile;
+    PlatformConfig platform;
+    RunOptions opt;
+};
+
+/**
+ * Run heterogeneous workload jobs in parallel (e.g. the Table I
+ * rows). Each job generates its own trace -- nothing is shared, so
+ * results are bit-identical to serial runWorkload calls unless
+ * @p control.sampling is enabled (sampled quick-look estimates).
+ */
+std::vector<SystemResult>
+runWorkloads(const std::vector<WorkloadSpec> &specs,
+             const SweepControl &control);
+std::vector<SystemResult>
+runWorkloads(const std::vector<WorkloadSpec> &specs,
+             uint32_t threads = 0);
 
 /**
  * Sweep total L3 capacity and return the overall L3 hit-rate curve

@@ -75,6 +75,19 @@ struct TopDown
             frontendBandwidth + backendMemory + backendCore;
     }
 
+    /** Merge another breakdown's slots (sampled-window accumulation). */
+    TopDown &
+    operator+=(const TopDown &o)
+    {
+        retiring += o.retiring;
+        badSpeculation += o.badSpeculation;
+        frontendLatency += o.frontendLatency;
+        frontendBandwidth += o.frontendBandwidth;
+        backendMemory += o.backendMemory;
+        backendCore += o.backendCore;
+        return *this;
+    }
+
     double retiringFrac() const { return retiring / total(); }
     double badSpecFrac() const { return badSpeculation / total(); }
     double feLatFrac() const { return frontendLatency / total(); }

@@ -33,6 +33,40 @@ SystemSimulator::resetStats()
 }
 
 void
+SystemSimulator::step(const TraceRecord &r, bool tlb)
+{
+    const uint32_t c = hier_.coreOf(r.tid);
+    core_.onInstruction();
+
+    if (tlb && itlbs_[c].access(r.pc) == TlbLevel::Walk) {
+        ++itlbWalks_;
+        core_.onItlbWalk();
+    }
+    const HitLevel il = hier_.accessInstr(r.tid, r.pc);
+    core_.onInstrFetch(il);
+
+    if (r.isBranch()) {
+        ++branches_;
+        if (!predictors_[c].predictAndUpdate(r.pc, r.isTaken())) {
+            ++mispredicts_;
+            core_.onBranchMispredict();
+        }
+    }
+    if (r.hasData()) {
+        if (tlb) {
+            ++dtlbAccesses_;
+            if (dtlbs_[c].access(r.addr) == TlbLevel::Walk) {
+                ++dtlbWalks_;
+                core_.onTlbWalk();
+            }
+        }
+        const HitLevel dl = hier_.accessData(
+            r.tid, r.pc, r.addr, r.isStore(), r.kind);
+        core_.onDataAccess(dl);
+    }
+}
+
+void
 SystemSimulator::pump(TraceSource &src, uint64_t count)
 {
     constexpr size_t kBatch = 8192;
@@ -45,50 +79,33 @@ SystemSimulator::pump(TraceSource &src, uint64_t count)
         const size_t got = src.fill(buf, want);
         if (got == 0)
             break;
-        for (size_t i = 0; i < got; ++i) {
-            const TraceRecord &r = buf[i];
-            const uint32_t c = hier_.coreOf(r.tid);
-            core_.onInstruction();
-
-            if (tlb && itlbs_[c].access(r.pc) == TlbLevel::Walk) {
-                ++itlbWalks_;
-                core_.onItlbWalk();
-            }
-            const HitLevel il = hier_.accessInstr(r.tid, r.pc);
-            core_.onInstrFetch(il);
-
-            if (r.isBranch()) {
-                ++branches_;
-                if (!predictors_[c].predictAndUpdate(r.pc,
-                                                     r.isTaken())) {
-                    ++mispredicts_;
-                    core_.onBranchMispredict();
-                }
-            }
-            if (r.hasData()) {
-                if (tlb) {
-                    ++dtlbAccesses_;
-                    if (dtlbs_[c].access(r.addr) == TlbLevel::Walk) {
-                        ++dtlbWalks_;
-                        core_.onTlbWalk();
-                    }
-                }
-                const HitLevel dl = hier_.accessData(
-                    r.tid, r.pc, r.addr, r.isStore(), r.kind);
-                core_.onDataAccess(dl);
-            }
-        }
+        for (size_t i = 0; i < got; ++i)
+            step(buf[i], tlb);
         done += got;
     }
 }
 
-SystemResult
-SystemSimulator::run(TraceSource &src, uint64_t warmup, uint64_t measure)
+uint64_t
+SystemSimulator::pumpRange(const BufferedTrace &trace, uint64_t begin,
+                           uint64_t count)
 {
-    pump(src, warmup);
-    resetStats();
-    pump(src, measure);
+    const bool tlb = cfg_.modelTlb;
+    uint64_t done = 0;
+    while (done < count) {
+        const BufferedTrace::Span s =
+            trace.spanAt(begin + done, count - done);
+        if (s.count == 0)
+            break;
+        for (size_t i = 0; i < s.count; ++i)
+            step(s.data[i], tlb);
+        done += s.count;
+    }
+    return done;
+}
 
+SystemResult
+SystemSimulator::harvestCounters() const
+{
     SystemResult res;
     res.instructions = core_.instructions();
     res.l1i = hier_.l1iStats();
@@ -105,12 +122,18 @@ SystemSimulator::run(TraceSource &src, uint64_t warmup, uint64_t measure)
     res.dtlbWalks = dtlbWalks_;
     res.itlbWalks = itlbWalks_;
     res.topdown = core_.topDown();
+    return res;
+}
 
+void
+SystemSimulator::finalizeDerived(SystemResult &res) const
+{
     // Per-thread IPC: the slot accounting aggregates all threads, so
     // divide the implied cycles evenly (threads are symmetric).
     const uint32_t threads =
         cfg_.hierarchy.numCores * cfg_.hierarchy.smtWays;
-    const double cycles_per_thread = core_.cycles() / threads;
+    const double cycles_per_thread =
+        res.topdown.total() / cfg_.core.width / threads;
     const double instr_per_thread =
         static_cast<double>(res.instructions) / threads;
     res.ipcPerThread = cycles_per_thread > 0
@@ -126,7 +149,59 @@ SystemSimulator::run(TraceSource &src, uint64_t warmup, uint64_t measure)
             (1.0 - h_l4) * (cfg_.core.memNs + cfg_.core.l4MissExtraNs);
     }
     res.amatL3Ns = h_l3 * cfg_.core.l3HitNs + (1.0 - h_l3) * miss_path;
+}
+
+SystemResult
+SystemSimulator::run(TraceSource &src, uint64_t warmup, uint64_t measure)
+{
+    pump(src, warmup);
+    resetStats();
+    pump(src, measure);
+    SystemResult res = harvestCounters();
+    finalizeDerived(res);
     return res;
+}
+
+SystemResult
+SystemSimulator::run(const BufferedTrace &trace, uint64_t warmup,
+                     uint64_t measure)
+{
+    const uint64_t warmed = pumpRange(trace, 0, warmup);
+    resetStats();
+    pumpRange(trace, warmed, measure);
+    SystemResult res = harvestCounters();
+    finalizeDerived(res);
+    return res;
+}
+
+SystemResult
+SystemSimulator::runSampled(const BufferedTrace &trace, uint64_t total,
+                            const SampledIntervals &s)
+{
+    if (!s.enabled())
+        return run(trace, 0, total);
+    total = std::min(total, trace.size());
+    SystemResult acc;
+    for (uint64_t period = 0; period < total;
+         period += s.periodRecords) {
+        const uint64_t window_end =
+            std::min(total, period + s.periodRecords);
+        const uint64_t warm =
+            std::min(s.warmupRecords, window_end - period);
+        pumpRange(trace, period, warm);
+        const uint64_t measure_begin = period + warm;
+        if (measure_begin >= window_end)
+            continue;
+        resetStats();
+        pumpRange(trace, measure_begin,
+                  std::min(s.measureRecords,
+                           window_end - measure_begin));
+        SystemResult window = harvestCounters();
+        window.sampledWindows = 1;
+        acc += window;
+    }
+    finalizeDerived(acc);
+    return acc;
 }
 
 } // namespace wsearch

@@ -19,6 +19,8 @@
 #include "cpu/tlb.hh"
 #include "memsim/hierarchy.hh"
 #include "memsim/simulator.hh"
+#include "memsim/sweep.hh"
+#include "trace/buffered_trace.hh"
 #include "trace/record.hh"
 
 namespace wsearch {
@@ -55,6 +57,35 @@ struct SystemResult
     TopDown topdown;
     double ipcPerThread = 0;  ///< per-hardware-thread IPC
     double amatL3Ns = 0;      ///< hL3*tL3 + (1-hL3)*t_miss-path
+    /** Sampled measurement windows merged in (0 = exact run). */
+    uint64_t sampledWindows = 0;
+
+    /**
+     * Merge another result's raw counters (sampled-window
+     * accumulation). Derived values (IPC, AMAT) are NOT merged; the
+     * simulator recomputes them after the last window.
+     */
+    SystemResult &
+    operator+=(const SystemResult &o)
+    {
+        instructions += o.instructions;
+        l1i += o.l1i;
+        l1d += o.l1d;
+        l2 += o.l2;
+        l3 += o.l3;
+        l4 += o.l4;
+        l3Evictions += o.l3Evictions;
+        writebacks += o.writebacks;
+        backInvalidations += o.backInvalidations;
+        branches += o.branches;
+        mispredicts += o.mispredicts;
+        dtlbAccesses += o.dtlbAccesses;
+        dtlbWalks += o.dtlbWalks;
+        itlbWalks += o.itlbWalks;
+        topdown += o.topdown;
+        sampledWindows += o.sampledWindows;
+        return *this;
+    }
 
     double
     branchMpki() const
@@ -109,11 +140,35 @@ class SystemSimulator
     SystemResult run(TraceSource &src, uint64_t warmup,
                      uint64_t measure);
 
+    /**
+     * Chunked-replay variant over a materialized trace: bit-identical
+     * counters to run(TraceSource&) on a fresh source producing the
+     * same records, with no generation cost or staging copies.
+     */
+    SystemResult run(const BufferedTrace &trace, uint64_t warmup,
+                     uint64_t measure);
+
+    /**
+     * Sampled-interval replay of the first @p total buffer records
+     * (see SampledIntervals): per-window counters are merged and the
+     * result's sampledWindows is nonzero. Derived metrics are
+     * recomputed over the merged counters.
+     */
+    SystemResult runSampled(const BufferedTrace &trace, uint64_t total,
+                            const SampledIntervals &sampling);
+
     CacheHierarchy &hierarchy() { return hier_; }
 
   private:
+    void step(const TraceRecord &r, bool tlb);
     void pump(TraceSource &src, uint64_t count);
+    uint64_t pumpRange(const BufferedTrace &trace, uint64_t begin,
+                       uint64_t count);
     void resetStats();
+    /** Read the current counters off every component. */
+    SystemResult harvestCounters() const;
+    /** Compute IPC / AMAT over @p res's (possibly merged) counters. */
+    void finalizeDerived(SystemResult &res) const;
 
     SystemConfig cfg_;
     CacheHierarchy hier_;

@@ -33,16 +33,12 @@ pump(TraceSource &src, CacheHierarchy &hier, uint64_t count)
     return done;
 }
 
-} // namespace
-
+/** Read the hierarchy's current counters into a SimResult. */
 SimResult
-runTrace(TraceSource &src, CacheHierarchy &hier, uint64_t warmup,
-         uint64_t measure)
+harvest(const CacheHierarchy &hier, uint64_t instructions)
 {
-    pump(src, hier, warmup);
-    hier.resetStats();
     SimResult res;
-    res.instructions = pump(src, hier, measure);
+    res.instructions = instructions;
     res.l1i = hier.l1iStats();
     res.l1d = hier.l1dStats();
     res.l2 = hier.l2Stats();
@@ -52,6 +48,54 @@ runTrace(TraceSource &src, CacheHierarchy &hier, uint64_t warmup,
     res.writebacks = hier.writebacks();
     res.backInvalidations = hier.backInvalidations();
     return res;
+}
+
+} // namespace
+
+SimResult
+runTrace(TraceSource &src, CacheHierarchy &hier, uint64_t warmup,
+         uint64_t measure)
+{
+    pump(src, hier, warmup);
+    hier.resetStats();
+    return harvest(hier, pump(src, hier, measure));
+}
+
+void
+pumpSpan(CacheHierarchy &hier, const TraceRecord *rec, size_t n)
+{
+    for (size_t i = 0; i < n; ++i) {
+        const TraceRecord &r = rec[i];
+        hier.accessInstr(r.tid, r.pc);
+        if (r.hasData()) {
+            hier.accessData(r.tid, r.pc, r.addr, r.isStore(), r.kind);
+        }
+    }
+}
+
+uint64_t
+pumpRange(const BufferedTrace &trace, CacheHierarchy &hier,
+          uint64_t begin, uint64_t count)
+{
+    uint64_t done = 0;
+    while (done < count) {
+        const BufferedTrace::Span s =
+            trace.spanAt(begin + done, count - done);
+        if (s.count == 0)
+            break;
+        pumpSpan(hier, s.data, s.count);
+        done += s.count;
+    }
+    return done;
+}
+
+SimResult
+runTrace(const BufferedTrace &trace, CacheHierarchy &hier,
+         uint64_t warmup, uint64_t measure)
+{
+    const uint64_t warmed = pumpRange(trace, hier, 0, warmup);
+    hier.resetStats();
+    return harvest(hier, pumpRange(trace, hier, warmed, measure));
 }
 
 } // namespace wsearch

@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "memsim/hierarchy.hh"
+#include "trace/buffered_trace.hh"
 #include "trace/record.hh"
 
 namespace wsearch {
@@ -25,6 +26,13 @@ struct SimResult
     uint64_t l3Evictions = 0;
     uint64_t writebacks = 0;
     uint64_t backInvalidations = 0;
+    /**
+     * Number of sampled measurement windows merged into this result
+     * (0 = exact, contiguous measurement). Nonzero results come from
+     * the sweep engine's opt-in sampled-interval mode and must be
+     * reported as sampled estimates.
+     */
+    uint64_t sampledWindows = 0;
 
     /** Combined L1 stats. */
     CacheLevelStats
@@ -34,6 +42,23 @@ struct SimResult
         s += l1d;
         return s;
     }
+
+    /** Merge another result's counters (sampled-window accumulation). */
+    SimResult &
+    operator+=(const SimResult &o)
+    {
+        instructions += o.instructions;
+        l1i += o.l1i;
+        l1d += o.l1d;
+        l2 += o.l2;
+        l3 += o.l3;
+        l4 += o.l4;
+        l3Evictions += o.l3Evictions;
+        writebacks += o.writebacks;
+        backInvalidations += o.backInvalidations;
+        sampledWindows += o.sampledWindows;
+        return *this;
+    }
 };
 
 /**
@@ -42,6 +67,29 @@ struct SimResult
  */
 SimResult runTrace(TraceSource &src, CacheHierarchy &hier,
                    uint64_t warmup, uint64_t measure);
+
+/**
+ * Chunked-replay variant: same semantics and bit-identical counters,
+ * but consumes contiguous record spans from a materialized buffer --
+ * no per-batch virtual dispatch, no copy into a staging buffer, and
+ * no generation cost. Replay starts at the buffer's first record.
+ */
+SimResult runTrace(const BufferedTrace &trace, CacheHierarchy &hier,
+                   uint64_t warmup, uint64_t measure);
+
+/**
+ * Replay one contiguous record span through @p hier. The sweep
+ * engine's inner loop; exposed so system-level simulators can share
+ * the chunk-walking pattern.
+ */
+void pumpSpan(CacheHierarchy &hier, const TraceRecord *rec, size_t n);
+
+/**
+ * Replay records [@p begin, @p begin + @p count) of @p trace.
+ * @return records actually replayed (less when the buffer ends).
+ */
+uint64_t pumpRange(const BufferedTrace &trace, CacheHierarchy &hier,
+                   uint64_t begin, uint64_t count);
 
 } // namespace wsearch
 

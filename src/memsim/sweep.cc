@@ -1,0 +1,107 @@
+#include "memsim/sweep.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "util/env.hh"
+
+namespace wsearch {
+
+uint32_t
+simThreads()
+{
+    const uint64_t v = envU64("WSEARCH_SIM_THREADS", 0);
+    if (v > 0)
+        return static_cast<uint32_t>(std::min<uint64_t>(v, 1024));
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+void
+runParallelJobs(size_t njobs, uint32_t threads,
+                const std::function<void(size_t)> &job)
+{
+    if (threads == 0)
+        threads = simThreads();
+    threads = static_cast<uint32_t>(
+        std::min<size_t>(threads, njobs));
+    if (threads <= 1) {
+        for (size_t i = 0; i < njobs; ++i)
+            job(i);
+        return;
+    }
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (uint32_t t = 0; t < threads; ++t) {
+        pool.emplace_back([&] {
+            for (;;) {
+                const size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= njobs)
+                    return;
+                job(i);
+            }
+        });
+    }
+    for (std::thread &t : pool)
+        t.join();
+}
+
+SimResult
+runTraceSampled(const BufferedTrace &trace, CacheHierarchy &hier,
+                uint64_t total, const SampledIntervals &s)
+{
+    if (!s.enabled())
+        return runTrace(trace, hier, 0, total);
+    total = std::min(total, trace.size());
+    SimResult acc;
+    for (uint64_t period = 0; period < total;
+         period += s.periodRecords) {
+        const uint64_t window_end =
+            std::min(total, period + s.periodRecords);
+        const uint64_t warm = std::min(
+            s.warmupRecords, window_end - period);
+        pumpRange(trace, hier, period, warm);
+        const uint64_t measure_begin = period + warm;
+        if (measure_begin >= window_end)
+            continue;
+        hier.resetStats();
+        const uint64_t done = pumpRange(
+            trace, hier, measure_begin,
+            std::min(s.measureRecords, window_end - measure_begin));
+        SimResult window;
+        window.instructions = done;
+        window.l1i = hier.l1iStats();
+        window.l1d = hier.l1dStats();
+        window.l2 = hier.l2Stats();
+        window.l3 = hier.l3Stats();
+        window.l4 = hier.l4Stats();
+        window.l3Evictions = hier.l3Evictions();
+        window.writebacks = hier.writebacks();
+        window.backInvalidations = hier.backInvalidations();
+        window.sampledWindows = 1;
+        acc += window;
+    }
+    return acc;
+}
+
+std::vector<SimResult>
+sweepHierarchies(const BufferedTrace &trace,
+                 const std::vector<HierarchyConfig> &configs,
+                 uint64_t warmup, uint64_t measure,
+                 const SweepOptions &opt)
+{
+    std::vector<SimResult> results(configs.size());
+    runParallelJobs(configs.size(), opt.threads, [&](size_t i) {
+        CacheHierarchy hier(configs[i]);
+        results[i] = opt.sampling.enabled()
+            ? runTraceSampled(trace, hier, warmup + measure,
+                              opt.sampling)
+            : runTrace(trace, hier, warmup, measure);
+    });
+    return results;
+}
+
+} // namespace wsearch

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Parallel sweep engine. Every paper figure is a sweep: one trace
+ * replayed through dozens of hierarchy configurations. The
+ * configurations are embarrassingly independent, so the engine
+ * materializes the trace once into a shared immutable BufferedTrace
+ * and fans worker threads out over a work queue of configuration
+ * jobs, each replaying the shared buffer through its own private
+ * CacheHierarchy -- no sharing and no locks on the hot path, and
+ * bit-identical SimResults to the serial runTrace.
+ *
+ * The worker count comes from WSEARCH_SIM_THREADS (default: hardware
+ * concurrency). An opt-in sampled-interval mode (periodic
+ * warmup+measure windows, counters merged across windows) trades
+ * exactness for speed on quick-look / CI sweeps; sampled results
+ * carry a nonzero SimResult::sampledWindows and must be reported as
+ * estimates.
+ */
+
+#ifndef WSEARCH_MEMSIM_SWEEP_HH
+#define WSEARCH_MEMSIM_SWEEP_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "memsim/simulator.hh"
+#include "trace/buffered_trace.hh"
+
+namespace wsearch {
+
+/**
+ * Sweep worker count: WSEARCH_SIM_THREADS when set, else hardware
+ * concurrency (at least 1).
+ */
+uint32_t simThreads();
+
+/**
+ * Periodic sampling plan: each period simulates @p warmupRecords
+ * (counters discarded) followed by @p measureRecords (counters
+ * merged), then skips to the next period boundary. Cache state is
+ * carried across the skip, which is the usual sampled-simulation
+ * bias: the warmup window re-warms recency state but cannot recover
+ * the skipped footprint, so results are estimates.
+ */
+struct SampledIntervals
+{
+    uint64_t periodRecords = 0;  ///< window stride; 0 disables sampling
+    uint64_t warmupRecords = 0;  ///< per-window warmup
+    uint64_t measureRecords = 0; ///< per-window measurement
+
+    bool
+    enabled() const
+    {
+        return periodRecords > 0 &&
+            measureRecords > 0 &&
+            warmupRecords + measureRecords <= periodRecords;
+    }
+
+    /** Fraction of the trace actually simulated. */
+    double
+    simulatedFraction() const
+    {
+        if (!enabled())
+            return 1.0;
+        return static_cast<double>(warmupRecords + measureRecords) /
+            static_cast<double>(periodRecords);
+    }
+};
+
+/** Knobs of one sweep invocation. */
+struct SweepOptions
+{
+    uint32_t threads = 0;      ///< 0: simThreads()
+    SampledIntervals sampling; ///< disabled by default
+};
+
+/**
+ * Run @p job(i) for every i in [0, @p njobs) on @p threads worker
+ * threads pulling from a shared atomic work queue. threads == 0 means
+ * simThreads(); the serial path (1 effective thread) runs inline.
+ * Jobs must not throw and must touch only their own state.
+ */
+void runParallelJobs(size_t njobs, uint32_t threads,
+                     const std::function<void(size_t)> &job);
+
+/**
+ * Sampled-interval replay of [0, @p total) of @p trace (see
+ * SampledIntervals). Counters are merged across measurement windows;
+ * the result's sampledWindows records how many were merged.
+ */
+SimResult runTraceSampled(const BufferedTrace &trace,
+                          CacheHierarchy &hier, uint64_t total,
+                          const SampledIntervals &sampling);
+
+/**
+ * The sweep: replay @p trace through a private CacheHierarchy per
+ * configuration, @p warmup records of warmup then @p measure records
+ * of measurement each, in parallel. Result i belongs to config i and
+ * is bit-identical to serial runTrace at any thread count (unless
+ * sampling is enabled, which replaces the warmup/measure split with
+ * windows over the first warmup+measure records).
+ */
+std::vector<SimResult>
+sweepHierarchies(const BufferedTrace &trace,
+                 const std::vector<HierarchyConfig> &configs,
+                 uint64_t warmup, uint64_t measure,
+                 const SweepOptions &opt = {});
+
+} // namespace wsearch
+
+#endif // WSEARCH_MEMSIM_SWEEP_HH

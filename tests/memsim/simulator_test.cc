@@ -116,6 +116,69 @@ TEST(RunTrace, StoresMarkDirtyAndWriteBack)
     EXPECT_GT(res.writebacks, 0u);
 }
 
+TEST(SimResultMerge, SumsEveryCounter)
+{
+    // Mirror of ServeSnapshot::merge: counters add field-wise, so a
+    // result accumulated over two sampled windows equals the sum of
+    // the windows' results.
+    SimResult a;
+    a.instructions = 100;
+    a.l1d.record(AccessKind::Heap, true);
+    a.l1d.record(AccessKind::Heap, false);
+    a.l2.record(AccessKind::Code, true);
+    a.l4.prefetchIssued = 3;
+    a.l3Evictions = 7;
+    a.writebacks = 2;
+    a.backInvalidations = 1;
+    a.sampledWindows = 1;
+
+    SimResult b;
+    b.instructions = 40;
+    b.l1d.record(AccessKind::Heap, true);
+    b.l1d.record(AccessKind::Shard, false);
+    b.l4.prefetchIssued = 4;
+    b.l4.prefetchUseful = 2;
+    b.l3Evictions = 3;
+    b.sampledWindows = 1;
+
+    SimResult sum = a;
+    sum += b;
+    EXPECT_EQ(sum.instructions, 140u);
+    EXPECT_EQ(sum.l1d.accessesOf(AccessKind::Heap), 3u);
+    EXPECT_EQ(sum.l1d.missesOf(AccessKind::Heap), 2u);
+    EXPECT_EQ(sum.l1d.accessesOf(AccessKind::Shard), 1u);
+    EXPECT_EQ(sum.l2.missesOf(AccessKind::Code), 1u);
+    EXPECT_EQ(sum.l4.prefetchIssued, 7u);
+    EXPECT_EQ(sum.l4.prefetchUseful, 2u);
+    EXPECT_EQ(sum.l3Evictions, 10u);
+    EXPECT_EQ(sum.writebacks, 2u);
+    EXPECT_EQ(sum.backInvalidations, 1u);
+    EXPECT_EQ(sum.sampledWindows, 2u);
+}
+
+TEST(SimResultMerge, MergeEqualsContiguousRunWhenStateCarries)
+{
+    // Two back-to-back measured halves merged == one full measurement
+    // (same hierarchy, no reset between halves beyond the stats reset
+    // merge semantics assume).
+    std::vector<TraceRecord> recs;
+    for (int i = 0; i < 200; ++i)
+        recs.push_back(load(0x400000 + i * 4, (i % 32) * 64ull));
+
+    VectorSource whole(recs);
+    CacheHierarchy h1(tiny());
+    const SimResult full = runTrace(whole, h1, 0, 200);
+
+    VectorSource halves(recs);
+    CacheHierarchy h2(tiny());
+    SimResult merged = runTrace(halves, h2, 0, 100);
+    merged += runTrace(halves, h2, 0, 100);
+    EXPECT_EQ(merged.instructions, full.instructions);
+    EXPECT_EQ(merged.l1d.totalAccesses(), full.l1d.totalAccesses());
+    EXPECT_EQ(merged.l1d.totalMisses(), full.l1d.totalMisses());
+    EXPECT_EQ(merged.writebacks, full.writebacks);
+}
+
 TEST(RunTrace, BatchBoundaryExactness)
 {
     // More records than one internal batch (8192) to cover the
