@@ -36,8 +36,11 @@ runFig4()
         qc.vocabSize = shard.numTerms();
         QueryGenerator gen(qc);
         for (uint32_t tid = 0; tid < cores; ++tid)
-            for (int i = 0; i < 3; ++i)
-                leaf.serve(tid, gen.next());
+            for (int i = 0; i < 3; ++i) {
+                SearchRequest req;
+                req.query = gen.next();
+                leaf.serve(tid, req);
+            }
         const FootprintStats f = leaf.footprint();
         if (heap6 == 0)
             heap6 = static_cast<double>(f.heapBytes());

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common.hh"
 #include "search/executor.hh"
 #include "util/env.hh"
 #include "util/logging.hh"
@@ -169,6 +170,39 @@ runBenchLeaf(bool smoke)
                 static_cast<unsigned long long>(
                     and_pruned.stats.blocksSkipped),
                 static_cast<unsigned long long>(2 * num_queries));
+
+    bench::JsonWriter json;
+    json.add("bench", std::string("leaf"));
+    json.add("smoke", static_cast<uint64_t>(smoke ? 1 : 0));
+    json.add("docs", static_cast<uint64_t>(cc.numDocs));
+    json.add("queries_per_workload", num_queries);
+    json.beginArray("workloads");
+    const struct
+    {
+        const char *name;
+        const EngineRun *pruned;
+        const EngineRun *seq;
+    } rows[] = {{"OR", &or_pruned, &or_seq},
+                {"AND", &and_pruned, &and_seq}};
+    for (const auto &row : rows) {
+        json.beginObject();
+        json.add("workload", std::string(row.name));
+        json.add("sequential_qps", row.seq->qps);
+        json.add("pruned_qps", row.pruned->qps);
+        json.add("speedup", row.pruned->qps / row.seq->qps);
+        json.add("postings_decoded",
+                 row.pruned->stats.postingsDecoded);
+        json.add("candidates_scored",
+                 row.pruned->stats.candidatesScored);
+        json.add("blocks_decoded", row.pruned->stats.blocksDecoded);
+        json.add("blocks_skipped", row.pruned->stats.blocksSkipped);
+        json.endObject();
+    }
+    json.endArray();
+    json.add("equivalent_queries", 2 * num_queries);
+    const std::string out = "BENCH_leaf.json";
+    if (json.writeFile(out))
+        std::printf("Results written to %s\n", out.c_str());
     return 0;
 }
 

@@ -43,8 +43,11 @@ main()
     qc.vocabSize = cc.vocabSize;
     qc.distinctQueries = 2000;
     QueryGenerator queries(qc);
-    for (int i = 0; i < 2000; ++i)
-        tree.handle(i % 2, queries.next());
+    for (int i = 0; i < 2000; ++i) {
+        SearchRequest req;
+        req.query = queries.next();
+        tree.handle(i % 2, req);
+    }
     std::printf("Served %llu queries; cache hit rate %.1f%%; "
                 "leaf fan-outs %llu\n",
                 (unsigned long long)tree.stats().queries,
@@ -52,7 +55,9 @@ main()
                 (unsigned long long)tree.stats().leafQueries);
 
     const Query sample = queries.materialize(123);
-    const auto results = tree.handle(0, sample);
+    SearchRequest sample_req;
+    sample_req.query = sample;
+    const auto results = tree.handle(0, sample_req).docs;
     std::printf("Sample query %llu (%zu terms, %s): top hits ",
                 (unsigned long long)sample.id, sample.terms.size(),
                 sample.conjunctive ? "AND" : "OR");

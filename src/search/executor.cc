@@ -518,11 +518,4 @@ QueryExecutor::execute(const SearchRequest &req)
     return executeImpl(req.query, req);
 }
 
-std::vector<ScoredDoc>
-QueryExecutor::execute(const Query &query)
-{
-    static const SearchRequest kDefaultPolicy{};
-    return executeImpl(query, kDefaultPolicy).docs;
-}
-
 } // namespace wsearch

@@ -71,10 +71,6 @@ class QueryExecutor
      */
     SearchResponse execute(const SearchRequest &req);
 
-    /** Deprecated shim: execute with default policy (pruned, no
-     *  deadline). Prefer execute(SearchRequest). */
-    std::vector<ScoredDoc> execute(const Query &query);
-
     const ExecStats &lastStats() const { return lastStats_; }
 
     /** Peak per-query scratch bytes observed (for footprint stats). */

@@ -1,0 +1,367 @@
+#include "search/live/live_index.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/scramble.hh"
+
+namespace wsearch {
+
+uint64_t
+IndexSnapshot::computeChecksum() const
+{
+    uint64_t h = mix64(version ^ 0x11d5eedull);
+    h = mix64(h ^ segments.size());
+    for (const SegmentView &v : segments) {
+        h = mix64(h ^ v.segment->uid());
+        h = mix64(h ^ v.segment->numDocs());
+        h = mix64(h ^ v.segment->shardBytes());
+        // XOR-fold the tombstones: stable under set iteration order.
+        uint64_t dh = 0;
+        if (v.deletes)
+            for (DocId d : *v.deletes)
+                dh ^= mix64(d ^ 0xdeadull);
+        h = mix64(h ^ v.deleteCount() ^ dh);
+    }
+    h = mix64(h ^ liveDocs);
+    h = mix64(h ^ deletedDocs);
+    return h;
+}
+
+std::shared_ptr<const IndexSnapshot>
+IndexSnapshot::corruptedCopy() const
+{
+    auto c = std::make_shared<IndexSnapshot>(*this);
+    c->liveDocs += 1; // checksum left stale: validate() now fails
+    return c;
+}
+
+LiveIndex::LiveIndex(const LiveConfig &cfg) : cfg_(cfg)
+{
+    auto snap = std::make_shared<IndexSnapshot>();
+    snap->checksum = snap->computeChecksum();
+    current_ = snap;
+}
+
+void
+LiveIndex::add(DocId doc, const std::vector<TermId> &terms)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = location_.find(doc);
+    if (it == location_.end()) {
+        ++docsAdded_;
+    } else {
+        ++docsUpdated_;
+        if (it->second != kBufferUid) {
+            // Tombstone the sealed copy; the replacement lives in the
+            // buffer until the next commit publishes both.
+            for (SegmentEntry &e : entries_) {
+                if (e.segment->uid() == it->second) {
+                    e.pending.insert(doc);
+                    e.dirty = true;
+                    break;
+                }
+            }
+        }
+    }
+    buffer_.add(doc, terms);
+    location_[doc] = kBufferUid;
+    if (cfg_.autoCommitDocs != 0 &&
+        buffer_.numDocs() >= cfg_.autoCommitDocs)
+        commitLocked();
+}
+
+bool
+LiveIndex::remove(DocId doc)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = location_.find(doc);
+    if (it == location_.end())
+        return false;
+    if (it->second == kBufferUid) {
+        buffer_.remove(doc);
+    } else {
+        for (SegmentEntry &e : entries_) {
+            if (e.segment->uid() == it->second) {
+                e.pending.insert(doc);
+                e.dirty = true;
+                break;
+            }
+        }
+    }
+    location_.erase(it);
+    ++docsRemoved_;
+    return true;
+}
+
+uint64_t
+LiveIndex::commit()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return commitLocked();
+}
+
+uint64_t
+LiveIndex::commitLocked()
+{
+    bool changed = false;
+    if (buffer_.numDocs() != 0) {
+        auto seg = buffer_.seal(version_ + 1);
+        for (DocId d : seg->docIds())
+            location_[d] = seg->uid();
+        SegmentEntry e;
+        e.segment = std::move(seg);
+        entries_.push_back(std::move(e));
+        buffer_.clear();
+        changed = true;
+    }
+    for (SegmentEntry &e : entries_) {
+        if (e.dirty) {
+            e.published = std::make_shared<DeleteSet>(e.pending);
+            e.dirty = false;
+            changed = true;
+        }
+    }
+    if (!changed)
+        return version_;
+    ++commits_;
+    ++version_;
+    publishLocked();
+    return version_;
+}
+
+void
+LiveIndex::publishLocked()
+{
+    auto snap = std::make_shared<IndexSnapshot>();
+    snap->version = version_;
+    snap->segments.reserve(entries_.size());
+    for (const SegmentEntry &e : entries_) {
+        SegmentView v;
+        v.segment = e.segment;
+        v.deletes = e.published;
+        snap->liveDocs += e.segment->numDocs() - e.publishedCount();
+        snap->deletedDocs += e.publishedCount();
+        snap->segments.push_back(std::move(v));
+    }
+    snap->checksum = snap->computeChecksum();
+    std::lock_guard<std::mutex> sl(snapMu_);
+    current_ = std::move(snap);
+}
+
+std::shared_ptr<const IndexSnapshot>
+LiveIndex::snapshot() const
+{
+    std::lock_guard<std::mutex> sl(snapMu_);
+    return current_;
+}
+
+uint64_t
+LiveIndex::version() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return version_;
+}
+
+bool
+LiveIndex::mergePending() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return mergePendingLocked();
+}
+
+bool
+LiveIndex::mergePendingLocked() const
+{
+    if (entries_.size() >= cfg_.mergeTriggerSegments &&
+        entries_.size() >= 2)
+        return true;
+    // Rewrite trigger counts *published* tombstones only: a merge can
+    // drop nothing else, so triggering on pending ones would spin.
+    for (const SegmentEntry &e : entries_) {
+        const uint32_t n = e.segment->numDocs();
+        if (n != 0 && e.publishedCount() != 0 &&
+            static_cast<double>(e.publishedCount()) >=
+                cfg_.mergeTriggerDeletedFrac * static_cast<double>(n))
+            return true;
+    }
+    return false;
+}
+
+bool
+LiveIndex::mergeOnce(const std::function<bool()> &crash_mid_merge)
+{
+    std::lock_guard<std::mutex> mg(mergeMu_);
+
+    // Plan under the writer lock: capture input segments and their
+    // *published* tombstones. Both are immutable, so the build below
+    // runs lock-free against them while ingest continues.
+    struct Input
+    {
+        std::shared_ptr<const LiveSegment> segment;
+        std::shared_ptr<const DeleteSet> published;
+    };
+    std::vector<Input> inputs;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (!mergePendingLocked())
+            return false;
+        std::vector<size_t> idx(entries_.size());
+        for (size_t i = 0; i < idx.size(); ++i)
+            idx[i] = i;
+        if (entries_.size() >= cfg_.mergeTriggerSegments &&
+            entries_.size() >= 2) {
+            // Tiered compaction: merge the smallest segments first.
+            std::sort(idx.begin(), idx.end(),
+                      [this](size_t a, size_t b) {
+                          return entries_[a].segment->numDocs() <
+                              entries_[b].segment->numDocs();
+                      });
+            const size_t take = std::min<size_t>(
+                std::max<uint32_t>(cfg_.mergeFanIn, 2), idx.size());
+            idx.resize(take);
+        } else {
+            // Tombstone-purge rewrite of the worst single segment.
+            size_t best = idx.size();
+            double best_frac = 0.0;
+            for (size_t i : idx) {
+                const SegmentEntry &e = entries_[i];
+                const uint32_t n = e.segment->numDocs();
+                if (n == 0)
+                    continue;
+                const double f =
+                    static_cast<double>(e.publishedCount()) /
+                    static_cast<double>(n);
+                if (f >= cfg_.mergeTriggerDeletedFrac &&
+                    f > best_frac) {
+                    best = i;
+                    best_frac = f;
+                }
+            }
+            if (best == idx.size())
+                return false;
+            idx.assign(1, best);
+        }
+        inputs.reserve(idx.size());
+        for (size_t i : idx)
+            inputs.push_back(Input{entries_[i].segment,
+                                   entries_[i].published});
+    }
+
+    // Build outside the writer lock, polling the crash hook at each
+    // input-segment boundary. Abandoning here discards partial work
+    // only: nothing was installed, the inputs are untouched.
+    LiveSegmentBuilder b;
+    for (const Input &in : inputs) {
+        if (crash_mid_merge && crash_mid_merge()) {
+            std::lock_guard<std::mutex> lk(mu_);
+            ++mergesCrashed_;
+            return false;
+        }
+        const LiveSegment &s = *in.segment;
+        const DeleteSet *dead = in.published.get();
+        for (DocId d : s.docIds())
+            if (!dead || dead->count(d) == 0)
+                b.setDocLen(d, s.docLen(d));
+        for (TermId t : s.termIds()) {
+            PostingView v;
+            s.postingView(t, v);
+            PostingCursor cur(v.bytes, v.bytes + v.size, v.count);
+            for (; cur.valid(); cur.next())
+                if (!dead || dead->count(cur.doc()) == 0)
+                    b.addPosting(t, cur.doc(), cur.tf());
+        }
+    }
+    if (crash_mid_merge && crash_mid_merge()) {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++mergesCrashed_;
+        return false;
+    }
+
+    std::lock_guard<std::mutex> lk(mu_);
+    auto merged = b.build(version_ + 1);
+
+    // Carry tombstones forward. Published sets may have advanced past
+    // the captured ones while we built (a concurrent commit): those
+    // docs are still in `merged`, so they must stay published-deleted,
+    // not resurrect. Pending-unpublished ones ride along unpublished.
+    //
+    // Only tombstones aimed at the copy that made it INTO `merged`
+    // carry: a tombstone for a doc that was already dead at capture
+    // targets a copy the merge dropped, and blindly carrying it would
+    // kill a newer live copy of the same id from a sibling input.
+    DeleteSet new_pending;
+    auto new_published = std::make_shared<DeleteSet>();
+    std::unordered_set<uint64_t> input_uids;
+    for (const Input &in : inputs)
+        input_uids.insert(in.segment->uid());
+    std::vector<SegmentEntry> kept;
+    kept.reserve(entries_.size());
+    for (SegmentEntry &e : entries_) {
+        if (input_uids.count(e.segment->uid()) == 0) {
+            kept.push_back(std::move(e));
+            continue;
+        }
+        const DeleteSet *captured = nullptr;
+        for (const Input &in : inputs)
+            if (in.segment->uid() == e.segment->uid()) {
+                captured = in.published.get();
+                break;
+            }
+        const auto copy_in_merged = [&](DocId d) {
+            return merged->contains(d) &&
+                (!captured || captured->count(d) == 0);
+        };
+        for (DocId d : e.pending)
+            if (copy_in_merged(d))
+                new_pending.insert(d);
+        if (e.published)
+            for (DocId d : *e.published)
+                if (copy_in_merged(d))
+                    new_published->insert(d);
+    }
+    entries_ = std::move(kept);
+
+    if (merged->numDocs() != 0) {
+        for (DocId d : merged->docIds()) {
+            const auto it = location_.find(d);
+            if (it != location_.end() &&
+                input_uids.count(it->second) != 0)
+                it->second = merged->uid();
+        }
+        SegmentEntry me;
+        me.segment = merged;
+        me.dirty = new_pending.size() != new_published->size();
+        me.pending = std::move(new_pending);
+        if (!new_published->empty())
+            me.published = std::move(new_published);
+        entries_.push_back(std::move(me));
+    }
+
+    ++merges_;
+    ++version_;
+    publishLocked();
+    return true;
+}
+
+LiveStats
+LiveIndex::stats() const
+{
+    LiveStats s;
+    std::lock_guard<std::mutex> lk(mu_);
+    s.version = version_;
+    s.docsAdded = docsAdded_;
+    s.docsUpdated = docsUpdated_;
+    s.docsRemoved = docsRemoved_;
+    s.commits = commits_;
+    s.merges = merges_;
+    s.mergesCrashed = mergesCrashed_;
+    s.segments = static_cast<uint32_t>(entries_.size());
+    s.bufferedDocs = buffer_.numDocs();
+    std::lock_guard<std::mutex> sl(snapMu_);
+    s.liveDocs = current_->liveDocs;
+    s.deletedDocs = current_->deletedDocs;
+    return s;
+}
+
+} // namespace wsearch

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * The live index: an LSM-style lifecycle over LiveSegments.
+ *
+ * Writers mutate a MutableSegment buffer; commit() seals it into an
+ * immutable LiveSegment and publishes a new IndexSnapshot -- commit is
+ * the *acknowledgement point*: an add or remove is "acked" once the
+ * commit() covering it returns, and the invariant the chaos suite
+ * enforces is that every acked operation is visible in every snapshot
+ * whose version >= that commit's version.
+ *
+ * An IndexSnapshot is an immutable, versioned, refcounted view: a list
+ * of (segment, published-tombstone-set) pairs plus doc accounting and
+ * a checksum over all of it. Queries grab the current shared_ptr and
+ * keep scoring against it however long they run; a concurrent commit
+ * or merge only swaps the pointer. validate() recomputes the checksum
+ * so a torn or corrupted handoff is detectable at adoption time.
+ *
+ * Deletes are two-phase: remove() records a *pending* tombstone
+ * immediately (the ack happens at the next commit, which *publishes*
+ * it into the snapshot). Merges compact several sealed segments into
+ * one, dropping only *published* tombstones -- pending ones ride along
+ * to the merged segment -- so a merge never changes visibility, it
+ * only re-homes it. A merge can therefore be crashed (abandoned)
+ * mid-build with no effect beyond wasted work, which is exactly what
+ * the mid-merge crash fault exercises.
+ */
+
+#ifndef WSEARCH_SEARCH_LIVE_LIVE_INDEX_HH
+#define WSEARCH_SEARCH_LIVE_LIVE_INDEX_HH
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "search/live/live_segment.hh"
+#include "search/types.hh"
+
+namespace wsearch {
+
+using DeleteSet = std::unordered_set<DocId>;
+
+/** One segment plus the tombstones published against it. */
+struct SegmentView
+{
+    std::shared_ptr<const LiveSegment> segment;
+    std::shared_ptr<const DeleteSet> deletes; ///< null == none
+
+    bool
+    deleted(DocId doc) const
+    {
+        return deletes && deletes->count(doc) != 0;
+    }
+
+    uint64_t
+    deleteCount() const
+    {
+        return deletes ? deletes->size() : 0;
+    }
+};
+
+/** Immutable, versioned view of the index (see file comment). */
+class IndexSnapshot
+{
+  public:
+    uint64_t version = 0;
+    std::vector<SegmentView> segments;
+    uint64_t liveDocs = 0;    ///< visible docs (tombstones excluded)
+    uint64_t deletedDocs = 0; ///< published tombstones still carried
+    uint64_t checksum = 0;    ///< over everything above
+
+    /** Checksum of the current field values (order-independent over
+     *  the unordered tombstone sets). */
+    uint64_t computeChecksum() const;
+
+    /** True when checksum matches the contents. */
+    bool
+    validate() const
+    {
+        return checksum == computeChecksum();
+    }
+
+    /** A copy with one field perturbed under a stale checksum --
+     *  validate() fails. Models a torn/corrupted snapshot handoff
+     *  (fault injection only). */
+    std::shared_ptr<const IndexSnapshot> corruptedCopy() const;
+};
+
+struct LiveConfig
+{
+    /** Max sealed segments fed to one merge. */
+    uint32_t mergeFanIn = 4;
+    /** mergePending() once this many sealed segments accumulate. */
+    uint32_t mergeTriggerSegments = 4;
+    /** ...or once any segment's tombstone fraction exceeds this
+     *  (single-segment rewrite purges the dead docs). */
+    double mergeTriggerDeletedFrac = 0.5;
+    /** Auto-commit when the write buffer reaches this many docs
+     *  (0 = manual commits only). */
+    uint32_t autoCommitDocs = 0;
+};
+
+/** Monotonic counters (one writer's view; see ServeSnapshot for the
+ *  serving-side aggregation). */
+struct LiveStats
+{
+    uint64_t version = 0;
+    uint64_t docsAdded = 0;
+    uint64_t docsUpdated = 0;
+    uint64_t docsRemoved = 0;
+    uint64_t commits = 0;
+    uint64_t merges = 0;        ///< completed merges
+    uint64_t mergesCrashed = 0; ///< abandoned mid-build
+    uint64_t liveDocs = 0;      ///< per current snapshot
+    uint64_t deletedDocs = 0;   ///< published tombstones carried
+    uint32_t segments = 0;      ///< sealed segments
+    uint64_t bufferedDocs = 0;  ///< unacked docs in the write buffer
+};
+
+/**
+ * Writer + merge + snapshot-publication state machine. Thread safety:
+ * add/remove/commit may race with snapshot() and with one mergeOnce()
+ * (writers serialize on an internal mutex; merges serialize on their
+ * own and only take the writer lock for the plan and install steps, so
+ * ingest proceeds while a merge builds).
+ */
+class LiveIndex
+{
+  public:
+    explicit LiveIndex(const LiveConfig &cfg = LiveConfig());
+
+    /** Insert or replace one document (unacked until commit()). */
+    void add(DocId doc, const std::vector<TermId> &terms);
+
+    /** Delete @p doc; false when it is not in the index. The
+     *  tombstone is published (and thereby acked) at the next
+     *  commit(). */
+    bool remove(DocId doc);
+
+    /**
+     * Seal the write buffer (if non-empty), publish all pending
+     * tombstones, and install a new snapshot. Returns the version at
+     * which every operation issued before this call is visible --
+     * the ack version. No-op (returns the current version) when
+     * nothing changed.
+     */
+    uint64_t commit();
+
+    /** Current published snapshot (never null; version 0 is empty). */
+    std::shared_ptr<const IndexSnapshot> snapshot() const;
+
+    uint64_t version() const;
+
+    /** Would mergeOnce() find work right now? */
+    bool mergePending() const;
+
+    /**
+     * Run one merge to completion (or abandonment): pick inputs per
+     * the config triggers, compact them outside the writer lock, and
+     * install the result. @p crash_mid_merge is polled between input
+     * segments; returning true abandons the merge (partial work
+     * discarded, inputs untouched) -- the mid-merge crash fault.
+     * Returns true when a merge completed and was installed.
+     */
+    bool mergeOnce(const std::function<bool()> &crash_mid_merge = {});
+
+    LiveStats stats() const;
+    const LiveConfig &config() const { return cfg_; }
+
+  private:
+    struct SegmentEntry
+    {
+        std::shared_ptr<const LiveSegment> segment;
+        DeleteSet pending; ///< all tombstones (superset of published)
+        std::shared_ptr<const DeleteSet> published;
+        bool dirty = false; ///< pending != published
+
+        uint64_t
+        publishedCount() const
+        {
+            return published ? published->size() : 0;
+        }
+    };
+
+    /** Build + install a snapshot from entries_ (mu_ held). */
+    void publishLocked();
+    uint64_t commitLocked();
+    bool mergePendingLocked() const;
+
+    const LiveConfig cfg_;
+
+    mutable std::mutex mu_; ///< writer lock: buffer, entries, location
+    MutableSegment buffer_;
+    std::vector<SegmentEntry> entries_;
+    /** Doc -> owning segment uid (kBufferUid for the write buffer).
+     *  Docs with a pending tombstone are absent. */
+    std::unordered_map<DocId, uint64_t> location_;
+    static constexpr uint64_t kBufferUid = 0;
+
+    uint64_t version_ = 0;
+    uint64_t docsAdded_ = 0;
+    uint64_t docsUpdated_ = 0;
+    uint64_t docsRemoved_ = 0;
+    uint64_t commits_ = 0;
+    uint64_t merges_ = 0;
+    uint64_t mergesCrashed_ = 0;
+
+    std::mutex mergeMu_; ///< one merge at a time
+
+    mutable std::mutex snapMu_; ///< guards the current_ pointer swap
+    std::shared_ptr<const IndexSnapshot> current_;
+};
+
+} // namespace wsearch
+
+#endif // WSEARCH_SEARCH_LIVE_LIVE_INDEX_HH

@@ -1,0 +1,188 @@
+#include "search/live/live_segment.hh"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/logging.hh"
+
+namespace wsearch {
+
+namespace {
+
+/** Process-wide uid source; uid 0 is reserved for "the write buffer"
+ *  in LiveIndex's doc-location map. */
+std::atomic<uint64_t> g_next_uid{1};
+
+} // namespace
+
+TermInfo
+LiveSegment::termInfo(TermId term) const
+{
+    const auto it = terms_.find(term);
+    if (it == terms_.end())
+        return TermInfo{}; // docFreq 0: executor skips the term
+    return it->second.info;
+}
+
+uint32_t
+LiveSegment::docLen(DocId doc) const
+{
+    const auto it = docLen_.find(doc);
+    return it == docLen_.end() ? 0 : it->second;
+}
+
+void
+LiveSegment::postingBytes(TermId term, std::vector<uint8_t> &out) const
+{
+    out.clear();
+    const auto it = terms_.find(term);
+    if (it != terms_.end())
+        out = it->second.bytes;
+}
+
+bool
+LiveSegment::postingView(TermId term, PostingView &out) const
+{
+    const auto it = terms_.find(term);
+    if (it == terms_.end()) {
+        out = PostingView{};
+        return true; // empty view: cursor starts invalid
+    }
+    const TermData &td = it->second;
+    out.bytes = td.bytes.data();
+    out.size = td.bytes.size();
+    out.skips = td.skips.data();
+    out.numSkips = static_cast<uint32_t>(td.skips.size());
+    out.count = td.info.docFreq;
+    return true;
+}
+
+std::vector<TermId>
+LiveSegment::termIds() const
+{
+    std::vector<TermId> ids;
+    ids.reserve(terms_.size());
+    for (const auto &kv : terms_)
+        ids.push_back(kv.first);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+}
+
+void
+LiveSegmentBuilder::addDoc(DocId doc, const std::vector<TermId> &terms)
+{
+    wsearch_assert(docLen_.find(doc) == docLen_.end());
+    docLen_[doc] = static_cast<uint32_t>(terms.size());
+    // Count tf by repetition: sort a scratch copy and run-length it.
+    std::vector<TermId> sorted = terms;
+    std::sort(sorted.begin(), sorted.end());
+    for (size_t i = 0; i < sorted.size();) {
+        size_t j = i;
+        while (j < sorted.size() && sorted[j] == sorted[i])
+            ++j;
+        acc_[sorted[i]].push_back(
+            Posting{doc, static_cast<uint32_t>(j - i)});
+        i = j;
+    }
+}
+
+void
+LiveSegmentBuilder::setDocLen(DocId doc, uint32_t len)
+{
+    wsearch_assert(docLen_.find(doc) == docLen_.end());
+    docLen_[doc] = len;
+}
+
+void
+LiveSegmentBuilder::addPosting(TermId term, DocId doc, uint32_t tf)
+{
+    acc_[term].push_back(Posting{doc, tf});
+}
+
+std::shared_ptr<const LiveSegment>
+LiveSegmentBuilder::build(uint64_t seal_version)
+{
+    auto seg = std::shared_ptr<LiveSegment>(new LiveSegment());
+    seg->uid_ = g_next_uid.fetch_add(1);
+    seg->sealVersion_ = seal_version;
+
+    seg->docIds_.reserve(docLen_.size());
+    uint64_t total_len = 0;
+    for (const auto &kv : docLen_) {
+        seg->docIds_.push_back(kv.first);
+        total_len += kv.second;
+    }
+    std::sort(seg->docIds_.begin(), seg->docIds_.end());
+    seg->docLen_ = std::move(docLen_);
+    seg->avgDocLen_ = seg->docIds_.empty()
+        ? 0.0
+        : static_cast<double>(total_len) /
+            static_cast<double>(seg->docIds_.size());
+
+    uint64_t offset = 0;
+    for (auto &kv : acc_) {
+        std::vector<Posting> &ps = kv.second;
+        std::sort(ps.begin(), ps.end(),
+                  [](const Posting &a, const Posting &b) {
+                      return a.doc < b.doc;
+                  });
+        PostingListBuilder plb;
+        uint32_t max_tf = 0;
+        for (const Posting &p : ps) {
+            // Each doc contributes one posting per term: duplicates
+            // would mean the same id was fed from two sources.
+            plb.add(p.doc, p.tf);
+            if (p.tf > max_tf)
+                max_tf = p.tf;
+        }
+        LiveSegment::TermData td;
+        td.info.docFreq = plb.count();
+        td.info.maxTf = max_tf;
+        td.info.shardOffset = offset;
+        td.skips = plb.releaseSkips();
+        td.bytes = plb.release();
+        td.info.byteLength = td.bytes.size();
+        offset += td.info.byteLength;
+        seg->terms_.emplace(kv.first, std::move(td));
+    }
+    seg->shardBytes_ = offset;
+    acc_.clear();
+    return seg;
+}
+
+void
+MutableSegment::add(DocId doc, const std::vector<TermId> &terms)
+{
+    auto it = docs_.find(doc);
+    if (it != docs_.end()) {
+        approxBytes_ -= it->second.size() * sizeof(TermId);
+        it->second = terms;
+    } else {
+        docs_.emplace(doc, terms);
+        approxBytes_ += sizeof(DocId) + sizeof(uint32_t);
+    }
+    approxBytes_ += terms.size() * sizeof(TermId);
+}
+
+bool
+MutableSegment::remove(DocId doc)
+{
+    auto it = docs_.find(doc);
+    if (it == docs_.end())
+        return false;
+    approxBytes_ -= it->second.size() * sizeof(TermId) +
+        sizeof(DocId) + sizeof(uint32_t);
+    docs_.erase(it);
+    return true;
+}
+
+std::shared_ptr<const LiveSegment>
+MutableSegment::seal(uint64_t seal_version) const
+{
+    LiveSegmentBuilder b;
+    for (const auto &kv : docs_)
+        b.addDoc(kv.first, kv.second);
+    return b.build(seal_version);
+}
+
+} // namespace wsearch

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Segments of the live (writable) index. Two halves of one lifecycle:
+ *
+ *  - MutableSegment: the in-memory write buffer. Absorbs document
+ *    adds, updates, and removes as plain term vectors; nothing here is
+ *    queryable. It is cheap to mutate and cheap to throw away.
+ *
+ *  - LiveSegment: an immutable inverted index produced by sealing a
+ *    MutableSegment (or by merging several LiveSegments). Postings are
+ *    encoded in the exact block format the frozen shards use
+ *    (PostingListBuilder: delta+varint blocks with a SkipEntry
+ *    sidecar), so the pruned executor runs on live data unchanged.
+ *    A LiveSegment implements IndexShard over a *sparse* vocabulary
+ *    and a *sparse* doc-id space: termInfo() of an absent term is a
+ *    zero-docFreq entry and docLen() of an absent doc is 0, which the
+ *    executor already tolerates. Doc ids are global: a sealed segment
+ *    holds whatever ids the writer ingested, not a dense 0..N-1 range.
+ *
+ * Immutability is the concurrency story: once sealed, a segment is
+ * never modified, so queries need no locks -- visibility is decided
+ * entirely by which segments (and tombstone sets) a snapshot
+ * references (see live_index.hh).
+ */
+
+#ifndef WSEARCH_SEARCH_LIVE_LIVE_SEGMENT_HH
+#define WSEARCH_SEARCH_LIVE_LIVE_SEGMENT_HH
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "search/index.hh"
+#include "search/postings.hh"
+#include "search/types.hh"
+
+namespace wsearch {
+
+class LiveSegmentBuilder;
+
+/** Immutable, queryable segment of the live index. */
+class LiveSegment : public IndexShard
+{
+  public:
+    // IndexShard over a sparse vocabulary / sparse doc space.
+    uint32_t
+    numDocs() const override
+    {
+        return static_cast<uint32_t>(docIds_.size());
+    }
+    uint32_t
+    numTerms() const override
+    {
+        return static_cast<uint32_t>(terms_.size());
+    }
+    double avgDocLen() const override { return avgDocLen_; }
+
+    /** Absent terms get a zero-docFreq TermInfo (no assert): the
+     *  executor treats them as empty posting lists. */
+    TermInfo termInfo(TermId term) const override;
+
+    /** Length of @p doc, 0 when the doc is not in this segment. */
+    uint32_t docLen(DocId doc) const override;
+
+    void postingBytes(TermId term,
+                      std::vector<uint8_t> &out) const override;
+
+    /** Always lends storage (possibly an empty view). */
+    bool postingView(TermId term, PostingView &out) const override;
+
+    uint64_t shardBytes() const override { return shardBytes_; }
+
+    /** Process-unique segment identity (executor-cache key). */
+    uint64_t uid() const { return uid_; }
+
+    /** Index version at which this segment was sealed/merged. */
+    uint64_t sealVersion() const { return sealVersion_; }
+
+    /** Ascending global doc ids held by this segment. */
+    const std::vector<DocId> &docIds() const { return docIds_; }
+
+    bool
+    contains(DocId doc) const
+    {
+        return docLen_.find(doc) != docLen_.end();
+    }
+
+    /** Distinct terms, ascending (deterministic merge order). */
+    std::vector<TermId> termIds() const;
+
+  private:
+    friend class LiveSegmentBuilder;
+    LiveSegment() = default;
+
+    struct TermData
+    {
+        TermInfo info;
+        std::vector<uint8_t> bytes;
+        std::vector<SkipEntry> skips;
+    };
+
+    std::unordered_map<TermId, TermData> terms_;
+    std::unordered_map<DocId, uint32_t> docLen_;
+    std::vector<DocId> docIds_; ///< ascending
+    double avgDocLen_ = 0.0;
+    uint64_t shardBytes_ = 0;
+    uint64_t uid_ = 0;
+    uint64_t sealVersion_ = 0;
+};
+
+/**
+ * Accumulates postings and encodes a LiveSegment. Used by
+ * MutableSegment::seal (whole documents) and by the merge path
+ * (per-term posting streams from the inputs).
+ */
+class LiveSegmentBuilder
+{
+  public:
+    /** Add one whole document (term occurrences with repetition).
+     *  Documents may arrive in any id order; each id at most once. */
+    void addDoc(DocId doc, const std::vector<TermId> &terms);
+
+    /** Merge path: record @p doc's length (each id at most once)... */
+    void setDocLen(DocId doc, uint32_t len);
+    /** ...and append one pre-counted posting for it. */
+    void addPosting(TermId term, DocId doc, uint32_t tf);
+
+    size_t numDocs() const { return docLen_.size(); }
+
+    /** Encode everything into an immutable segment. */
+    std::shared_ptr<const LiveSegment> build(uint64_t seal_version);
+
+  private:
+    // std::map: ascending term order makes shard offsets (and thus
+    // the whole encoded segment) deterministic.
+    std::map<TermId, std::vector<Posting>> acc_;
+    std::unordered_map<DocId, uint32_t> docLen_;
+};
+
+/** The in-memory write buffer (not queryable until sealed). */
+class MutableSegment
+{
+  public:
+    /** Insert or replace @p doc. */
+    void add(DocId doc, const std::vector<TermId> &terms);
+
+    /** Drop @p doc from the buffer; false when absent. */
+    bool remove(DocId doc);
+
+    bool
+    contains(DocId doc) const
+    {
+        return docs_.find(doc) != docs_.end();
+    }
+
+    size_t numDocs() const { return docs_.size(); }
+
+    /** Rough heap footprint of the buffered terms (bytes). */
+    uint64_t
+    approxBytes() const
+    {
+        return approxBytes_;
+    }
+
+    /** Encode the buffered documents into an immutable segment.
+     *  The buffer itself is unchanged (caller clears after publish). */
+    std::shared_ptr<const LiveSegment> seal(uint64_t seal_version) const;
+
+    void
+    clear()
+    {
+        docs_.clear();
+        approxBytes_ = 0;
+    }
+
+  private:
+    std::unordered_map<DocId, std::vector<TermId>> docs_;
+    uint64_t approxBytes_ = 0;
+};
+
+} // namespace wsearch
+
+#endif // WSEARCH_SEARCH_LIVE_LIVE_SEGMENT_HH

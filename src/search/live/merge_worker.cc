@@ -1,0 +1,57 @@
+#include "search/live/merge_worker.hh"
+
+namespace wsearch {
+
+MergeWorker::MergeWorker(LiveIndex &index, const Config &cfg)
+    : index_(index), cfg_(cfg), thread_([this] { main(); })
+{
+}
+
+MergeWorker::~MergeWorker() { stop(); }
+
+void
+MergeWorker::stop()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_.store(true);
+    }
+    cv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+}
+
+void
+MergeWorker::main()
+{
+    Clock &clk = cfg_.clock ? *cfg_.clock : realClock();
+    while (!stop_.load()) {
+        while (!stop_.load() && index_.mergePending()) {
+            const uint64_t my_seq = seq_++;
+            // One decision per merge attempt; a crashed merge leaves
+            // its inputs pending, so the next attempt (fresh seq,
+            // fresh draw) retries -- recovery after the crash.
+            const bool crash = cfg_.faults &&
+                cfg_.faults->crashMerge(cfg_.shardId, my_seq,
+                                        clk.now());
+            if (index_.mergeOnce(
+                    crash ? std::function<bool()>([] { return true; })
+                          : std::function<bool()>())) {
+                done_.fetch_add(1);
+            } else {
+                if (crash)
+                    crashed_.fetch_add(1);
+                break; // crashed (retry next period) or no work
+            }
+        }
+        std::unique_lock<std::mutex> lk(mu_);
+        if (stop_.load())
+            break;
+        const uint64_t deadline = clk.now() + cfg_.periodNs;
+        clk.waitUntil(cv_, lk, deadline, [this] {
+            return stop_.load();
+        });
+    }
+}
+
+} // namespace wsearch

@@ -1,0 +1,89 @@
+#include "search/live/snapshot_search.hh"
+
+#include <algorithm>
+
+#include "search/root.hh"
+
+namespace wsearch {
+
+SnapshotSearcher::SnapshotSearcher(uint32_t tid, TouchSink *sink,
+                                   const Clock *clock)
+    : tid_(tid), sink_(sink ? sink : &nullSink_), clock_(clock)
+{
+}
+
+SnapshotSearcher::Slot &
+SnapshotSearcher::slotFor(const std::shared_ptr<const LiveSegment> &seg)
+{
+    auto it = slots_.find(seg->uid());
+    if (it == slots_.end())
+        it = slots_
+                 .emplace(seg->uid(),
+                          std::make_unique<Slot>(seg, tid_, sink_,
+                                                 clock_))
+                 .first;
+    return *it->second;
+}
+
+void
+SnapshotSearcher::pruneTo(const IndexSnapshot &snap)
+{
+    for (auto it = slots_.begin(); it != slots_.end();) {
+        bool keep = false;
+        for (const SegmentView &v : snap.segments)
+            if (v.segment->uid() == it->first) {
+                keep = true;
+                break;
+            }
+        it = keep ? std::next(it) : slots_.erase(it);
+    }
+}
+
+SearchResponse
+SnapshotSearcher::search(const IndexSnapshot &snap,
+                         const SearchRequest &req)
+{
+    pruneTo(snap);
+
+    SearchResponse out;
+    if (snap.segments.empty()) {
+        lastStats_ = out.stats;
+        return out; // ok, zero docs
+    }
+
+    std::vector<std::vector<ScoredDoc>> partials;
+    partials.reserve(snap.segments.size());
+    bool any_ok = false;
+    bool all_ok = true;
+    bool degraded = false;
+    for (const SegmentView &view : snap.segments) {
+        Slot &slot = slotFor(view.segment);
+        SearchRequest sub = req;
+        // Widen per-segment k past the tombstone count: at most that
+        // many of the segment's top hits can be filtered out below.
+        const uint64_t extra = std::min<uint64_t>(
+            view.deleteCount(), view.segment->numDocs());
+        sub.query.topK =
+            req.query.topK + static_cast<uint32_t>(extra);
+        SearchResponse r = slot.exec.execute(sub);
+        out.stats.merge(r.stats);
+        degraded |= r.degraded;
+        any_ok |= r.ok;
+        all_ok &= r.ok;
+        if (r.ok && view.deletes) {
+            r.docs.erase(std::remove_if(r.docs.begin(), r.docs.end(),
+                                        [&view](const ScoredDoc &d) {
+                                            return view.deleted(d.doc);
+                                        }),
+                         r.docs.end());
+        }
+        partials.push_back(std::move(r.docs));
+    }
+    out.docs = RootServer::merge(partials, req.query.topK);
+    out.ok = any_ok;
+    out.degraded = degraded || (any_ok && !all_ok);
+    lastStats_ = out.stats;
+    return out;
+}
+
+} // namespace wsearch

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Query execution over an IndexSnapshot: one QueryExecutor per live
+ * segment, partial top-k lists filtered through the snapshot's
+ * published tombstones and merged best-first (RootServer::merge).
+ *
+ * A SnapshotSearcher belongs to one logical thread (like the
+ * executors it wraps) and caches executors keyed by segment uid:
+ * across snapshot swaps, segments that survived (the common case --
+ * commits only *append* a segment) keep their warmed executor arenas,
+ * and executors of merged-away segments are dropped. The searcher
+ * pins each cached segment with a shared_ptr, so a cached executor
+ * never outlives its shard even if every snapshot referencing it is
+ * gone.
+ */
+
+#ifndef WSEARCH_SEARCH_LIVE_SNAPSHOT_SEARCH_HH
+#define WSEARCH_SEARCH_LIVE_SNAPSHOT_SEARCH_HH
+
+#include <memory>
+#include <unordered_map>
+
+#include "search/executor.hh"
+#include "search/live/live_index.hh"
+#include "search/query.hh"
+#include "search/touch.hh"
+
+namespace wsearch {
+
+/** Per-thread search engine over live snapshots. */
+class SnapshotSearcher
+{
+  public:
+    /**
+     * @param tid   logical thread id (forwarded to the executors)
+     * @param sink  touch receiver (null = discard)
+     * @param clock deadline time source (null = real steady clock)
+     */
+    SnapshotSearcher(uint32_t tid, TouchSink *sink = nullptr,
+                     const Clock *clock = nullptr);
+
+    /**
+     * Execute @p req against @p snap. Per-segment top-k is widened by
+     * the segment's tombstone count so a fully-deleted prefix cannot
+     * starve the merged page, then tombstoned docs are filtered and
+     * the survivors merged to req.query.topK. An empty snapshot
+     * answers ok with zero docs.
+     */
+    SearchResponse search(const IndexSnapshot &snap,
+                          const SearchRequest &req);
+
+    const ExecStats &lastStats() const { return lastStats_; }
+
+    /** Cached per-segment executors (== distinct segments seen and
+     *  still referenced by the latest searched snapshot). */
+    size_t cachedSegments() const { return slots_.size(); }
+
+  private:
+    struct Slot
+    {
+        std::shared_ptr<const LiveSegment> segment; ///< keepalive
+        QueryExecutor exec;
+
+        Slot(std::shared_ptr<const LiveSegment> seg, uint32_t tid,
+             TouchSink *sink, const Clock *clock)
+            : segment(std::move(seg)),
+              exec(*segment, tid, sink, clock)
+        {
+        }
+    };
+
+    Slot &slotFor(const std::shared_ptr<const LiveSegment> &seg);
+    void pruneTo(const IndexSnapshot &snap);
+
+    uint32_t tid_;
+    TouchSink *sink_;
+    const Clock *clock_;
+    NullTouchSink nullSink_;
+    std::unordered_map<uint64_t, std::unique_ptr<Slot>> slots_;
+    ExecStats lastStats_;
+};
+
+} // namespace wsearch
+
+#endif // WSEARCH_SEARCH_LIVE_SNAPSHOT_SEARCH_HH

@@ -94,6 +94,9 @@ struct SearchResponse
      *  mid-query) or coverage was partial; docs is still valid and
      *  correctly ordered over what was evaluated. */
     bool degraded = false;
+    /** Version of the IndexSnapshot this response was computed
+     *  against (live leaves only; 0 = frozen shard). */
+    uint64_t indexVersion = 0;
 };
 
 /** Zipf-popularity query stream. */

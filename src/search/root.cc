@@ -116,13 +116,6 @@ ServingTree::handle(uint32_t tid, const SearchRequest &req)
     return resp;
 }
 
-std::vector<ScoredDoc>
-ServingTree::handle(uint32_t tid, const Query &query)
-{
-    SearchRequest req;
-    req.query = query;
-    return handle(tid, req).docs;
-}
 
 MultiLevelTree::MultiLevelTree(std::vector<LeafServer *> leaves,
                                uint32_t fanout, size_t cache_capacity)
@@ -179,12 +172,5 @@ MultiLevelTree::handle(uint32_t tid, const SearchRequest &req)
     return resp;
 }
 
-std::vector<ScoredDoc>
-MultiLevelTree::handle(uint32_t tid, const Query &query)
-{
-    SearchRequest req;
-    req.query = query;
-    return handle(tid, req).docs;
-}
 
 } // namespace wsearch

@@ -52,6 +52,12 @@ struct MergedPage
     uint32_t shardsTotal = 0;
     uint32_t shardsAnswered = 0;
     uint32_t shardsUnavailable = 0;
+    /** Per-shard index version behind each answer (live clusters;
+     *  empty for frozen shards, 0 for shards that did not answer).
+     *  One logical page never mixes answers from before and after a
+     *  shard's rollout: the version is whatever snapshot the single
+     *  winning replica answer was computed against. */
+    std::vector<uint64_t> shardVersions;
 
     bool degraded() const { return shardsAnswered < shardsTotal; }
 
@@ -130,9 +136,6 @@ class ServingTree
      */
     SearchResponse handle(uint32_t tid, const SearchRequest &req);
 
-    /** Deprecated shim: handle with default policy. */
-    std::vector<ScoredDoc> handle(uint32_t tid, const Query &query);
-
     /** Consistent-enough counter snapshot, safe mid-traffic. */
     Stats
     stats() const
@@ -187,9 +190,6 @@ class MultiLevelTree
      * degraded responses are never cached.
      */
     SearchResponse handle(uint32_t tid, const SearchRequest &req);
-
-    /** Deprecated shim: handle with default policy. */
-    std::vector<ScoredDoc> handle(uint32_t tid, const Query &query);
 
     /** Consistent-enough counter snapshot, safe mid-traffic. */
     Stats

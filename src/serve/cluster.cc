@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdio>
 
+#include "search/live/live_index.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 #include "util/table.hh"
@@ -20,7 +21,8 @@ namespace wsearch {
 struct ClusterServer::Gather
 {
     explicit Gather(uint32_t num_shards)
-        : got(num_shards, 0), dead(num_shards, 0),
+        : got(num_shards, 0), versions(num_shards, 0),
+          dead(num_shards, 0),
           partials(num_shards), latNs(num_shards, 0),
           winnerIsHedge(num_shards, 0), outstanding(num_shards, 0),
           attempts(num_shards, 0), retriesUsed(num_shards, 0),
@@ -31,6 +33,7 @@ struct ClusterServer::Gather
     std::mutex mu;
     std::condition_variable cv;
     std::vector<uint8_t> got;  ///< shard answered (first answer wins)
+    std::vector<uint64_t> versions; ///< index version of each answer
     std::vector<uint8_t> dead; ///< provably unavailable this query
     std::vector<std::vector<ScoredDoc>> partials;
     std::vector<uint64_t> latNs;
@@ -66,6 +69,47 @@ struct ClusterServer::Gather
     }
 };
 
+void
+ClusterServer::buildShards(
+    uint32_t num_shards,
+    const std::vector<const IndexShard *> &shards,
+    const std::vector<LiveIndex *> &indexes)
+{
+    shards_.reserve(num_shards);
+    for (uint32_t s = 0; s < num_shards; ++s) {
+        auto state = std::make_unique<ShardState>();
+        LeafWorkerPool::Config pc = cfg_.pool;
+        if (!shards.empty() && cfg_.partitionDocIds) {
+            pc.leaf.docIdStride = num_shards;
+            pc.leaf.docIdOffset = s;
+        }
+        if (shards.empty()) {
+            // Live segments carry global doc ids; identity mapping.
+            pc.leaf.docIdStride = 1;
+            pc.leaf.docIdOffset = 0;
+        }
+        pc.shardId = s;
+        if (cfg_.clock)
+            pc.clock = cfg_.clock;
+        if (cfg_.faults)
+            pc.faults = cfg_.faults;
+        state->health.resize(cfg_.replicasPerShard);
+        state->replicas.reserve(cfg_.replicasPerShard);
+        for (uint32_t r = 0; r < cfg_.replicasPerShard; ++r) {
+            pc.replicaId = r;
+            if (shards.empty())
+                state->replicas.push_back(
+                    std::make_unique<LeafWorkerPool>(
+                        indexes[s]->snapshot(), pc));
+            else
+                state->replicas.push_back(
+                    std::make_unique<LeafWorkerPool>(*shards[s],
+                                                     pc));
+        }
+        shards_.push_back(std::move(state));
+    }
+}
+
 ClusterServer::ClusterServer(
     const std::vector<const IndexShard *> &shards,
     const ClusterConfig &cfg)
@@ -73,29 +117,16 @@ ClusterServer::ClusterServer(
 {
     wsearch_assert(!shards.empty());
     wsearch_assert(cfg.replicasPerShard >= 1);
-    const uint32_t num_shards = static_cast<uint32_t>(shards.size());
-    shards_.reserve(num_shards);
-    for (uint32_t s = 0; s < num_shards; ++s) {
-        auto state = std::make_unique<ShardState>();
-        LeafWorkerPool::Config pc = cfg.pool;
-        if (cfg.partitionDocIds) {
-            pc.leaf.docIdStride = num_shards;
-            pc.leaf.docIdOffset = s;
-        }
-        pc.shardId = s;
-        if (cfg.clock)
-            pc.clock = cfg.clock;
-        if (cfg.faults)
-            pc.faults = cfg.faults;
-        state->health.resize(cfg.replicasPerShard);
-        state->replicas.reserve(cfg.replicasPerShard);
-        for (uint32_t r = 0; r < cfg.replicasPerShard; ++r) {
-            pc.replicaId = r;
-            state->replicas.push_back(
-                std::make_unique<LeafWorkerPool>(*shards[s], pc));
-        }
-        shards_.push_back(std::move(state));
-    }
+    buildShards(static_cast<uint32_t>(shards.size()), shards, {});
+}
+
+ClusterServer::ClusterServer(const std::vector<LiveIndex *> &indexes,
+                             const ClusterConfig &cfg)
+    : cfg_(cfg), live_(indexes)
+{
+    wsearch_assert(!indexes.empty());
+    wsearch_assert(cfg.replicasPerShard >= 1);
+    buildShards(static_cast<uint32_t>(indexes.size()), {}, indexes);
 }
 
 ClusterServer::~ClusterServer()
@@ -129,8 +160,10 @@ ClusterServer::pickReplica(uint64_t query_id, uint32_t shard,
         const uint32_t r = (preferred + i) % R;
         // An ejected replica whose probation has lapsed is admitted
         // again: this attempt is its probe. Success resets its
-        // health; another failure re-ejects it immediately.
-        if (st.health[r].ejectedUntilNs <= now_ns) {
+        // health; another failure re-ejects it immediately. A
+        // draining replica (mid-rollout) is skipped outright.
+        if (st.health[r].ejectedUntilNs <= now_ns &&
+            !st.health[r].draining) {
             *replica = r;
             return true;
         }
@@ -193,7 +226,8 @@ ClusterServer::issue(const SearchRequest &base, uint32_t shard,
     }
     auto done = [this, gather, shard, replica, is_hedge, t0,
                  cancel](std::vector<ScoredDoc> &&results,
-                         ServeOutcome outcome) {
+                         ServeOutcome outcome,
+                         uint64_t index_version) {
         const uint64_t now = clock().now();
         // Shed/Refused/Failed are replica problems; Expired/Cancelled
         // (deadline pressure, a hedge twin winning) say nothing about
@@ -209,6 +243,7 @@ ClusterServer::issue(const SearchRequest &base, uint32_t shard,
         ++gather->events;
         if (outcome == ServeOutcome::Ok && !gather->got[shard]) {
             gather->got[shard] = 1;
+            gather->versions[shard] = index_version;
             gather->partials[shard] = std::move(results);
             gather->latNs[shard] = now - t0;
             gather->winnerIsHedge[shard] = is_hedge ? 1 : 0;
@@ -365,6 +400,8 @@ ClusterServer::handle(const SearchRequest &req)
     }
     res.page = RootServer::mergeWithCoverage(gather->partials,
                                              outcomes, query.topK);
+    if (!live_.empty())
+        res.page.shardVersions = gather->versions;
     res.hedges = hedges;
     res.retries = retries;
     // Copy what the stats need: stragglers may still mutate the
@@ -415,12 +452,67 @@ ClusterServer::handle(const SearchRequest &req)
     return res;
 }
 
-ClusterResult
-ClusterServer::handle(const Query &query)
+RolloutResult
+ClusterServer::rolloutShard(uint32_t shard,
+                            std::shared_ptr<const IndexSnapshot> snap)
 {
-    SearchRequest req;
-    req.query = query;
-    return handle(req);
+    wsearch_assert(shard < shards_.size());
+    wsearch_assert(snap != nullptr);
+    ShardState &st = *shards_[shard];
+    RolloutResult res;
+    res.version = snap->version;
+    // One rollout of a shard at a time; concurrent callers queue.
+    std::lock_guard<std::mutex> rlk(st.rolloutMu);
+    const uint32_t R = static_cast<uint32_t>(st.replicas.size());
+    for (uint32_t r = 0; r < R; ++r) {
+        {
+            std::lock_guard<std::mutex> lk(st.mu);
+            st.health[r].draining = true;
+        }
+        LeafWorkerPool &pool = *st.replicas[r];
+        // Let in-flight work finish on the old version before the
+        // swap; new traffic already avoids this replica.
+        pool.drain();
+        // The injector models a torn handoff: the replica receives a
+        // snapshot whose contents do not match its checksum. The leaf
+        // must refuse it (and keep serving its old version), after
+        // which the rollout resends the pristine copy.
+        const bool corrupt = cfg_.faults &&
+            cfg_.faults->corruptHandoff(shard, r, snap->version,
+                                        clock().now());
+        bool adopted = false;
+        if (corrupt) {
+            adopted = pool.leafMutable().adoptSnapshot(
+                snap->corruptedCopy());
+            wsearch_assert(!adopted); // a torn handoff must not land
+        }
+        if (!adopted)
+            adopted = pool.leafMutable().adoptSnapshot(snap);
+        if (corrupt)
+            ++res.handoffsRejected;
+        if (adopted)
+            ++res.replicasUpdated;
+        {
+            std::lock_guard<std::mutex> lk(st.mu);
+            st.health[r].draining = false;
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lk(st.mu);
+        ++st.rollouts;
+    }
+    return res;
+}
+
+RolloutResult
+ClusterServer::rolloutAll()
+{
+    wsearch_assert(!live_.empty());
+    RolloutResult res;
+    const uint32_t S = static_cast<uint32_t>(live_.size());
+    for (uint32_t s = 0; s < S; ++s)
+        res.merge(rolloutShard(s, live_[s]->snapshot()));
+    return res;
 }
 
 void
@@ -469,9 +561,13 @@ ClusterServer::snapshot() const
             ss.hedgeWins = shard->hedgeWins;
             ss.retries = shard->retries;
             ss.failures = shard->failures;
-            for (const ReplicaHealth &h : shard->health)
+            ss.rollouts = shard->rollouts;
+            for (const ReplicaHealth &h : shard->health) {
                 if (h.ejectedUntilNs > now)
                     ++ss.replicasEjected;
+                if (h.draining)
+                    ++ss.replicasDraining;
+            }
             ss.latencyNs = shard->latencyNs;
         }
         for (const auto &pool : shard->replicas)
@@ -500,6 +596,26 @@ printClusterReport(const ClusterSnapshot &snap, double duration_sec)
     }
     summary.addRow({"leaf executed",
                     Table::fmtInt(snap.leafExecuted())});
+    uint64_t rollouts = 0;
+    for (const ShardSnapshot &ss : snap.shards)
+        rollouts += ss.rollouts;
+    if (rollouts) {
+        uint64_t lo = 0;
+        uint64_t hi = 0;
+        uint64_t rejected = 0;
+        for (const ShardSnapshot &ss : snap.shards) {
+            rejected += ss.pool.handoffsRejected;
+            if (ss.pool.indexVersionHigh > hi)
+                hi = ss.pool.indexVersionHigh;
+            if (ss.pool.indexVersionLow != 0 &&
+                (lo == 0 || ss.pool.indexVersionLow < lo))
+                lo = ss.pool.indexVersionLow;
+        }
+        summary.addRow({"rollouts", Table::fmtInt(rollouts)});
+        summary.addRow({"handoffs rejected", Table::fmtInt(rejected)});
+        summary.addRow({"index version low", Table::fmtInt(lo)});
+        summary.addRow({"index version high", Table::fmtInt(hi)});
+    }
     if (duration_sec > 0) {
         summary.addRow(
             {"achieved QPS",

@@ -57,6 +57,8 @@
 
 namespace wsearch {
 
+class LiveIndex;
+
 /** Cluster shape and per-query policy. */
 struct ClusterConfig
 {
@@ -104,6 +106,23 @@ struct ClusterResult
     uint64_t latencyNs = 0;
 };
 
+/** Outcome of one rolling snapshot rollout (per shard or fleet). */
+struct RolloutResult
+{
+    uint32_t replicasUpdated = 0; ///< now serving the new version
+    uint32_t handoffsRejected = 0; ///< torn deliveries refused+resent
+    uint64_t version = 0; ///< highest version delivered
+
+    void
+    merge(const RolloutResult &o)
+    {
+        replicasUpdated += o.replicasUpdated;
+        handoffsRejected += o.handoffsRejected;
+        if (o.version > version)
+            version = o.version;
+    }
+};
+
 /** Per-shard slice of a ClusterSnapshot. */
 struct ShardSnapshot
 {
@@ -115,6 +134,8 @@ struct ShardSnapshot
     uint64_t retries = 0;   ///< retry attempts issued to it
     uint64_t failures = 0;  ///< attempts that failed (shed/refused/..)
     uint32_t replicasEjected = 0; ///< replicas ejected right now
+    uint32_t replicasDraining = 0; ///< replicas mid-rollout right now
+    uint64_t rollouts = 0;  ///< completed snapshot rollouts
     LatencyHistogram latencyNs; ///< scatter-to-answer latency
     ServeSnapshot pool;         ///< merged over the shard's replicas
 };
@@ -176,6 +197,16 @@ class ClusterServer
     ClusterServer(const std::vector<const IndexShard *> &shards,
                   const ClusterConfig &cfg);
 
+    /**
+     * Live cluster: shard s is served from @p indexes[s]'s current
+     * snapshot by every replica; new versions reach replicas via
+     * rolloutShard()/rolloutAll(). Live indexes carry global doc ids
+     * already, so partitionDocIds is ignored (identity mapping).
+     * @p indexes are non-owning and must outlive the cluster.
+     */
+    ClusterServer(const std::vector<LiveIndex *> &indexes,
+                  const ClusterConfig &cfg);
+
     /** Shuts down every pool and joins. */
     ~ClusterServer();
 
@@ -193,8 +224,31 @@ class ClusterServer
      */
     ClusterResult handle(const SearchRequest &req);
 
-    /** Deprecated shim: cluster-config deadline, default policy. */
-    ClusterResult handle(const Query &query);
+    /**
+     * Rolling rollout of @p snap to every replica of @p shard, one
+     * replica at a time so the other replicas keep serving: mark the
+     * replica draining (the scatter path stops picking it), drain its
+     * in-flight work, hand the snapshot over (checksum-validated by
+     * the leaf; a corrupted delivery -- injectable via
+     * FaultInjector::corruptHandoff -- is rejected, counted, and
+     * resent clean), then re-admit. Serialized per shard. With R == 1
+     * the lone replica is briefly unpickable; queries during that
+     * window see the shard unavailable rather than a torn index.
+     */
+    RolloutResult rolloutShard(uint32_t shard,
+                               std::shared_ptr<const IndexSnapshot>
+                                   snap);
+
+    /** rolloutShard(s, live-index s's current snapshot) for every
+     *  shard (live clusters only). */
+    RolloutResult rolloutAll();
+
+    /** The live index feeding @p shard (null on frozen clusters). */
+    LiveIndex *
+    liveIndex(uint32_t shard) const
+    {
+        return shard < live_.size() ? live_[shard] : nullptr;
+    }
 
     /** Wait until every accepted leaf request has completed. */
     void drainAll();
@@ -236,6 +290,7 @@ class ClusterServer
     {
         uint32_t consecutiveFailures = 0;
         uint64_t ejectedUntilNs = 0; ///< 0 = admitted
+        bool draining = false; ///< mid-rollout: not pickable
     };
 
     /** Per-shard replica set + stats (stats guarded by mu). */
@@ -251,7 +306,10 @@ class ClusterServer
         uint64_t hedgeWins = 0;
         uint64_t retries = 0;
         uint64_t failures = 0;
+        uint64_t rollouts = 0; ///< completed snapshot rollouts
         LatencyHistogram latencyNs;
+        /** Serializes rollouts of this shard (never held with mu). */
+        std::mutex rolloutMu;
     };
 
     Clock &
@@ -288,8 +346,15 @@ class ClusterServer
     static void markUnavailable(const std::shared_ptr<Gather> &gather,
                                 uint32_t shard);
 
+    /** Shared pool construction for both ctors. */
+    void buildShards(uint32_t num_shards,
+                     const std::vector<const IndexShard *> &shards,
+                     const std::vector<LiveIndex *> &indexes);
+
     ClusterConfig cfg_;
     std::vector<std::unique_ptr<ShardState>> shards_;
+    /** Per-shard live index (empty on frozen clusters). */
+    std::vector<LiveIndex *> live_;
 
     /** Cluster-level stats, guarded by statsMu_. */
     mutable std::mutex statsMu_;

@@ -29,6 +29,8 @@ constexpr uint64_t kSaltHang = 0xa4a6;
 constexpr uint64_t kSaltFail = 0xfa11;
 constexpr uint64_t kSaltDrop = 0xd209;
 constexpr uint64_t kSaltCorrupt = 0xc099;
+constexpr uint64_t kSaltMergeCrash = 0x3e49;
+constexpr uint64_t kSaltHandoff = 0x4a0d;
 
 } // namespace
 
@@ -91,6 +93,28 @@ FaultPlan::onExecute(uint32_t shard, uint32_t replica,
             spec.corruptProb)
         d.corrupt = true;
     return d;
+}
+
+bool
+FaultPlan::crashMerge(uint32_t shard, uint64_t merge_seq,
+                      uint64_t now_ns) const
+{
+    (void)now_ns;
+    const FaultSpec &spec = specFor(shard, 0);
+    return spec.mergeCrashProb > 0.0 &&
+        draw(seed_, shard, 0, merge_seq, kSaltMergeCrash) <
+        spec.mergeCrashProb;
+}
+
+bool
+FaultPlan::corruptHandoff(uint32_t shard, uint32_t replica,
+                          uint64_t version, uint64_t now_ns) const
+{
+    (void)now_ns;
+    const FaultSpec &spec = specFor(shard, replica);
+    return spec.handoffCorruptProb > 0.0 &&
+        draw(seed_, shard, replica, version, kSaltHandoff) <
+        spec.handoffCorruptProb;
 }
 
 } // namespace wsearch

@@ -67,6 +67,39 @@ class FaultInjector
     virtual FaultDecision onExecute(uint32_t shard, uint32_t replica,
                                     uint64_t query_id,
                                     uint64_t now_ns) const = 0;
+
+    /**
+     * Should merge number @p merge_seq on @p shard crash mid-build?
+     * Consulted by MergeWorker before running a merge; true abandons
+     * it partway (the live index discards the partial output).
+     * Default-benign so existing injectors are unaffected.
+     */
+    virtual bool
+    crashMerge(uint32_t shard, uint64_t merge_seq,
+               uint64_t now_ns) const
+    {
+        (void)shard;
+        (void)merge_seq;
+        (void)now_ns;
+        return false;
+    }
+
+    /**
+     * Should the handoff of snapshot @p version to (shard, replica)
+     * arrive corrupted? Consulted by the rollout path; true makes the
+     * replica receive a torn copy, which adoption-time validation
+     * must reject. Default-benign.
+     */
+    virtual bool
+    corruptHandoff(uint32_t shard, uint32_t replica, uint64_t version,
+                   uint64_t now_ns) const
+    {
+        (void)shard;
+        (void)replica;
+        (void)version;
+        (void)now_ns;
+        return false;
+    }
 };
 
 /** Per-replica fault probabilities and windows (all default benign). */
@@ -92,6 +125,14 @@ struct FaultSpec
 
     /** Probability the reply payload is corrupted/truncated. */
     double corruptProb = 0.0;
+
+    /** Probability a background merge crashes mid-build (live index;
+     *  drawn per merge sequence number, shard-wide). */
+    double mergeCrashProb = 0.0;
+
+    /** Probability a snapshot handoff reaches the replica torn (drawn
+     *  per (shard, replica, snapshot version)). */
+    double handoffCorruptProb = 0.0;
 
     /** Crash window: the replica refuses all requests (admission and
      *  execution) while crashAtNs <= now < recoverAtNs. 0 crashAtNs =
@@ -133,6 +174,15 @@ class FaultPlan : public FaultInjector
     FaultDecision onExecute(uint32_t shard, uint32_t replica,
                             uint64_t query_id,
                             uint64_t now_ns) const override;
+
+    /** Shard-wide (replica 0's spec); drawn on the merge sequence. */
+    bool crashMerge(uint32_t shard, uint64_t merge_seq,
+                    uint64_t now_ns) const override;
+
+    /** Per-replica; drawn on the snapshot version. */
+    bool corruptHandoff(uint32_t shard, uint32_t replica,
+                        uint64_t version,
+                        uint64_t now_ns) const override;
 
     uint64_t seed() const { return seed_; }
 

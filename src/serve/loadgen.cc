@@ -111,7 +111,9 @@ runOpenLoop(LeafWorkerPool &pool, const LoadGenConfig &cfg)
         next_arrival += static_cast<uint64_t>(
             -std::log(u) * mean_gap_ns);
         sleepUntilNs(next_arrival);
-        pool.submit(gen.next(), /*block=*/false);
+        SearchRequest req;
+        req.query = gen.next();
+        pool.submit(req, /*block=*/false);
     }
     pool.drain();
     const uint64_t end = nowNs();
@@ -137,8 +139,9 @@ runClosedLoop(LeafWorkerPool &pool, const LoadGenConfig &cfg)
                 auto reply = std::make_shared<
                     std::promise<std::vector<ScoredDoc>>>();
                 auto fut = reply->get_future();
-                pool.submit(gen.next(), /*block=*/true,
-                            std::move(reply));
+                SearchRequest req;
+                req.query = gen.next();
+                pool.submit(req, /*block=*/true, std::move(reply));
                 // Fulfilled on completion, cache hit, or shed.
                 fut.get();
             }
@@ -165,8 +168,11 @@ runClusterClosedLoop(ClusterServer &cluster, const LoadGenConfig &cfg)
         clients.emplace_back([&cluster, &cfg, &issued, c] {
             QueryGenerator gen(cfg.queries,
                                cfg.seed + 7919ull * (c + 1));
-            while (issued.fetch_add(1) < cfg.numQueries)
-                cluster.handle(gen.next());
+            while (issued.fetch_add(1) < cfg.numQueries) {
+                SearchRequest req;
+                req.query = gen.next();
+                cluster.handle(req);
+            }
         });
     }
     for (std::thread &t : clients)

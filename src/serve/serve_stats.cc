@@ -28,6 +28,15 @@ ServeSnapshot::merge(const ServeSnapshot &other)
     faultCorrupted += other.faultCorrupted;
     cacheLookups += other.cacheLookups;
     cacheEvictions += other.cacheEvictions;
+    snapshotsAdopted += other.snapshotsAdopted;
+    handoffsRejected += other.handoffsRejected;
+    // Version range: min over non-zero lows (0 marks a frozen pool
+    // that serves no versioned snapshot), max over highs.
+    if (other.indexVersionHigh > indexVersionHigh)
+        indexVersionHigh = other.indexVersionHigh;
+    if (other.indexVersionLow != 0 &&
+        (indexVersionLow == 0 || other.indexVersionLow < indexVersionLow))
+        indexVersionLow = other.indexVersionLow;
     sojournNs.merge(other.sojournNs);
     serviceNs.merge(other.serviceNs);
     cacheHitNs.merge(other.cacheHitNs);
@@ -64,6 +73,16 @@ printServeReport(const ServeSnapshot &snap, double duration_sec)
                         Table::fmtInt(snap.cacheLookups)});
         summary.addRow({"cache evictions",
                         Table::fmtInt(snap.cacheEvictions)});
+    }
+    if (snap.indexVersionHigh) {
+        summary.addRow({"index version low",
+                        Table::fmtInt(snap.indexVersionLow)});
+        summary.addRow({"index version high",
+                        Table::fmtInt(snap.indexVersionHigh)});
+        summary.addRow({"snapshots adopted",
+                        Table::fmtInt(snap.snapshotsAdopted)});
+        summary.addRow({"handoffs rejected",
+                        Table::fmtInt(snap.handoffsRejected)});
     }
     if (duration_sec > 0) {
         const double qps =

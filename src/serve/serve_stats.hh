@@ -54,6 +54,16 @@ struct ServeSnapshot
     uint64_t cacheLookups = 0;
     uint64_t cacheEvictions = 0;
 
+    // Live-index rollout (zeros for frozen-shard pools).
+    uint64_t snapshotsAdopted = 0;  ///< successful snapshot swaps
+    uint64_t handoffsRejected = 0;  ///< torn/stale handoffs refused
+    /** Range of index versions being served across merged pools
+     *  (min/max of the per-pool current version, ignoring frozen
+     *  pools, which report 0). Equal low/high means the whole fleet
+     *  serves one version. */
+    uint64_t indexVersionLow = 0;
+    uint64_t indexVersionHigh = 0;
+
     /** End-to-end latency of worker-executed requests (ns). */
     LatencyHistogram sojournNs;
     /** Executor-only service time (ns). */
@@ -77,7 +87,8 @@ struct ServeSnapshot
     {
         return submitted == accepted + shed + cacheHits + refused &&
             completed >= expired + cancelled + faultFailed &&
-            faultDropped + faultCorrupted <= completed;
+            faultDropped + faultCorrupted <= completed &&
+            indexVersionLow <= indexVersionHigh;
     }
 
     /** Accumulate @p other's counters/histograms (fleet-wide view). */

@@ -44,6 +44,20 @@ LeafWorkerPool::LeafWorkerPool(const IndexShard &shard,
         threads_.emplace_back([this, w] { workerMain(w); });
 }
 
+LeafWorkerPool::LeafWorkerPool(
+    std::shared_ptr<const IndexSnapshot> snapshot, const Config &cfg)
+    : cfg_(cfg), leaf_(std::move(snapshot), leafConfigFor(cfg)),
+      queue_(cfg.queueCapacity), cache_(cfg.cacheCapacity)
+{
+    wsearch_assert(cfg.numWorkers >= 1);
+    slots_.reserve(cfg.numWorkers);
+    for (uint32_t w = 0; w < cfg.numWorkers; ++w)
+        slots_.push_back(std::make_unique<WorkerSlot>());
+    threads_.reserve(cfg.numWorkers);
+    for (uint32_t w = 0; w < cfg.numWorkers; ++w)
+        threads_.emplace_back([this, w] { workerMain(w); });
+}
+
 LeafWorkerPool::~LeafWorkerPool()
 {
     shutdown();
@@ -52,14 +66,14 @@ LeafWorkerPool::~LeafWorkerPool()
 void
 LeafWorkerPool::finish(ServeRequest &req,
                        std::vector<ScoredDoc> &&results,
-                       ServeOutcome outcome)
+                       ServeOutcome outcome, uint64_t index_version)
 {
     if (req.done) {
         // The callback consumes the results; give the promise (rarely
         // both are set) a copy first.
         if (req.reply)
             req.reply->set_value(results);
-        req.done(std::move(results), outcome);
+        req.done(std::move(results), outcome, index_version);
     } else if (req.reply) {
         req.reply->set_value(std::move(results));
     }
@@ -88,28 +102,6 @@ LeafWorkerPool::submitAsync(const SearchRequest &request, bool block,
 }
 
 LeafWorkerPool::Admit
-LeafWorkerPool::submit(const Query &query, bool block, Reply reply)
-{
-    ServeRequest req;
-    req.request.query = query;
-    req.reply = std::move(reply);
-    return enqueue(std::move(req), block);
-}
-
-LeafWorkerPool::Admit
-LeafWorkerPool::submitAsync(const Query &query, bool block,
-                            uint64_t deadline_ns, ServeCompletion done,
-                            std::shared_ptr<std::atomic<bool>> cancel)
-{
-    ServeRequest req;
-    req.request.query = query;
-    req.request.deadlineNs = deadline_ns;
-    req.request.cancel = std::move(cancel);
-    req.done = std::move(done);
-    return enqueue(std::move(req), block);
-}
-
-LeafWorkerPool::Admit
 LeafWorkerPool::enqueue(ServeRequest &&req, bool block)
 {
     submitted_.fetch_add(1, std::memory_order_relaxed);
@@ -121,7 +113,7 @@ LeafWorkerPool::enqueue(ServeRequest &&req, bool block)
         !cfg_.faults->admit(cfg_.shardId, cfg_.replicaId,
                             req.request.query.id, clk.now())) {
         refused_.fetch_add(1, std::memory_order_relaxed);
-        finish(req, {}, ServeOutcome::Refused);
+        finish(req, {}, ServeOutcome::Refused, 0);
         return Admit::Refused;
     }
 
@@ -139,7 +131,8 @@ LeafWorkerPool::enqueue(ServeRequest &&req, bool block)
         }
         if (hit) {
             cacheHits_.fetch_add(1, std::memory_order_relaxed);
-            finish(req, std::move(hit_results), ServeOutcome::Ok);
+            finish(req, std::move(hit_results), ServeOutcome::Ok,
+                   leaf_.currentVersion());
             return Admit::CacheHit;
         }
     }
@@ -156,7 +149,7 @@ LeafWorkerPool::enqueue(ServeRequest &&req, bool block)
         accepted_.fetch_sub(1, std::memory_order_relaxed);
         shed_.fetch_add(1, std::memory_order_relaxed);
         // req is untouched on a failed push; tell the waiter.
-        finish(req, {}, ServeOutcome::Shed);
+        finish(req, {}, ServeOutcome::Shed, 0);
         return Admit::Shed;
     }
     return Admit::Accepted;
@@ -167,7 +160,7 @@ LeafWorkerPool::dropRequest(ServeRequest &req, ServeOutcome outcome,
                             std::atomic<uint64_t> &counter)
 {
     counter.fetch_add(1, std::memory_order_relaxed);
-    finish(req, {}, outcome);
+    finish(req, {}, outcome, 0);
     req.request.cancel.reset();
     completed_.fetch_add(1, std::memory_order_release);
     {
@@ -277,7 +270,8 @@ LeafWorkerPool::workerMain(uint32_t worker_id)
                req.request.cancel->load(std::memory_order_acquire))
             ? ServeOutcome::Cancelled
             : ServeOutcome::Expired;
-        finish(req, std::move(resp.docs), outcome);
+        finish(req, std::move(resp.docs), outcome,
+               resp.indexVersion);
         req.request.cancel.reset();
 
         completed_.fetch_add(1, std::memory_order_release);
@@ -330,6 +324,12 @@ LeafWorkerPool::snapshot() const
     s.faultDropped = faultDropped_.load(std::memory_order_relaxed);
     s.faultCorrupted =
         faultCorrupted_.load(std::memory_order_relaxed);
+    if (leaf_.live()) {
+        s.snapshotsAdopted = leaf_.snapshotsAdopted();
+        s.handoffsRejected = leaf_.handoffsRejected();
+        s.indexVersionLow = s.indexVersionHigh =
+            leaf_.currentVersion();
+    }
     s.workers.reserve(slots_.size());
     for (const auto &slot : slots_) {
         std::lock_guard<std::mutex> lk(slot->mu);

@@ -64,10 +64,13 @@ enum class ServeOutcome : uint8_t
  * Completion callback: results are valid only for ServeOutcome::Ok.
  * May fire on the submitting thread (cache hit, shed, refused) or on
  * a worker thread, so implementations must be thread-safe and must
- * not call back into the pool.
+ * not call back into the pool. @p index_version is the IndexSnapshot
+ * version the answer was computed against (0: frozen shard, or no
+ * execution happened).
  */
 using ServeCompletion = std::function<void(
-    std::vector<ScoredDoc> &&results, ServeOutcome outcome)>;
+    std::vector<ScoredDoc> &&results, ServeOutcome outcome,
+    uint64_t index_version)>;
 
 /** One queued unit of work. */
 struct ServeRequest
@@ -141,6 +144,14 @@ class LeafWorkerPool
     /** Workers start immediately. @p shard must outlive the pool. */
     LeafWorkerPool(const IndexShard &shard, const Config &cfg);
 
+    /**
+     * Live-leaf replica serving @p snapshot (see LeafServer's live
+     * mode). The served version advances via
+     * leafMutable().adoptSnapshot() -- the cluster's rollout path.
+     */
+    LeafWorkerPool(std::shared_ptr<const IndexSnapshot> snapshot,
+                   const Config &cfg);
+
     /** Shuts down and joins (drops any still-queued requests). */
     ~LeafWorkerPool();
 
@@ -168,17 +179,6 @@ class LeafWorkerPool
     Admit submitAsync(const SearchRequest &request, bool block,
                       ServeCompletion done);
 
-    /** Deprecated shim: submit with default policy. */
-    Admit submit(const Query &query, bool block,
-                 Reply reply = nullptr);
-
-    /** Deprecated shim: explicit deadline/cancel parameters. Prefer
-     *  submitAsync(SearchRequest, block, done). */
-    Admit submitAsync(const Query &query, bool block,
-                      uint64_t deadline_ns, ServeCompletion done,
-                      std::shared_ptr<std::atomic<bool>> cancel =
-                          nullptr);
-
     /** Wait until every accepted request has completed. */
     void drain();
 
@@ -195,6 +195,8 @@ class LeafWorkerPool
     ServeSnapshot snapshot() const;
 
     const LeafServer &leaf() const { return leaf_; }
+    /** Mutable leaf access for snapshot adoption (live replicas). */
+    LeafServer &leafMutable() { return leaf_; }
     const Config &config() const { return cfg_; }
 
   private:
@@ -212,7 +214,7 @@ class LeafWorkerPool
     void workerMain(uint32_t worker_id);
     static void finish(ServeRequest &req,
                        std::vector<ScoredDoc> &&results,
-                       ServeOutcome outcome);
+                       ServeOutcome outcome, uint64_t index_version);
 
     Clock &
     clock() const

@@ -29,6 +29,15 @@ class RecordingSink : public TouchSink
     }
 };
 
+/** Run @p q through the SearchRequest API, returning just the docs. */
+std::vector<ScoredDoc>
+run(QueryExecutor &ex, const Query &q)
+{
+    SearchRequest req;
+    req.query = q;
+    return ex.execute(req).docs;
+}
+
 struct Fixture
 {
     Fixture()
@@ -94,7 +103,7 @@ TEST(Executor, ConjunctiveMatchesNaive)
             q.terms = {a, b};
             q.conjunctive = true;
             q.topK = 10;
-            const auto got = ex.execute(q);
+            const auto got = run(ex, q);
             const auto want = f.naive(q);
             ASSERT_EQ(got.size(), want.size())
                 << "terms " << a << "," << b;
@@ -115,7 +124,7 @@ TEST(Executor, DisjunctiveMatchesNaive)
         q.terms = {a, a + 1, a + 5};
         q.conjunctive = false;
         q.topK = 8;
-        const auto got = ex.execute(q);
+        const auto got = run(ex, q);
         const auto want = f.naive(q);
         ASSERT_EQ(got.size(), want.size()) << "term " << a;
         for (size_t i = 0; i < got.size(); ++i) {
@@ -133,7 +142,7 @@ TEST(Executor, SingleTermQuery)
     q.terms = {2};
     q.conjunctive = true; // single term falls back to disjunctive
     q.topK = 5;
-    const auto got = ex.execute(q);
+    const auto got = run(ex, q);
     const auto want = f.naive(q);
     ASSERT_EQ(got.size(), want.size());
     for (size_t i = 0; i < got.size(); ++i)
@@ -145,7 +154,7 @@ TEST(Executor, EmptyQueryReturnsNothing)
     Fixture f;
     QueryExecutor ex(f.index, 0, &f.nullSink);
     Query q;
-    EXPECT_TRUE(ex.execute(q).empty());
+    EXPECT_TRUE(run(ex, q).empty());
 }
 
 TEST(Executor, ResultsSortedBestFirst)
@@ -156,7 +165,7 @@ TEST(Executor, ResultsSortedBestFirst)
     q.terms = {0, 1};
     q.conjunctive = false;
     q.topK = 20;
-    const auto got = ex.execute(q);
+    const auto got = run(ex, q);
     for (size_t i = 1; i < got.size(); ++i)
         EXPECT_FALSE(got[i - 1] < got[i]);
 }
@@ -170,7 +179,7 @@ TEST(Executor, TouchesCoverAllSegments)
     q.terms = {0, 1};
     q.conjunctive = false;
     q.topK = 10;
-    ex.execute(q);
+    run(ex, q);
     std::set<AccessKind> kinds;
     for (const auto &t : sink.touches)
         kinds.insert(t.kind);
@@ -187,7 +196,7 @@ TEST(Executor, ShardTouchesWithinTermExtent)
     Query q;
     q.terms = {4};
     q.conjunctive = false;
-    ex.execute(q);
+    run(ex, q);
     const TermInfo info = f.index.termInfo(4);
     const uint64_t lo = engine_vaddr::shardAddr(info.shardOffset);
     const uint64_t hi = lo + info.byteLength;
@@ -207,8 +216,8 @@ TEST(Executor, ScratchTouchesArePerThread)
     Query q;
     q.terms = {0};
     q.conjunctive = false;
-    e0.execute(q);
-    e5.execute(q);
+    run(e0, q);
+    run(e5, q);
     auto scratch_addrs = [](const RecordingSink &s) {
         std::set<uint64_t> out;
         for (const auto &t : s.touches)
@@ -231,7 +240,7 @@ TEST(Executor, StatsPopulated)
     Query q;
     q.terms = {0, 1};
     q.conjunctive = false;
-    ex.execute(q);
+    run(ex, q);
     EXPECT_GT(ex.lastStats().postingsDecoded, 0u);
     EXPECT_GT(ex.lastStats().candidatesScored, 0u);
     EXPECT_GT(ex.lastStats().shardBytesRead, 0u);
@@ -253,7 +262,7 @@ TEST(Executor, WorksOnProceduralIndex)
     q.terms = {1, 7};
     q.conjunctive = false;
     q.topK = 10;
-    const auto r = ex.execute(q);
+    const auto r = run(ex, q);
     EXPECT_FALSE(r.empty());
     for (size_t i = 1; i < r.size(); ++i)
         EXPECT_FALSE(r[i - 1] < r[i]);

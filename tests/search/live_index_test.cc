@@ -1,0 +1,529 @@
+/**
+ * Unit and property tests for the live index (search/live/): segment
+ * sealing and the sparse IndexShard contract, commit-as-ack
+ * semantics, two-phase deletes, merge compaction (including the
+ * mid-merge crash path), snapshot checksums, and snapshot isolation.
+ * The randomized model test cross-checks SnapshotSearcher visibility
+ * against a plain map of what was committed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "search/live/live_index.hh"
+#include "search/live/merge_worker.hh"
+#include "search/live/snapshot_search.hh"
+
+namespace wsearch {
+namespace {
+
+SearchRequest
+probe(std::initializer_list<TermId> terms, bool conjunctive = false,
+      uint32_t topk = 4096)
+{
+    SearchRequest req;
+    req.query.id = 1;
+    req.query.terms = terms;
+    req.query.conjunctive = conjunctive;
+    req.query.topK = topk;
+    return req;
+}
+
+std::set<DocId>
+docsOf(const SearchResponse &resp)
+{
+    std::set<DocId> out;
+    for (const ScoredDoc &d : resp.docs)
+        out.insert(d.doc);
+    return out;
+}
+
+std::set<DocId>
+searchDocs(SnapshotSearcher &s, const IndexSnapshot &snap, TermId term)
+{
+    return docsOf(s.search(snap, probe({term})));
+}
+
+TEST(LiveSegment, BuilderEncodesSparseShard)
+{
+    LiveSegmentBuilder b;
+    b.addDoc(5, {1, 1, 2});
+    b.addDoc(9, {2, 3});
+    EXPECT_EQ(b.numDocs(), 2u);
+    const auto seg = b.build(/*seal_version=*/7);
+
+    EXPECT_EQ(seg->numDocs(), 2u);
+    EXPECT_EQ(seg->numTerms(), 3u);
+    EXPECT_EQ(seg->docLen(5), 3u);
+    EXPECT_EQ(seg->docLen(9), 2u);
+    EXPECT_EQ(seg->docLen(777), 0u); // absent doc: sparse space
+    EXPECT_EQ(seg->termInfo(2).docFreq, 2u);
+    EXPECT_EQ(seg->termInfo(1).docFreq, 1u);
+    EXPECT_EQ(seg->termInfo(12345).docFreq, 0u); // absent term
+    EXPECT_DOUBLE_EQ(seg->avgDocLen(), 2.5);
+    EXPECT_EQ(seg->sealVersion(), 7u);
+    EXPECT_TRUE(seg->contains(5));
+    EXPECT_FALSE(seg->contains(6));
+
+    const std::vector<DocId> want_docs = {5, 9};
+    EXPECT_EQ(seg->docIds(), want_docs);
+    const std::vector<TermId> want_terms = {1, 2, 3};
+    EXPECT_EQ(seg->termIds(), want_terms);
+
+    // postingView always lends storage, possibly empty.
+    PostingView pv;
+    EXPECT_TRUE(seg->postingView(2, pv));
+    EXPECT_TRUE(seg->postingView(12345, pv));
+
+    // Segment uids are process-unique (executor-cache keys).
+    LiveSegmentBuilder b2;
+    b2.addDoc(5, {1});
+    EXPECT_NE(seg->uid(), b2.build(7)->uid());
+}
+
+TEST(LiveSegment, MutableBufferLifecycle)
+{
+    MutableSegment buf;
+    buf.add(1, {10, 11});
+    buf.add(2, {10});
+    buf.add(1, {12}); // replace
+    EXPECT_EQ(buf.numDocs(), 2u);
+    EXPECT_TRUE(buf.contains(1));
+    EXPECT_TRUE(buf.remove(2));
+    EXPECT_FALSE(buf.remove(2));
+    EXPECT_EQ(buf.numDocs(), 1u);
+    EXPECT_GT(buf.approxBytes(), 0u);
+
+    const auto seg = buf.seal(3);
+    EXPECT_EQ(seg->numDocs(), 1u);
+    EXPECT_EQ(seg->termInfo(12).docFreq, 1u);
+    EXPECT_EQ(seg->termInfo(10).docFreq, 0u); // replaced away
+    EXPECT_EQ(buf.numDocs(), 1u); // seal leaves the buffer intact
+
+    buf.clear();
+    EXPECT_EQ(buf.numDocs(), 0u);
+    EXPECT_EQ(buf.approxBytes(), 0u);
+}
+
+TEST(LiveIndex, EmptySnapshotIsVersionZeroAndSearchable)
+{
+    LiveIndex idx;
+    const auto snap = idx.snapshot();
+    ASSERT_NE(snap, nullptr);
+    EXPECT_EQ(snap->version, 0u);
+    EXPECT_TRUE(snap->segments.empty());
+    EXPECT_TRUE(snap->validate());
+    EXPECT_EQ(idx.version(), 0u);
+
+    SnapshotSearcher s(0);
+    const SearchResponse r = s.search(*snap, probe({1, 2}));
+    EXPECT_TRUE(r.ok);
+    EXPECT_TRUE(r.docs.empty());
+
+    // Nothing buffered: commit is a no-op at the current version.
+    EXPECT_EQ(idx.commit(), 0u);
+    EXPECT_EQ(idx.stats().commits, 0u);
+}
+
+TEST(LiveIndex, CommitIsTheAckPoint)
+{
+    LiveIndex idx;
+    idx.add(1, {7, 100});
+    idx.add(2, {7, 101});
+    idx.add(3, {7, 102});
+
+    // Unacked docs are buffered, not visible.
+    SnapshotSearcher s(0);
+    EXPECT_TRUE(searchDocs(s, *idx.snapshot(), 7).empty());
+    EXPECT_EQ(idx.stats().bufferedDocs, 3u);
+
+    const uint64_t v = idx.commit();
+    EXPECT_GT(v, 0u);
+    const auto snap = idx.snapshot();
+    EXPECT_EQ(snap->version, v);
+    EXPECT_TRUE(snap->validate());
+    EXPECT_EQ(snap->liveDocs, 3u);
+    EXPECT_EQ(searchDocs(s, *snap, 7), (std::set<DocId>{1, 2, 3}));
+    EXPECT_EQ(searchDocs(s, *snap, 101), (std::set<DocId>{2}));
+
+    const LiveStats st = idx.stats();
+    EXPECT_EQ(st.docsAdded, 3u);
+    EXPECT_EQ(st.commits, 1u);
+    EXPECT_EQ(st.bufferedDocs, 0u);
+    EXPECT_EQ(st.segments, 1u);
+}
+
+TEST(LiveIndex, UpdateReplacesAcrossSegments)
+{
+    LiveIndex idx;
+    idx.add(1, {10});
+    idx.commit();
+    // Doc 1 now lives in a sealed segment; re-adding must supersede it.
+    idx.add(1, {20});
+    const uint64_t v = idx.commit();
+
+    SnapshotSearcher s(0);
+    const auto snap = idx.snapshot();
+    EXPECT_EQ(snap->version, v);
+    EXPECT_TRUE(searchDocs(s, *snap, 10).empty());
+    EXPECT_EQ(searchDocs(s, *snap, 20), (std::set<DocId>{1}));
+    EXPECT_EQ(snap->liveDocs, 1u);
+    EXPECT_EQ(idx.stats().docsUpdated, 1u);
+}
+
+TEST(LiveIndex, RemoveIsTwoPhase)
+{
+    LiveIndex idx;
+    idx.add(1, {7});
+    idx.add(2, {7});
+    idx.commit();
+
+    EXPECT_TRUE(idx.remove(1));
+    EXPECT_FALSE(idx.remove(1)); // already pending-removed
+    EXPECT_FALSE(idx.remove(99)); // never existed
+
+    // Pending tombstone: not yet published, doc still visible.
+    SnapshotSearcher s(0);
+    EXPECT_EQ(searchDocs(s, *idx.snapshot(), 7),
+              (std::set<DocId>{1, 2}));
+
+    // The next commit publishes (acks) it.
+    const uint64_t v = idx.commit();
+    const auto snap = idx.snapshot();
+    EXPECT_EQ(snap->version, v);
+    EXPECT_EQ(searchDocs(s, *snap, 7), (std::set<DocId>{2}));
+    EXPECT_EQ(snap->liveDocs, 1u);
+    EXPECT_EQ(snap->deletedDocs, 1u);
+    EXPECT_EQ(idx.stats().docsRemoved, 1u);
+
+    // Removing a doc still in the write buffer never needs a
+    // tombstone at all.
+    idx.add(3, {8});
+    EXPECT_TRUE(idx.remove(3));
+    idx.commit();
+    EXPECT_TRUE(searchDocs(s, *idx.snapshot(), 8).empty());
+}
+
+TEST(LiveIndex, MergeCompactsWithoutChangingVisibility)
+{
+    LiveConfig cfg;
+    cfg.mergeTriggerSegments = 3;
+    cfg.mergeFanIn = 8;
+    LiveIndex idx(cfg);
+
+    // Four segments, forty docs, then delete a few (published).
+    DocId next = 1;
+    for (int seg = 0; seg < 4; ++seg) {
+        for (int i = 0; i < 10; ++i, ++next)
+            idx.add(next, {7, static_cast<TermId>(100 + next % 5)});
+        idx.commit();
+    }
+    for (DocId d : {3u, 17u, 25u})
+        EXPECT_TRUE(idx.remove(d));
+    idx.commit();
+    ASSERT_EQ(idx.stats().segments, 4u);
+    ASSERT_EQ(idx.stats().deletedDocs, 3u);
+
+    SnapshotSearcher s(0);
+    std::vector<std::set<DocId>> before;
+    for (TermId t = 100; t < 105; ++t)
+        before.push_back(searchDocs(s, *idx.snapshot(), t));
+
+    EXPECT_TRUE(idx.mergePending());
+    const uint64_t v_before = idx.version();
+    EXPECT_TRUE(idx.mergeOnce());
+    EXPECT_GT(idx.version(), v_before);
+
+    const LiveStats st = idx.stats();
+    EXPECT_EQ(st.merges, 1u);
+    EXPECT_EQ(st.segments, 1u);
+    EXPECT_EQ(st.liveDocs, 37u);
+    // Published tombstones against the inputs were purged, not
+    // carried into the merged segment.
+    EXPECT_EQ(st.deletedDocs, 0u);
+
+    const auto snap = idx.snapshot();
+    EXPECT_TRUE(snap->validate());
+    for (TermId t = 100; t < 105; ++t)
+        EXPECT_EQ(searchDocs(s, *snap, t), before[t - 100])
+            << "term " << t;
+}
+
+TEST(LiveIndex, CrashedMergeLeavesInputsUntouched)
+{
+    LiveConfig cfg;
+    cfg.mergeTriggerSegments = 2;
+    LiveIndex idx(cfg);
+    idx.add(1, {7});
+    idx.commit();
+    idx.add(2, {7});
+    idx.commit();
+
+    const auto before = idx.snapshot();
+    ASSERT_TRUE(idx.mergePending());
+    EXPECT_FALSE(idx.mergeOnce([] { return true; }));
+
+    // Abandoned: nothing published, inputs intact, crash counted.
+    EXPECT_EQ(idx.version(), before->version);
+    EXPECT_EQ(idx.snapshot().get(), before.get());
+    EXPECT_EQ(idx.stats().mergesCrashed, 1u);
+    EXPECT_EQ(idx.stats().merges, 0u);
+    EXPECT_EQ(idx.stats().segments, 2u);
+
+    // The same merge succeeds when re-run without the fault.
+    EXPECT_TRUE(idx.mergeOnce());
+    EXPECT_EQ(idx.stats().segments, 1u);
+    SnapshotSearcher s(0);
+    EXPECT_EQ(searchDocs(s, *idx.snapshot(), 7),
+              (std::set<DocId>{1, 2}));
+}
+
+TEST(LiveIndex, PendingTombstoneRidesThroughMerge)
+{
+    LiveConfig cfg;
+    cfg.mergeTriggerSegments = 2;
+    LiveIndex idx(cfg);
+    idx.add(1, {7});
+    idx.commit();
+    idx.add(2, {7});
+    idx.commit();
+
+    // Unacked delete at merge time: the merge must carry the doc (a
+    // merge never changes visibility), and the later commit must
+    // still ack it against the *merged* segment.
+    EXPECT_TRUE(idx.remove(1));
+    EXPECT_TRUE(idx.mergeOnce());
+
+    SnapshotSearcher s(0);
+    EXPECT_EQ(searchDocs(s, *idx.snapshot(), 7),
+              (std::set<DocId>{1, 2}));
+
+    idx.commit();
+    EXPECT_EQ(searchDocs(s, *idx.snapshot(), 7), (std::set<DocId>{2}));
+}
+
+TEST(LiveIndex, DeletedFractionTriggersRewrite)
+{
+    LiveConfig cfg;
+    cfg.mergeTriggerSegments = 100; // only the fraction trigger
+    cfg.mergeTriggerDeletedFrac = 0.5;
+    LiveIndex idx(cfg);
+    for (DocId d = 1; d <= 10; ++d)
+        idx.add(d, {7});
+    idx.commit();
+    EXPECT_FALSE(idx.mergePending());
+
+    for (DocId d = 1; d <= 6; ++d)
+        EXPECT_TRUE(idx.remove(d));
+    idx.commit();
+    EXPECT_TRUE(idx.mergePending()); // 6/10 > 0.5
+
+    EXPECT_TRUE(idx.mergeOnce());
+    const LiveStats st = idx.stats();
+    EXPECT_EQ(st.liveDocs, 4u);
+    EXPECT_EQ(st.deletedDocs, 0u); // dead docs purged by the rewrite
+    SnapshotSearcher s(0);
+    EXPECT_EQ(searchDocs(s, *idx.snapshot(), 7),
+              (std::set<DocId>{7, 8, 9, 10}));
+}
+
+TEST(LiveIndex, AutoCommitSealsAtThreshold)
+{
+    LiveConfig cfg;
+    cfg.autoCommitDocs = 4;
+    LiveIndex idx(cfg);
+    for (DocId d = 1; d <= 4; ++d)
+        idx.add(d, {7});
+    // The 4th add crossed the threshold: acked without an explicit
+    // commit().
+    EXPECT_GE(idx.stats().commits, 1u);
+    EXPECT_EQ(idx.stats().bufferedDocs, 0u);
+    SnapshotSearcher s(0);
+    EXPECT_EQ(searchDocs(s, *idx.snapshot(), 7),
+              (std::set<DocId>{1, 2, 3, 4}));
+}
+
+TEST(IndexSnapshot, ChecksumDetectsCorruption)
+{
+    LiveIndex idx;
+    idx.add(1, {7});
+    idx.add(2, {8});
+    idx.commit();
+    idx.remove(2);
+    idx.commit();
+
+    const auto snap = idx.snapshot();
+    EXPECT_TRUE(snap->validate());
+    EXPECT_EQ(snap->checksum, snap->computeChecksum());
+
+    const auto torn = snap->corruptedCopy();
+    ASSERT_NE(torn, nullptr);
+    EXPECT_FALSE(torn->validate());
+    EXPECT_TRUE(snap->validate()); // original untouched
+}
+
+TEST(IndexSnapshot, IsolationAcrossCommitsAndMerges)
+{
+    LiveConfig cfg;
+    cfg.mergeTriggerSegments = 2;
+    LiveIndex idx(cfg);
+    idx.add(1, {7});
+    idx.add(2, {7});
+    const uint64_t v1 = idx.commit();
+    const auto old_snap = idx.snapshot();
+
+    // Mutate heavily after the capture: delete, add, merge.
+    idx.remove(1);
+    idx.add(3, {7});
+    idx.commit();
+    idx.mergeOnce();
+    ASSERT_GT(idx.version(), v1);
+
+    // The captured snapshot still answers exactly as of v1.
+    SnapshotSearcher s(0);
+    EXPECT_EQ(old_snap->version, v1);
+    EXPECT_TRUE(old_snap->validate());
+    EXPECT_EQ(searchDocs(s, *old_snap, 7), (std::set<DocId>{1, 2}));
+    EXPECT_EQ(searchDocs(s, *idx.snapshot(), 7),
+              (std::set<DocId>{2, 3}));
+}
+
+TEST(LiveIndex, VersionsStrictlyIncreaseAcrossPublications)
+{
+    LiveConfig cfg;
+    cfg.mergeTriggerSegments = 2;
+    LiveIndex idx(cfg);
+    std::vector<uint64_t> versions;
+    DocId next = 1;
+    for (int round = 0; round < 6; ++round) {
+        for (int i = 0; i < 3; ++i, ++next)
+            idx.add(next, {7});
+        versions.push_back(idx.commit());
+        if (idx.mergePending() && idx.mergeOnce())
+            versions.push_back(idx.version());
+    }
+    for (size_t i = 1; i < versions.size(); ++i)
+        EXPECT_LT(versions[i - 1], versions[i]);
+    EXPECT_EQ(idx.version(), versions.back());
+}
+
+TEST(SnapshotSearcher, ExecutorCacheFollowsSegments)
+{
+    LiveConfig cfg;
+    cfg.mergeTriggerSegments = 4;
+    LiveIndex idx(cfg);
+    SnapshotSearcher s(0);
+    DocId next = 1;
+    for (int seg = 0; seg < 4; ++seg) {
+        for (int i = 0; i < 5; ++i, ++next)
+            idx.add(next, {7});
+        idx.commit();
+        s.search(*idx.snapshot(), probe({7}));
+    }
+    // One cached executor per live segment seen.
+    EXPECT_EQ(s.cachedSegments(), 4u);
+
+    // After the merge collapses them, the searcher drops the dead
+    // executors on its next search.
+    ASSERT_TRUE(idx.mergeOnce());
+    const auto r = s.search(*idx.snapshot(), probe({7}));
+    EXPECT_EQ(r.docs.size(), 20u);
+    EXPECT_EQ(s.cachedSegments(), 1u);
+}
+
+/**
+ * Randomized model check: a few hundred interleaved adds, updates,
+ * removes, commits, and merges; after every commit the snapshot must
+ * answer term probes exactly like the committed map.
+ */
+TEST(LiveIndex, RandomizedOpsMatchModel)
+{
+    constexpr TermId kVocab = 12;
+    LiveConfig cfg;
+    cfg.mergeTriggerSegments = 3;
+    LiveIndex idx(cfg);
+    SnapshotSearcher searcher(0);
+
+    std::mt19937_64 rng(0x11fe5eedull);
+    std::unordered_map<DocId, std::vector<TermId>> committed, pending;
+    std::set<DocId> pending_removes;
+    auto rand_terms = [&rng] {
+        std::vector<TermId> t(1 + rng() % 4);
+        for (TermId &x : t)
+            x = static_cast<TermId>(rng() % kVocab);
+        return t;
+    };
+
+    auto verify = [&] {
+        const auto snap = idx.snapshot();
+        ASSERT_TRUE(snap->validate());
+        for (TermId t = 0; t < kVocab; ++t) {
+            std::set<DocId> want;
+            for (const auto &kv : committed)
+                if (std::find(kv.second.begin(), kv.second.end(), t) !=
+                    kv.second.end())
+                    want.insert(kv.first);
+            const SearchResponse r = searcher.search(*snap, probe({t}));
+            EXPECT_EQ(docsOf(r), want) << "term " << t;
+            for (size_t i = 1; i < r.docs.size(); ++i)
+                EXPECT_GE(r.docs[i - 1].score, r.docs[i].score);
+        }
+        EXPECT_EQ(snap->liveDocs, committed.size());
+    };
+
+    for (int op = 0; op < 600; ++op) {
+        const uint64_t roll = rng() % 100;
+        if (roll < 55) {
+            const DocId d = static_cast<DocId>(1 + rng() % 80);
+            const auto terms = rand_terms();
+            idx.add(d, terms);
+            pending[d] = terms;
+            pending_removes.erase(d);
+        } else if (roll < 75) {
+            const DocId d = static_cast<DocId>(1 + rng() % 80);
+            const bool known =
+                (pending.count(d) != 0 ||
+                 (committed.count(d) != 0 &&
+                  pending_removes.count(d) == 0));
+            EXPECT_EQ(idx.remove(d), known) << "doc " << d;
+            pending.erase(d);
+            if (committed.count(d))
+                pending_removes.insert(d);
+        } else if (roll < 90) {
+            idx.commit();
+            for (auto &kv : pending)
+                committed[kv.first] = kv.second;
+            for (DocId d : pending_removes)
+                committed.erase(d);
+            pending.clear();
+            pending_removes.clear();
+            verify();
+        } else {
+            const bool crash = (rng() % 4) == 0;
+            idx.mergeOnce([crash] { return crash; });
+            // Merges never change visibility; spot-check one term.
+            const auto snap = idx.snapshot();
+            ASSERT_TRUE(snap->validate());
+        }
+    }
+    idx.commit();
+    for (auto &kv : pending)
+        committed[kv.first] = kv.second;
+    for (DocId d : pending_removes)
+        committed.erase(d);
+    pending.clear();
+    pending_removes.clear();
+    verify();
+
+    const LiveStats st = idx.stats();
+    EXPECT_GT(st.commits, 0u);
+    EXPECT_GT(st.docsAdded, 0u);
+}
+
+} // namespace
+} // namespace wsearch

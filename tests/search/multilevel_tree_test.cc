@@ -39,6 +39,14 @@ struct Fixture
     std::vector<std::unique_ptr<LeafServer>> leaves;
 };
 
+SearchRequest
+asRequest(const Query &q)
+{
+    SearchRequest req;
+    req.query = q;
+    return req;
+}
+
 Query
 someQuery(uint64_t id = 1)
 {
@@ -73,8 +81,8 @@ TEST(MultiLevelTree, ResultsMatchFlatTree)
         Query q = someQuery(qid);
         q.terms = {static_cast<TermId>(qid % 10),
                    static_cast<TermId>((qid + 3) % 10)};
-        const auto a = two_level.handle(0, q);
-        const auto b = flat.handle(0, q);
+        const auto a = two_level.handle(0, asRequest(q)).docs;
+        const auto b = flat.handle(0, asRequest(q)).docs;
         ASSERT_EQ(a.size(), b.size()) << "query " << qid;
         for (size_t i = 0; i < a.size(); ++i) {
             ASSERT_EQ(a[i].doc, b[i].doc);
@@ -87,7 +95,7 @@ TEST(MultiLevelTree, StatsCountParentsAndLeaves)
 {
     Fixture f;
     MultiLevelTree tree(f.leafPtrs(), 2, 0);
-    tree.handle(0, someQuery());
+    tree.handle(0, asRequest(someQuery()));
     EXPECT_EQ(tree.stats().queries, 1u);
     EXPECT_EQ(tree.stats().parentMerges, 2u);
     EXPECT_EQ(tree.stats().leafQueries, 4u);
@@ -97,9 +105,9 @@ TEST(MultiLevelTree, CacheShortCircuitsWholeTree)
 {
     Fixture f;
     MultiLevelTree tree(f.leafPtrs(), 2, 16);
-    tree.handle(0, someQuery(7));
+    tree.handle(0, asRequest(someQuery(7)));
     const uint64_t leaf_queries = tree.stats().leafQueries;
-    tree.handle(0, someQuery(7));
+    tree.handle(0, asRequest(someQuery(7)));
     EXPECT_EQ(tree.stats().cacheHits, 1u);
     EXPECT_EQ(tree.stats().leafQueries, leaf_queries);
 }

@@ -27,6 +27,15 @@ TEST(RootMerge, HandlesEmptyPartials)
     EXPECT_EQ(merged[0].doc, 1u);
 }
 
+/** Run @p q through the SearchRequest API, returning just the docs. */
+std::vector<ScoredDoc>
+treeRun(ServingTree &tree, uint32_t tid, const Query &q)
+{
+    SearchRequest req;
+    req.query = q;
+    return tree.handle(tid, req).docs;
+}
+
 struct TreeFixture
 {
     TreeFixture()
@@ -65,7 +74,7 @@ TEST(ServingTree, FansOutAndMerges)
     q.terms = {0, 1};
     q.conjunctive = false;
     q.topK = 10;
-    const auto r = tree.handle(0, q);
+    const auto r = treeRun(tree, 0, q);
     EXPECT_FALSE(r.empty());
     EXPECT_EQ(tree.stats().queries, 1u);
     EXPECT_EQ(tree.stats().leafQueries, 2u);
@@ -85,8 +94,8 @@ TEST(ServingTree, CacheAbsorbsRepeats)
     q.id = 7;
     q.terms = {0};
     q.conjunctive = false;
-    const auto first = tree.handle(0, q);
-    const auto second = tree.handle(1, q);
+    const auto first = treeRun(tree, 0, q);
+    const auto second = treeRun(tree, 1, q);
     EXPECT_EQ(tree.stats().queries, 2u);
     EXPECT_EQ(tree.stats().cacheHits, 1u);
     EXPECT_EQ(tree.stats().leafQueries, 2u); // only the first fan-out
@@ -108,8 +117,10 @@ TEST(ServingTree, SingleLeafEqualsDirectServe)
     q.terms = {2, 3};
     q.conjunctive = false;
     q.topK = 8;
-    const auto via_tree = tree.handle(0, q);
-    const auto direct = leaf_direct.serve(0, q);
+    const auto via_tree = treeRun(tree, 0, q);
+    SearchRequest req;
+    req.query = q;
+    const auto direct = leaf_direct.serve(0, req).docs;
     ASSERT_EQ(via_tree.size(), direct.size());
     for (size_t i = 0; i < direct.size(); ++i)
         EXPECT_EQ(via_tree[i].doc, direct[i].doc);

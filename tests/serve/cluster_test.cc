@@ -33,6 +33,14 @@ testTraffic()
     return qc;
 }
 
+SearchRequest
+asRequest(const Query &q)
+{
+    SearchRequest req;
+    req.query = q;
+    return req;
+}
+
 /** Serial scatter-gather over the same shards: the reference the
  *  concurrent cluster must reproduce at full coverage. */
 std::vector<ScoredDoc>
@@ -41,7 +49,7 @@ serialReference(const ShardedIndex &si, const Query &q)
     std::vector<std::vector<ScoredDoc>> partials;
     for (uint32_t s = 0; s < si.numShards(); ++s) {
         LeafServer leaf(si.shard(s), si.leafConfig(s));
-        partials.push_back(leaf.serve(0, q));
+        partials.push_back(leaf.serve(0, asRequest(q)).docs);
     }
     return RootServer::merge(partials, q.topK);
 }
@@ -78,7 +86,7 @@ TEST(ClusterServer, FullCoverageMatchesSerialReference)
     QueryGenerator gen(testTraffic());
     for (uint32_t i = 0; i < 60; ++i) {
         const Query q = gen.next();
-        const ClusterResult res = cluster.handle(q);
+        const ClusterResult res = cluster.handle(asRequest(q));
         EXPECT_EQ(res.page.shardsTotal, 4u);
         ASSERT_EQ(res.page.shardsAnswered, 4u) << "query " << i;
         EXPECT_FALSE(res.page.degraded());
@@ -115,7 +123,7 @@ TEST(ClusterServer, TightDeadlineDegradesGracefully)
     QueryGenerator gen(testTraffic());
     uint64_t answered = 0;
     for (uint32_t i = 0; i < 20; ++i) {
-        const ClusterResult res = cluster.handle(gen.next());
+        const ClusterResult res = cluster.handle(asRequest(gen.next()));
         EXPECT_EQ(res.page.shardsTotal, 4u);
         answered += res.page.shardsAnswered;
         // Whatever merged is still a valid, ordered page.
@@ -155,7 +163,7 @@ TEST(ClusterServer, HedgingAccountsAndStaysConsistent)
     QueryGenerator gen(testTraffic());
     uint64_t hedges = 0;
     for (uint32_t i = 0; i < 50; ++i) {
-        const ClusterResult res = cluster.handle(gen.next());
+        const ClusterResult res = cluster.handle(asRequest(gen.next()));
         EXPECT_EQ(res.page.shardsAnswered, 2u);
         hedges += res.hedges;
     }

@@ -61,6 +61,14 @@ testQuery(uint64_t id)
     return q;
 }
 
+SearchRequest
+asRequest(const Query &q)
+{
+    SearchRequest req;
+    req.query = q;
+    return req;
+}
+
 /**
  * Releases the SimClock before an earlier-declared ClusterServer is
  * destroyed. Declare AFTER the cluster: a failed ASSERT unwinds
@@ -125,7 +133,7 @@ TEST(FaultSchedule, HedgeWinsWhilePrimaryHangs)
 
     const uint64_t t0 = sim.now();
     ClusterResult res;
-    std::thread caller([&] { res = cluster.handle(q); });
+    std::thread caller([&] { res = cluster.handle(asRequest(q)); });
 
     // The primary's worker is now stuck in the injected hang.
     ASSERT_TRUE(sim.awaitSleepers(1));
@@ -182,7 +190,7 @@ TEST(FaultSchedule, PrimaryWinsAfterHedgeFired)
 
     const uint64_t t0 = sim.now();
     ClusterResult res;
-    std::thread caller([&] { res = cluster.handle(q); });
+    std::thread caller([&] { res = cluster.handle(asRequest(q)); });
 
     ASSERT_TRUE(sim.awaitSleepers(1)); // primary in its delay
     sim.advanceTo(t0 + cc.hedgeDelayNs);
@@ -230,7 +238,8 @@ TEST(FaultSchedule, BothExpireAtDeadline)
 
     const uint64_t t0 = sim.now();
     ClusterResult res;
-    std::thread caller([&] { res = cluster.handle(testQuery(44)); });
+    std::thread caller(
+        [&] { res = cluster.handle(asRequest(testQuery(44))); });
 
     ASSERT_TRUE(sim.awaitSleepers(1)); // primary hung
     sim.advanceTo(t0 + cc.hedgeDelayNs);
@@ -280,7 +289,8 @@ TEST(FaultSchedule, CrashedShardFailsFastWithCoverageLoss)
     ClusterServer cluster(si.shardPtrs(), cc);
 
     for (uint64_t i = 0; i < 5; ++i) {
-        const ClusterResult res = cluster.handle(testQuery(100 + i));
+        const ClusterResult res =
+            cluster.handle(asRequest(testQuery(100 + i)));
         expectValidPage(res.page, 2);
         EXPECT_EQ(res.page.shardsAnswered, 1u) << "query " << i;
         EXPECT_EQ(res.page.shardsUnavailable, 1u) << "query " << i;
@@ -331,14 +341,16 @@ TEST(FaultSchedule, EjectionThenProbationReadmitsRecoveredReplica)
 
     // Query 1: refused at admission -> shard unavailable, replica
     // ejected for probationNs.
-    const ClusterResult r1 = cluster.handle(testQuery(201));
+    const ClusterResult r1 =
+        cluster.handle(asRequest(testQuery(201)));
     EXPECT_EQ(r1.page.shardsAnswered, 0u);
     EXPECT_EQ(r1.page.shardsUnavailable, 1u);
     EXPECT_EQ(cluster.replicaPool(0, 0).snapshot().refused, 1u);
 
     // Query 2 while ejected: fails fast WITHOUT contacting the
     // replica (no new submit reaches the pool).
-    const ClusterResult r2 = cluster.handle(testQuery(202));
+    const ClusterResult r2 =
+        cluster.handle(asRequest(testQuery(202)));
     EXPECT_EQ(r2.page.shardsUnavailable, 1u);
     EXPECT_EQ(cluster.replicaPool(0, 0).snapshot().submitted, 1u);
     EXPECT_EQ(cluster.snapshot().shards[0].replicasEjected, 1u);
@@ -346,7 +358,8 @@ TEST(FaultSchedule, EjectionThenProbationReadmitsRecoveredReplica)
     // Past both the probation window and the crash recovery: the next
     // query is the probe, and it succeeds.
     sim.advanceTo(t0 + 20 * kMs);
-    const ClusterResult r3 = cluster.handle(testQuery(203));
+    const ClusterResult r3 =
+        cluster.handle(asRequest(testQuery(203)));
     EXPECT_EQ(r3.page.shardsAnswered, 1u);
     EXPECT_FALSE(r3.page.degraded());
 
@@ -378,7 +391,8 @@ TEST(FaultSchedule, DroppedCompletionDegradesWithoutWedging)
 
     const uint64_t t0 = sim.now();
     ClusterResult res;
-    std::thread caller([&] { res = cluster.handle(testQuery(301)); });
+    std::thread caller(
+        [&] { res = cluster.handle(asRequest(testQuery(301))); });
 
     // The worker executes and silently drops the reply; drain() must
     // still complete -- lost completions never wedge the pool.
@@ -417,14 +431,15 @@ TEST(FaultSchedule, CorruptedReplyTruncatesButStaysValid)
     const Query q = testQuery(401);
     // Reference: the same shard served without faults.
     LeafServer reference(si.shard(0), si.leafConfig(0));
-    const std::vector<ScoredDoc> full = reference.serve(0, q);
+    const std::vector<ScoredDoc> full =
+        reference.serve(0, asRequest(q)).docs;
     ASSERT_GE(full.size(), 2u);
     std::set<DocId> full_docs;
     for (const ScoredDoc &sd : full)
         full_docs.insert(sd.doc);
 
     for (int rep = 0; rep < 2; ++rep) {
-        const ClusterResult res = cluster.handle(q);
+        const ClusterResult res = cluster.handle(asRequest(q));
         expectValidPage(res.page, 1);
         // The root cannot detect the truncation (coverage says the
         // shard answered); the page is smaller but well-formed, and
@@ -464,7 +479,7 @@ TEST(FaultSchedule, RetryRecoversFromTransientFailure)
     const uint32_t primary = cluster.plannedReplica(q.id, 0);
     plan.replicaSpec(0, primary).failProb = 1.0;
 
-    const ClusterResult res = cluster.handle(q);
+    const ClusterResult res = cluster.handle(asRequest(q));
     EXPECT_EQ(res.page.shardsAnswered, 1u);
     EXPECT_FALSE(res.page.degraded());
     EXPECT_EQ(res.retries, 1u);
@@ -516,7 +531,8 @@ TEST(FaultSchedule, DeadlineExactlyAtPopStillExecutes)
         req.deadlineNs = deadline_ns;
         pool.submitAsync(
             req, /*block=*/true,
-            [&out](std::vector<ScoredDoc> &&docs, ServeOutcome oc) {
+            [&out](std::vector<ScoredDoc> &&docs, ServeOutcome oc,
+                   uint64_t /*index_version*/) {
                 std::lock_guard<std::mutex> lk(out.mu);
                 out.done = true;
                 out.outcome = oc;
@@ -614,7 +630,8 @@ runChaosRound(uint64_t seed, const ShardedIndex &si)
             for (uint32_t i = 0; i < kQueriesPerClient; ++i) {
                 const uint64_t qid =
                     seed ^ (c * 1000 + i); // distinct per client
-                ClusterResult res = cluster.handle(testQuery(qid));
+                ClusterResult res =
+                    cluster.handle(asRequest(testQuery(qid)));
                 std::lock_guard<std::mutex> lk(res_mu);
                 results.push_back(std::move(res));
             }

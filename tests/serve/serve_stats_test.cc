@@ -30,6 +30,10 @@ sampleSnapshot(uint64_t base)
     s.faultCorrupted = base + 8;
     s.cacheLookups = base + 9;
     s.cacheEvictions = base + 10;
+    s.snapshotsAdopted = base + 16;
+    s.handoffsRejected = base + 17;
+    s.indexVersionLow = base + 18;
+    s.indexVersionHigh = base + 19;
     // Keeps both consistency identities true for any base.
     s.completed = s.expired + s.cancelled + s.faultFailed + base + 20;
     s.accepted = s.completed;
@@ -63,6 +67,11 @@ TEST(ServeSnapshot, MergeAccumulatesEveryCounter)
     EXPECT_EQ(a.faultCorrupted, 8u + 1008u);
     EXPECT_EQ(a.cacheLookups, 9u + 1009u);
     EXPECT_EQ(a.cacheEvictions, 10u + 1010u);
+    EXPECT_EQ(a.snapshotsAdopted, 16u + 1016u);
+    EXPECT_EQ(a.handoffsRejected, 17u + 1017u);
+    // Version range: min over non-zero lows, max over highs.
+    EXPECT_EQ(a.indexVersionLow, 18u);
+    EXPECT_EQ(a.indexVersionHigh, 1019u);
     EXPECT_EQ(a.sojournNs.count(), 2u);
     EXPECT_EQ(a.serviceNs.count(), 2u);
     EXPECT_EQ(a.cacheHitNs.count(), 2u);
@@ -111,6 +120,36 @@ TEST(ServeSnapshot, ConsistencyCatchesBrokenAccounting)
     faults.faultDropped = faults.completed + 1;
     faults.faultCorrupted = 0;
     EXPECT_FALSE(faults.consistent());
+
+    // An inverted index-version range (a torn fleet view).
+    ServeSnapshot torn = sampleSnapshot(0);
+    torn.indexVersionLow = torn.indexVersionHigh + 1;
+    EXPECT_FALSE(torn.consistent());
+}
+
+TEST(ServeSnapshot, VersionRangeIgnoresFrozenPools)
+{
+    // A frozen pool reports version 0; merging it into a live fleet
+    // view must not drag the low end to zero.
+    ServeSnapshot live;
+    live.indexVersionLow = live.indexVersionHigh = 9;
+    ServeSnapshot frozen; // all zeros
+    live.merge(frozen);
+    EXPECT_EQ(live.indexVersionLow, 9u);
+    EXPECT_EQ(live.indexVersionHigh, 9u);
+
+    // Merging in the other order converges to the same range.
+    ServeSnapshot fleet;
+    fleet.merge(frozen);
+    ServeSnapshot other;
+    other.indexVersionLow = other.indexVersionHigh = 4;
+    fleet.merge(other);
+    ServeSnapshot lagging;
+    lagging.indexVersionLow = 3;
+    lagging.indexVersionHigh = 11;
+    fleet.merge(lagging);
+    EXPECT_EQ(fleet.indexVersionLow, 3u);
+    EXPECT_EQ(fleet.indexVersionHigh, 11u);
 }
 
 } // namespace

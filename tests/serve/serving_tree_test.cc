@@ -19,6 +19,14 @@
 namespace wsearch {
 namespace {
 
+SearchRequest
+asRequest(const Query &q)
+{
+    SearchRequest req;
+    req.query = q;
+    return req;
+}
+
 constexpr uint32_t kThreads = 4;
 constexpr uint32_t kQueriesPerThread = 200;
 constexpr uint32_t kLeaves = 3;
@@ -71,7 +79,7 @@ TEST(ServingTreeConcurrent, StatsConsistentUnderConcurrentHandles)
             QueryGenerator gen(fx.traffic(), /*salt=*/t + 1);
             for (uint32_t i = 0; i < kQueriesPerThread; ++i) {
                 const std::vector<ScoredDoc> r =
-                    tree.handle(t, gen.next());
+                    tree.handle(t, asRequest(gen.next())).docs;
                 // Results stay sorted best-first even under load.
                 for (size_t j = 1; j < r.size(); ++j)
                     EXPECT_FALSE(r[j - 1] < r[j]);
@@ -110,8 +118,8 @@ TEST(ServingTreeConcurrent, CachedAndUncachedResultsAgree)
     QueryGenerator gen(fx.traffic());
     for (uint32_t i = 0; i < 100; ++i) {
         const Query q = gen.next();
-        const auto a = cached.handle(0, q);
-        const auto b = uncached.handle(0, q);
+        const auto a = cached.handle(0, asRequest(q)).docs;
+        const auto b = uncached.handle(0, asRequest(q)).docs;
         ASSERT_EQ(a.size(), b.size()) << "query " << i;
         for (size_t j = 0; j < a.size(); ++j) {
             EXPECT_EQ(a[j].doc, b[j].doc);
@@ -133,7 +141,7 @@ TEST(MultiLevelTreeConcurrent, StatsConsistentUnderConcurrentHandles)
         threads.emplace_back([&fx, &tree, t] {
             QueryGenerator gen(fx.traffic(), /*salt=*/100 + t);
             for (uint32_t i = 0; i < kQueriesPerThread; ++i)
-                tree.handle(t, gen.next());
+                tree.handle(t, asRequest(gen.next()));
         });
     }
     for (std::thread &t : threads)

@@ -28,6 +28,14 @@ testIndex()
     return index;
 }
 
+SearchRequest
+asRequest(const Query &q)
+{
+    SearchRequest req;
+    req.query = q;
+    return req;
+}
+
 QueryGenerator::Config
 testTraffic()
 {
@@ -53,7 +61,7 @@ TEST(LeafWorkerPool, ConcurrentTopKMatchesSingleThreaded)
     LeafServer reference(index, lc);
     std::vector<std::vector<ScoredDoc>> expected;
     for (const Query &q : queries)
-        expected.push_back(reference.serve(0, q));
+        expected.push_back(reference.serve(0, asRequest(q)).docs);
 
     // Concurrent: 4 workers, results collected via futures.
     LeafWorkerPool::Config pc;
@@ -65,7 +73,8 @@ TEST(LeafWorkerPool, ConcurrentTopKMatchesSingleThreaded)
         auto reply = std::make_shared<
             std::promise<std::vector<ScoredDoc>>>();
         futures.push_back(reply->get_future());
-        EXPECT_EQ(pool.submit(q, /*block=*/true, std::move(reply)),
+        EXPECT_EQ(pool.submit(asRequest(q), /*block=*/true,
+                              std::move(reply)),
                   LeafWorkerPool::Admit::Accepted);
     }
     for (uint32_t i = 0; i < kQueries; ++i) {
@@ -100,7 +109,7 @@ TEST(LeafWorkerPool, AdmissionAccounting)
     QueryGenerator gen(testTraffic());
     const uint32_t kQueries = 500;
     for (uint32_t i = 0; i < kQueries; ++i)
-        pool.submit(gen.next(), /*block=*/false); // may shed
+        pool.submit(asRequest(gen.next()), /*block=*/false);
     pool.drain();
     const ServeSnapshot s = pool.snapshot();
     EXPECT_TRUE(s.consistent());
@@ -121,14 +130,16 @@ TEST(LeafWorkerPool, CacheTierAnswersRepeats)
     auto reply1 = std::make_shared<
         std::promise<std::vector<ScoredDoc>>>();
     auto fut1 = reply1->get_future();
-    EXPECT_EQ(pool.submit(q, /*block=*/true, std::move(reply1)),
+    EXPECT_EQ(pool.submit(asRequest(q), /*block=*/true,
+                          std::move(reply1)),
               LeafWorkerPool::Admit::Accepted);
     const std::vector<ScoredDoc> first = fut1.get();
 
     auto reply2 = std::make_shared<
         std::promise<std::vector<ScoredDoc>>>();
     auto fut2 = reply2->get_future();
-    EXPECT_EQ(pool.submit(q, /*block=*/true, std::move(reply2)),
+    EXPECT_EQ(pool.submit(asRequest(q), /*block=*/true,
+                          std::move(reply2)),
               LeafWorkerPool::Admit::CacheHit);
     const std::vector<ScoredDoc> second = fut2.get();
 
@@ -154,7 +165,7 @@ TEST(LeafWorkerPool, ShedFulfillsReplyEmpty)
     auto reply = std::make_shared<
         std::promise<std::vector<ScoredDoc>>>();
     auto fut = reply->get_future();
-    EXPECT_EQ(pool.submit(gen.next(), /*block=*/true,
+    EXPECT_EQ(pool.submit(asRequest(gen.next()), /*block=*/true,
                           std::move(reply)),
               LeafWorkerPool::Admit::Shed);
     EXPECT_TRUE(fut.get().empty());
