@@ -118,6 +118,7 @@ runQueries(const LiveIndex &idx, uint64_t max_q, uint64_t rng_seed,
 int
 runBenchIngest(bool smoke)
 {
+    const double t0 = bench::nowSec();
     const uint32_t num_docs = smoke ? 20'000 : 200'000;
     const uint64_t num_queries = smoke ? 2'000 : 20'000;
     std::printf("# bench_ingest: %u docs, %u terms/doc%s\n", num_docs,
@@ -181,8 +182,7 @@ runBenchIngest(bool smoke)
                 static_cast<unsigned long long>(stats.version));
 
     bench::JsonWriter json;
-    json.add("bench", std::string("ingest"));
-    json.add("smoke", static_cast<uint64_t>(smoke ? 1 : 0));
+    bench::beginStandardJson(json, "ingest", smoke);
     json.add("docs", static_cast<uint64_t>(num_docs));
     json.add("terms_per_doc", static_cast<uint64_t>(kTermsPerDoc));
     json.add("commit_batch", static_cast<uint64_t>(kCommitBatch));
@@ -200,9 +200,7 @@ runBenchIngest(bool smoke)
     json.add("segments", static_cast<uint64_t>(stats.segments));
     json.add("merges", stats.merges);
     json.add("final_version", stats.version);
-    const std::string out = "BENCH_ingest.json";
-    if (json.writeFile(out))
-        std::printf("Results written to %s\n", out.c_str());
+    bench::finishStandardJson(json, "ingest", t0);
 
     // The acceptance floor: sustained ingest of 10k docs/s. The
     // in-memory buffer acks orders of magnitude faster; a miss here

@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "common.hh"
 #include "search/corpus.hh"
 #include "search/index.hh"
 #include "serve/loadgen.hh"
@@ -46,6 +47,7 @@ trafficFor(const CorpusConfig &corpus)
 void
 runBenchServe()
 {
+    const double t0 = bench::nowSec();
     const bool fast = fastMode();
     const uint32_t workers = static_cast<uint32_t>(
         envU64("WSEARCH_SERVE_WORKERS", 2));
@@ -128,6 +130,7 @@ runBenchServe()
     std::printf("\n## Query-cache tier at 70%% of capacity\n");
     Table ct({"Cache entries", "Hit rate", "Evictions", "Achieved QPS",
               "p50 (us)", "p99 (us)"});
+    double cached_hit_rate = 0, cached_qps = 0;
     for (const size_t cache_cap : {size_t{0}, size_t{4096}}) {
         LeafWorkerPool::Config cpc = pc;
         cpc.cacheCapacity = cache_cap;
@@ -151,8 +154,26 @@ runBenchServe()
                    Table::fmt(r.achievedQps, 1),
                    fmtUsec(all.quantile(0.50)),
                    fmtUsec(all.quantile(0.99))});
+        if (cache_cap) {
+            cached_hit_rate = hit_rate;
+            cached_qps = r.achievedQps;
+        }
     }
     ct.print();
+
+    bench::JsonWriter json;
+    bench::beginStandardJson(json, "serve", fast);
+    json.add("workers", static_cast<uint64_t>(workers));
+    json.add("docs", static_cast<uint64_t>(cc.numDocs));
+    json.add("capacity_qps", capacity);
+    json.add("saturated_completed", saturated.completed);
+    json.add("saturated_p50_us",
+             saturated.sojournNs.quantile(0.50) * 1e-3);
+    json.add("saturated_p99_us",
+             saturated.sojournNs.quantile(0.99) * 1e-3);
+    json.add("cached_hit_rate", cached_hit_rate);
+    json.add("cached_qps", cached_qps);
+    bench::finishStandardJson(json, "serve", t0);
 }
 
 } // namespace

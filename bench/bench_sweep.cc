@@ -90,6 +90,7 @@ identical(const SystemResult &a, const SystemResult &b)
 int
 runBenchSweep(const bench::Args &args)
 {
+    const double bench_t0 = bench::nowSec();
     // In this driver --smoke shrinks budgets but the gated runs stay
     // exact, so skip the "all numbers are estimates" banner notice;
     // only the explicitly labelled sampled row is an estimate.
@@ -116,8 +117,7 @@ runBenchSweep(const bench::Args &args)
     std::fflush(stdout);
 
     bench::JsonWriter json;
-    json.add("bench", std::string("sweep"));
-    json.add("smoke", static_cast<uint64_t>(args.smoke ? 1 : 0));
+    bench::beginStandardJson(json, "sweep", args.smoke);
     json.add("configs", static_cast<uint64_t>(options.size()));
     json.add("records_per_config", records_per_config);
     json.add("sim_threads_default", static_cast<uint64_t>(simThreads()));
@@ -187,9 +187,8 @@ runBenchSweep(const bench::Args &args)
              static_cast<uint64_t>(all_identical ? 1 : 0));
 
     t.print();
-    const std::string out = "BENCH_sweep.json";
-    if (json.writeFile(out))
-        std::printf("\nTimings written to %s\n", out.c_str());
+    std::printf("\n");
+    bench::finishStandardJson(json, "sweep", bench_t0);
 
     if (!all_identical) {
         std::printf("\nFAIL: sweep results differ from the "

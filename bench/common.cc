@@ -71,6 +71,42 @@ nowSec()
         .count();
 }
 
+std::string
+gitSha()
+{
+    for (const char *var : {"WSEARCH_GIT_SHA", "GITHUB_SHA"}) {
+        const char *v = std::getenv(var);
+        if (v && *v)
+            return v;
+    }
+    return "unknown";
+}
+
+void
+beginStandardJson(JsonWriter &json, const std::string &bench_name,
+                  bool smoke)
+{
+    json.add("schema_version", static_cast<uint64_t>(1));
+    json.add("bench", bench_name);
+    json.add("smoke", static_cast<uint64_t>(smoke ? 1 : 0));
+    json.add("git_sha", gitSha());
+}
+
+bool
+finishStandardJson(JsonWriter &json, const std::string &bench_name,
+                   double t0_sec)
+{
+    json.add("wall_time_sec", nowSec() - t0_sec);
+    const std::string out = "BENCH_" + bench_name + ".json";
+    const bool ok = json.writeFile(out);
+    if (ok)
+        std::printf("Results written to %s\n", out.c_str());
+    else
+        std::fprintf(stderr, "bench: failed to write %s\n",
+                     out.c_str());
+    return ok;
+}
+
 void
 JsonWriter::comma()
 {

@@ -62,6 +62,14 @@ void banner(const Args &args, const std::string &experiment_id,
 double nowSec();
 
 /**
+ * Git revision the binary is benchmarking: WSEARCH_GIT_SHA if set,
+ * else GITHUB_SHA (what CI exports), else "unknown". Baked into every
+ * BENCH_*.json so scripts/bench_diff.py can tell which two revisions
+ * it is comparing.
+ */
+std::string gitSha();
+
+/**
  * Minimal JSON object writer for BENCH_*.json artifacts. Values are
  * emitted in insertion order; nested arrays of objects supported via
  * beginArray/add/endArray.
@@ -87,6 +95,28 @@ class JsonWriter
     std::string out_ = "{";
     bool needComma_ = false;
 };
+
+/**
+ * The uniform BENCH_*.json preamble every driver emits first:
+ *   schema_version  bumped when the shared key set changes
+ *   bench           @p bench_name
+ *   smoke           1 when the run is the sampled/smoke quick-look
+ *   git_sha         gitSha()
+ * Driver-specific config and measured/expected counters follow, and
+ * finishStandardJson() closes the object. Keeping the frame uniform is
+ * what lets bench_all.sh aggregate and bench_diff.py gate without
+ * per-bench special cases.
+ */
+void beginStandardJson(JsonWriter &json, const std::string &bench_name,
+                       bool smoke);
+
+/**
+ * Append "wall_time_sec" (nowSec() - @p t0_sec) and write the object
+ * to BENCH_<bench_name>.json, echoing the path on success. Returns
+ * the write status.
+ */
+bool finishStandardJson(JsonWriter &json,
+                        const std::string &bench_name, double t0_sec);
 
 } // namespace bench
 } // namespace wsearch

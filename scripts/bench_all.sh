@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Run the smoke-mode bench suite and aggregate the per-driver
+# BENCH_*.json artifacts into one BENCH_all.json for CI upload and
+# scripts/bench_diff.py gating.
+#
+# Usage: scripts/bench_all.sh [build-dir]
+#   build-dir          defaults to ./build
+#   WSEARCH_BENCHES    space-separated driver subset (default:
+#                      "leaf ingest serve sweep")
+#   Artifacts are written to the current working directory.
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+BENCHES=${WSEARCH_BENCHES:-"leaf ingest serve sweep"}
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+    echo "bench_all.sh: no $BUILD_DIR/bench (build first)" >&2
+    exit 2
+fi
+
+for b in $BENCHES; do
+    bin="$BUILD_DIR/bench/bench_$b"
+    if [ ! -x "$bin" ]; then
+        echo "bench_all.sh: missing $bin" >&2
+        exit 2
+    fi
+    echo "== bench_$b (smoke) =="
+    case "$b" in
+        serve)
+            # bench_serve has no --smoke flag; WSEARCH_FAST shrinks it.
+            WSEARCH_FAST=1 "$bin"
+            ;;
+        sweep)
+            WSEARCH_FAST=1 "$bin" --smoke
+            ;;
+        *)
+            "$bin" --smoke
+            ;;
+    esac
+    echo
+done
+
+python3 - <<'EOF'
+import glob, json
+
+out = {"schema_version": 1, "benches": {}}
+for path in sorted(glob.glob("BENCH_*.json")):
+    if path == "BENCH_all.json":
+        continue
+    name = path[len("BENCH_"):-len(".json")]
+    with open(path) as f:
+        out["benches"][name] = json.load(f)
+shas = {b.get("git_sha", "unknown") for b in out["benches"].values()}
+out["git_sha"] = shas.pop() if len(shas) == 1 else "mixed"
+with open("BENCH_all.json", "w") as f:
+    json.dump(out, f, indent=1, sort_keys=True)
+    f.write("\n")
+print("aggregated %d benches into BENCH_all.json"
+      % len(out["benches"]))
+EOF

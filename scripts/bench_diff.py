@@ -1,0 +1,262 @@
+#!/usr/bin/env python3
+"""Gate bench output against a previous run's artifacts.
+
+Usage:
+    scripts/bench_diff.py CURRENT BASELINE
+    scripts/bench_diff.py --selftest
+
+CURRENT and BASELINE are BENCH_all.json files (or directories
+containing one), as produced by scripts/bench_all.sh.
+
+Two kinds of checks, per bench present in both runs (and only when
+both runs used the same smoke setting and config keys match):
+
+  * correctness counters: deterministic counts (postings decoded,
+    equivalence tallies, determinism flags). Any difference is DRIFT
+    and fails the gate (exit 1) -- same inputs must count the same.
+  * wall time: > WARN_WALL_FRAC regression on the gated benches
+    prints a warning (GitHub annotation format) but passes; bench
+    machines are noisy, so time never hard-fails.
+
+In-run invariants (measured == expected) are checked on CURRENT even
+when the baseline lacks that bench, so a truncated or crashed run
+cannot slip through by also corrupting its artifact.
+
+Exit codes: 0 ok (warnings allowed), 1 drift/invariant failure,
+2 usage or unreadable input.
+"""
+
+import json
+import os
+import sys
+
+WARN_WALL_FRAC = 0.15
+WALL_GATED = ("leaf", "serve", "sweep")
+
+# Per-bench deterministic keys: equal configs must reproduce these
+# exactly. Keys listed under "rows" are compared per rows[] element,
+# matched by the "key_by" fields. Wall-clock-derived numbers (qps,
+# docs/s, latency) are deliberately absent.
+GATES = {
+    "leaf": {
+        "config": ["smoke", "docs", "queries_per_workload"],
+        "counters": ["equivalent_queries",
+                     "expected_equivalent_queries"],
+        "rows": {
+            "field": "rows",
+            "key_by": ["workload", "codec"],
+            "counters": ["postings_decoded", "candidates_scored",
+                         "blocks_decoded", "blocks_skipped",
+                         "packed_blocks_decoded"],
+        },
+        "invariants": [("equivalent_queries",
+                        "expected_equivalent_queries")],
+    },
+    "sweep": {
+        "config": ["smoke", "configs", "records_per_config"],
+        "counters": ["all_identical"],
+        "invariants": [("all_identical", 1)],
+    },
+    "ingest": {
+        "config": ["smoke", "docs", "terms_per_doc", "commit_batch"],
+        # Background merges race the writer, so segment/merge counts
+        # are legitimately run-dependent; only the doc ledger is
+        # deterministic.
+        "counters": ["live_docs"],
+        "invariants": [],
+    },
+    "serve": {
+        "config": ["smoke", "workers"],
+        "counters": [],
+        "invariants": [],
+    },
+}
+
+
+def fail(msg):
+    print("FAIL: %s" % msg)
+    return ["%s" % msg]
+
+
+def warn(msg):
+    # GitHub Actions annotation; plain text everywhere else.
+    print("::warning::bench_diff: %s" % msg)
+
+
+def load(path):
+    if os.path.isdir(path):
+        path = os.path.join(path, "BENCH_all.json")
+    with open(path) as f:
+        data = json.load(f)
+    if "benches" not in data:
+        raise ValueError("%s: not a BENCH_all.json aggregate" % path)
+    return data["benches"]
+
+
+def check_invariants(name, bench, gate):
+    errors = []
+    for key, want in gate.get("invariants", []):
+        got = bench.get(key)
+        expect = bench.get(want) if isinstance(want, str) else want
+        if got != expect:
+            errors += fail("%s: invariant %s=%r != %r"
+                           % (name, key, got, expect))
+    return errors
+
+
+def rows_by_key(bench, spec):
+    out = {}
+    for row in bench.get(spec["field"], []):
+        key = tuple(row.get(k) for k in spec["key_by"])
+        out[key] = row
+    return out
+
+
+def diff_bench(name, cur, base, gate):
+    errors = []
+    for key in gate.get("config", []):
+        if cur.get(key) != base.get(key):
+            print("note: %s: config %s changed (%r -> %r); counter "
+                  "diff skipped" % (name, key, base.get(key),
+                                    cur.get(key)))
+            return errors
+    for key in gate.get("counters", []):
+        if key in base and cur.get(key) != base.get(key):
+            errors += fail("%s: counter drift: %s %r -> %r"
+                           % (name, key, base.get(key), cur.get(key)))
+    spec = gate.get("rows")
+    if spec:
+        cur_rows = rows_by_key(cur, spec)
+        for key, brow in rows_by_key(base, spec).items():
+            crow = cur_rows.get(key)
+            if crow is None:
+                errors += fail("%s: row %r disappeared" % (name, key))
+                continue
+            for counter in spec["counters"]:
+                if counter in brow and \
+                        crow.get(counter) != brow.get(counter):
+                    errors += fail(
+                        "%s: row %r counter drift: %s %r -> %r"
+                        % (name, key, counter, brow.get(counter),
+                           crow.get(counter)))
+    cw, bw = cur.get("wall_time_sec"), base.get("wall_time_sec")
+    if name in WALL_GATED and cw and bw and \
+            cw > (1.0 + WARN_WALL_FRAC) * bw:
+        warn("%s: wall time %.2fs is %.0f%% over baseline %.2fs"
+             % (name, cw, 100.0 * (cw / bw - 1.0), bw))
+    return errors
+
+
+def run_diff(cur_path, base_path):
+    current = load(cur_path)
+    errors = []
+    for name, bench in sorted(current.items()):
+        gate = GATES.get(name)
+        if gate:
+            errors += check_invariants(name, bench, gate)
+    try:
+        baseline = load(base_path)
+    except (OSError, ValueError) as e:
+        print("note: no usable baseline (%s); invariants only" % e)
+        return errors
+    for name, bench in sorted(current.items()):
+        gate = GATES.get(name)
+        if gate and name in baseline:
+            errors += diff_bench(name, bench, baseline[name], gate)
+    return errors
+
+
+# ----------------------------------------------------------------- #
+# Self-test: prove the gate actually fails on injected drift.        #
+# ----------------------------------------------------------------- #
+
+def _sample():
+    return {
+        "benches": {
+            "leaf": {
+                "smoke": 1, "docs": 20000,
+                "queries_per_workload": 200,
+                "equivalent_queries": 1200,
+                "expected_equivalent_queries": 1200,
+                "wall_time_sec": 10.0,
+                "rows": [
+                    {"workload": "OR", "codec": "packed",
+                     "postings_decoded": 5000, "candidates_scored": 900,
+                     "blocks_decoded": 40, "blocks_skipped": 8,
+                     "packed_blocks_decoded": 40},
+                ],
+            },
+            "sweep": {"smoke": 1, "configs": 8,
+                      "records_per_config": 1000,
+                      "all_identical": 1, "wall_time_sec": 5.0},
+        }
+    }
+
+
+def selftest():
+    import copy
+    import tempfile
+
+    def write(tree, name):
+        path = os.path.join(tmp, name)
+        with open(path, "w") as f:
+            json.dump(tree, f)
+        return path
+
+    with tempfile.TemporaryDirectory() as tmp:
+        base = write(_sample(), "base.json")
+
+        # 1. Identical runs pass.
+        assert run_diff(write(_sample(), "same.json"), base) == []
+
+        # 2. Injected counter drift fails.
+        drift = _sample()
+        drift["benches"]["leaf"]["rows"][0]["postings_decoded"] += 1
+        assert run_diff(write(drift, "drift.json"), base)
+
+        # 3. A broken in-run invariant fails even with no baseline.
+        broken = _sample()
+        broken["benches"]["leaf"]["equivalent_queries"] = 7
+        assert run_diff(write(broken, "broken.json"),
+                        os.path.join(tmp, "missing.json"))
+
+        # 4. Lost determinism in sweep fails.
+        nondet = _sample()
+        nondet["benches"]["sweep"]["all_identical"] = 0
+        assert run_diff(write(nondet, "nondet.json"), base)
+
+        # 5. Wall-time regression warns but passes.
+        slow = _sample()
+        slow["benches"]["leaf"]["wall_time_sec"] = 13.0
+        assert run_diff(write(slow, "slow.json"), base) == []
+
+        # 6. Config change skips the counter diff instead of failing.
+        refit = _sample()
+        refit["benches"]["leaf"]["docs"] = 80000
+        refit["benches"]["leaf"]["rows"][0]["postings_decoded"] = 1
+        assert run_diff(write(refit, "refit.json"), base) == []
+
+    print("bench_diff selftest: all gates behave")
+    return 0
+
+
+def main(argv):
+    if len(argv) == 2 and argv[1] == "--selftest":
+        return selftest()
+    if len(argv) != 3:
+        print(__doc__.strip())
+        return 2
+    try:
+        errors = run_diff(argv[1], argv[2])
+    except (OSError, ValueError) as e:
+        print("bench_diff: %s" % e)
+        return 2
+    if errors:
+        print("bench_diff: %d failure(s)" % len(errors))
+        return 1
+    print("bench_diff: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

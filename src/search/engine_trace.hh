@@ -62,6 +62,11 @@ class EngineTraceSource : public TraceSource
     uint64_t cacheAbsorbed() const { return cacheAbsorbed_; }
     LeafServer &leaf() { return *leaf_; }
 
+    /** Codec of the traced shard, so memsim studies can label the
+     *  shard access stream with the posting layout that produced it
+     *  (varint vs packed MPKI comparisons). */
+    PostingCodec shardCodec() const { return shard_.codec(); }
+
   private:
     struct PendingTouch
     {

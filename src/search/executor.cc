@@ -51,6 +51,7 @@ QueryExecutor::loadTerm(TermId term, TermCursorData &out)
     out.term = term;
     out.info = shard_.termInfo(term);
     out.consumed = 0;
+    out.seqDecoded = 0;
     out.blocksDecoded = 0;
     // Dictionary lookup: term stats, shard placement, and the
     // precomputed list max-score all live in the lexicon entry.
@@ -72,6 +73,7 @@ QueryExecutor::loadTerm(TermId term, TermCursorData &out)
         out.view.numSkips =
             static_cast<uint32_t>(out.ownedSkips.size());
         out.view.count = out.info.docFreq;
+        out.view.codec = shard_.codec();
     }
     out.maxScore = scorer_.maxScore(out.info.maxTf, out.info.docFreq);
 }
@@ -126,6 +128,8 @@ QueryExecutor::drainCursor(TermCursorData &t)
         lastStats_.shardBytesRead += be - bb;
         lastStats_.postingsDecoded += postings;
         ++lastStats_.blocksDecoded;
+        if (t.view.codec == PostingCodec::kPacked)
+            ++lastStats_.packedBlocksDecoded;
         ++t.blocksDecoded;
     }
 }
@@ -339,7 +343,8 @@ QueryExecutor::executeConjunctiveSeq(const Query &q,
     for (size_t i = 0; i < n; ++i) {
         TermCursorData &t = terms_[order_[i]];
         t.seq.reset(t.view.bytes, t.view.bytes + t.view.size,
-                    t.info.docFreq, shard_.payloadBytes());
+                    t.info.docFreq, shard_.payloadBytes(),
+                    t.view.codec);
     }
     auto account = [&](TermCursorData &t) {
         const size_t now = t.seq.bytesConsumed(t.view.bytes);
@@ -347,9 +352,13 @@ QueryExecutor::executeConjunctiveSeq(const Query &q,
             touchShard(t, t.consumed,
                        static_cast<uint32_t>(now - t.consumed));
             lastStats_.shardBytesRead += now - t.consumed;
-            lastStats_.postingsDecoded += (now - t.consumed + 2) / 3;
             t.consumed = now;
         }
+        // Byte deltas are block-granular for packed streams, so count
+        // postings from the cursor's exact decode counter instead.
+        const uint64_t dec = t.seq.postingsConsumed();
+        lastStats_.postingsDecoded += dec - t.seqDecoded;
+        t.seqDecoded = dec;
     };
 
     TermCursorData &drv = terms_[order_[0]];
@@ -412,7 +421,8 @@ QueryExecutor::executeDisjunctiveSeq(const Query &q,
     for (size_t i = 0; i < n && !shouldStop(policy); ++i) {
         TermCursorData &t = terms_[order_[i]];
         t.seq.reset(t.view.bytes, t.view.bytes + t.view.size,
-                    t.info.docFreq, shard_.payloadBytes());
+                    t.info.docFreq, shard_.payloadBytes(),
+                    t.view.codec);
         while (t.seq.valid() && !shouldStop(policy)) {
             const DocId doc = t.seq.doc();
             const double s =
@@ -426,11 +436,15 @@ QueryExecutor::executeDisjunctiveSeq(const Query &q,
             accum_[doc] += s;
             t.seq.next();
             const size_t now = t.seq.bytesConsumed(t.view.bytes);
-            touchShard(t, t.consumed,
-                       static_cast<uint32_t>(now - t.consumed));
-            lastStats_.shardBytesRead += now - t.consumed;
+            // Packed streams consume whole blocks at a time, so most
+            // steps advance zero bytes -- only touch real reads.
+            if (now > t.consumed) {
+                touchShard(t, t.consumed,
+                           static_cast<uint32_t>(now - t.consumed));
+                lastStats_.shardBytesRead += now - t.consumed;
+                t.consumed = now;
+            }
             ++lastStats_.postingsDecoded;
-            t.consumed = now;
         }
     }
     const uint64_t scratch_bytes = kAccumOffset +

@@ -88,6 +88,7 @@ class QueryExecutor
         BlockPostingCursor cursor;
         PostingCursor seq;     ///< sequential-reference cursor
         uint64_t consumed = 0; ///< seq-path bytes accounted so far
+        uint64_t seqDecoded = 0; ///< seq-path postings accounted
         uint32_t blocksDecoded = 0; ///< this query (for skip stats)
         /** Decode-on-demand fallback (ProceduralIndex): generated
          *  bytes + skip table in executor-owned scratch. */

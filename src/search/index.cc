@@ -12,14 +12,18 @@ namespace wsearch {
 // MaterializedIndex
 // ---------------------------------------------------------------------
 
-MaterializedIndex::MaterializedIndex(const CorpusGenerator &corpus)
+MaterializedIndex::MaterializedIndex(const CorpusGenerator &corpus,
+                                     PostingCodec codec)
+    : codec_(codec)
 {
     build(corpus, 1, 0);
 }
 
 MaterializedIndex::MaterializedIndex(const CorpusGenerator &corpus,
                                      uint32_t take_stride,
-                                     uint32_t take_offset)
+                                     uint32_t take_offset,
+                                     PostingCodec codec)
+    : codec_(codec)
 {
     build(corpus, take_stride, take_offset);
 }
@@ -55,7 +59,7 @@ MaterializedIndex::build(const CorpusGenerator &corpus,
     terms_.resize(cc.vocabSize);
     uint64_t offset = 0;
     for (TermId t = 0; t < cc.vocabSize; ++t) {
-        PostingListBuilder b;
+        PostingListBuilder b(codec_);
         for (const auto &[doc, tf] : acc[t])
             b.add(doc, tf);
         TermData &td = terms_[t];
@@ -96,6 +100,7 @@ MaterializedIndex::postingView(TermId term, PostingView &out) const
     out.skips = td.skips.data();
     out.numSkips = static_cast<uint32_t>(td.skips.size());
     out.count = td.info.docFreq;
+    out.codec = codec_;
     return true;
 }
 

@@ -87,6 +87,13 @@ class IndexShard
 
     /** Fixed per-posting payload bytes (0 for plain (gap, tf)). */
     virtual uint32_t payloadBytes() const { return 0; }
+
+    /** Posting block codec of this shard's byte stream. */
+    virtual PostingCodec
+    codec() const
+    {
+        return PostingCodec::kVarint;
+    }
 };
 
 /** Real inverted index built from a corpus. */
@@ -94,7 +101,9 @@ class MaterializedIndex : public IndexShard
 {
   public:
     /** Build from @p corpus (generates all numDocs documents). */
-    explicit MaterializedIndex(const CorpusGenerator &corpus);
+    explicit MaterializedIndex(
+        const CorpusGenerator &corpus,
+        PostingCodec codec = PostingCodec::kVarint);
 
     /**
      * Build a shard holding the strided partition of @p corpus:
@@ -106,7 +115,8 @@ class MaterializedIndex : public IndexShard
      * fleet.
      */
     MaterializedIndex(const CorpusGenerator &corpus,
-                      uint32_t take_stride, uint32_t take_offset);
+                      uint32_t take_stride, uint32_t take_offset,
+                      PostingCodec codec = PostingCodec::kVarint);
 
     uint32_t numDocs() const override { return numDocs_; }
     uint32_t
@@ -121,6 +131,7 @@ class MaterializedIndex : public IndexShard
                       std::vector<uint8_t> &out) const override;
     bool postingView(TermId term, PostingView &out) const override;
     uint64_t shardBytes() const override { return shardBytes_; }
+    PostingCodec codec() const override { return codec_; }
 
   private:
     void build(const CorpusGenerator &corpus, uint32_t take_stride,
@@ -134,6 +145,7 @@ class MaterializedIndex : public IndexShard
     };
     std::vector<TermData> terms_;
     std::vector<uint32_t> docLen_;
+    PostingCodec codec_ = PostingCodec::kVarint;
     uint32_t numDocs_ = 0;
     double avgDocLen_ = 0;
     uint64_t shardBytes_ = 0;

@@ -106,7 +106,7 @@ LiveIndex::commitLocked()
 {
     bool changed = false;
     if (buffer_.numDocs() != 0) {
-        auto seg = buffer_.seal(version_ + 1);
+        auto seg = buffer_.seal(version_ + 1, cfg_.codec);
         for (DocId d : seg->docIds())
             location_[d] = seg->uid();
         SegmentEntry e;
@@ -251,7 +251,7 @@ LiveIndex::mergeOnce(const std::function<bool()> &crash_mid_merge)
     // Build outside the writer lock, polling the crash hook at each
     // input-segment boundary. Abandoning here discards partial work
     // only: nothing was installed, the inputs are untouched.
-    LiveSegmentBuilder b;
+    LiveSegmentBuilder b(cfg_.codec);
     for (const Input &in : inputs) {
         if (crash_mid_merge && crash_mid_merge()) {
             std::lock_guard<std::mutex> lk(mu_);
@@ -266,7 +266,8 @@ LiveIndex::mergeOnce(const std::function<bool()> &crash_mid_merge)
         for (TermId t : s.termIds()) {
             PostingView v;
             s.postingView(t, v);
-            PostingCursor cur(v.bytes, v.bytes + v.size, v.count);
+            PostingCursor cur(v.bytes, v.bytes + v.size, v.count, 0,
+                              v.codec);
             for (; cur.valid(); cur.next())
                 if (!dead || dead->count(cur.doc()) == 0)
                     b.addPosting(t, cur.doc(), cur.tf());

@@ -101,6 +101,8 @@ struct LiveConfig
     /** Auto-commit when the write buffer reaches this many docs
      *  (0 = manual commits only). */
     uint32_t autoCommitDocs = 0;
+    /** Codec every seal and merge encodes segments into. */
+    PostingCodec codec = PostingCodec::kVarint;
 };
 
 /** Monotonic counters (one writer's view; see ServeSnapshot for the

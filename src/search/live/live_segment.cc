@@ -54,6 +54,7 @@ LiveSegment::postingView(TermId term, PostingView &out) const
     out.skips = td.skips.data();
     out.numSkips = static_cast<uint32_t>(td.skips.size());
     out.count = td.info.docFreq;
+    out.codec = codec_;
     return true;
 }
 
@@ -105,6 +106,7 @@ LiveSegmentBuilder::build(uint64_t seal_version)
     auto seg = std::shared_ptr<LiveSegment>(new LiveSegment());
     seg->uid_ = g_next_uid.fetch_add(1);
     seg->sealVersion_ = seal_version;
+    seg->codec_ = codec_;
 
     seg->docIds_.reserve(docLen_.size());
     uint64_t total_len = 0;
@@ -126,7 +128,7 @@ LiveSegmentBuilder::build(uint64_t seal_version)
                   [](const Posting &a, const Posting &b) {
                       return a.doc < b.doc;
                   });
-        PostingListBuilder plb;
+        PostingListBuilder plb(codec_);
         uint32_t max_tf = 0;
         for (const Posting &p : ps) {
             // Each doc contributes one posting per term: duplicates
@@ -177,9 +179,9 @@ MutableSegment::remove(DocId doc)
 }
 
 std::shared_ptr<const LiveSegment>
-MutableSegment::seal(uint64_t seal_version) const
+MutableSegment::seal(uint64_t seal_version, PostingCodec codec) const
 {
-    LiveSegmentBuilder b;
+    LiveSegmentBuilder b(codec);
     for (const auto &kv : docs_)
         b.addDoc(kv.first, kv.second);
     return b.build(seal_version);

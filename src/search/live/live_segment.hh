@@ -9,8 +9,9 @@
  *  - LiveSegment: an immutable inverted index produced by sealing a
  *    MutableSegment (or by merging several LiveSegments). Postings are
  *    encoded in the exact block format the frozen shards use
- *    (PostingListBuilder: delta+varint blocks with a SkipEntry
- *    sidecar), so the pruned executor runs on live data unchanged.
+ *    (PostingListBuilder with a SkipEntry sidecar, in whichever
+ *    PostingCodec the owning shard is configured for), so the pruned
+ *    executor runs on live data unchanged.
  *    A LiveSegment implements IndexShard over a *sparse* vocabulary
  *    and a *sparse* doc-id space: termInfo() of an absent term is a
  *    zero-docFreq entry and docLen() of an absent doc is 0, which the
@@ -70,6 +71,7 @@ class LiveSegment : public IndexShard
     bool postingView(TermId term, PostingView &out) const override;
 
     uint64_t shardBytes() const override { return shardBytes_; }
+    PostingCodec codec() const override { return codec_; }
 
     /** Process-unique segment identity (executor-cache key). */
     uint64_t uid() const { return uid_; }
@@ -103,6 +105,7 @@ class LiveSegment : public IndexShard
     std::unordered_map<TermId, TermData> terms_;
     std::unordered_map<DocId, uint32_t> docLen_;
     std::vector<DocId> docIds_; ///< ascending
+    PostingCodec codec_ = PostingCodec::kVarint;
     double avgDocLen_ = 0.0;
     uint64_t shardBytes_ = 0;
     uint64_t uid_ = 0;
@@ -117,6 +120,13 @@ class LiveSegment : public IndexShard
 class LiveSegmentBuilder
 {
   public:
+    /** Segments seal into @p codec (the owning shard's choice). */
+    explicit LiveSegmentBuilder(
+        PostingCodec codec = PostingCodec::kVarint)
+        : codec_(codec)
+    {
+    }
+
     /** Add one whole document (term occurrences with repetition).
      *  Documents may arrive in any id order; each id at most once. */
     void addDoc(DocId doc, const std::vector<TermId> &terms);
@@ -136,6 +146,7 @@ class LiveSegmentBuilder
     // the whole encoded segment) deterministic.
     std::map<TermId, std::vector<Posting>> acc_;
     std::unordered_map<DocId, uint32_t> docLen_;
+    PostingCodec codec_ = PostingCodec::kVarint;
 };
 
 /** The in-memory write buffer (not queryable until sealed). */
@@ -163,9 +174,12 @@ class MutableSegment
         return approxBytes_;
     }
 
-    /** Encode the buffered documents into an immutable segment.
-     *  The buffer itself is unchanged (caller clears after publish). */
-    std::shared_ptr<const LiveSegment> seal(uint64_t seal_version) const;
+    /** Encode the buffered documents into an immutable segment in
+     *  @p codec. The buffer itself is unchanged (caller clears after
+     *  publish). */
+    std::shared_ptr<const LiveSegment>
+    seal(uint64_t seal_version,
+         PostingCodec codec = PostingCodec::kVarint) const;
 
     void
     clear()

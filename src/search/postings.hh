@@ -1,13 +1,16 @@
 /**
  * @file
- * Posting lists: delta + varint encoded (docid gap, term frequency)
- * pairs, the core of the index shard. The byte stream is organized in
- * blocks of kPostingBlockSize postings; a sidecar skip table (one
- * SkipEntry per block: last doc id, end byte offset, count, max tf)
- * lets a cursor seek in O(blocks) without decoding skipped blocks and
- * gives the executor per-block score upper bounds for dynamic pruning.
- * The skip table is *metadata* (heap segment); only the encoded
- * posting bytes belong to the shard segment.
+ * Posting lists: (docid gap, term frequency) pairs organized in blocks
+ * of kPostingBlockSize postings, the core of the index shard. How one
+ * block is laid out in the byte stream is the shard's *codec* (see
+ * block_codec.hh): the original delta + varint stream, or bit-packed
+ * frame-of-reference blocks with SIMD bulk unpack. A codec-independent
+ * sidecar skip table (one SkipEntry per block: last doc id, end byte
+ * offset, count, max tf) lets a cursor seek in O(blocks) without
+ * decoding skipped blocks and gives the executor per-block score upper
+ * bounds for dynamic pruning. The skip table is *metadata* (heap
+ * segment); only the encoded posting bytes belong to the shard
+ * segment.
  *
  * Two backends expose the same cursor interfaces:
  *
@@ -16,7 +19,8 @@
  *  - Procedural postings (see index.hh): deterministic content
  *    generated on demand, so a nominal multi-GiB shard can be walked
  *    without materializing it -- the substitution that stands in for
- *    the paper's proprietary 100s-of-GiB production shards.
+ *    the paper's proprietary 100s-of-GiB production shards. Always
+ *    varint (the generator emits the stream byte-wise).
  */
 
 #ifndef WSEARCH_SEARCH_POSTINGS_HH
@@ -26,6 +30,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "search/block_codec.hh"
 #include "search/types.hh"
 #include "search/varint.hh"
 #include "util/logging.hh"
@@ -45,7 +50,8 @@ struct Posting
 /**
  * Per-block skip metadata. Block b spans encoded bytes
  * [b == 0 ? 0 : skips[b-1].endByte, skips[b].endByte) and decodes
- * against base doc id (b == 0 ? absolute first gap : skips[b-1].lastDoc).
+ * against base doc id (b == 0 ? 0 : skips[b-1].lastDoc); a base of 0
+ * makes the first block's first gap the absolute doc id.
  */
 struct SkipEntry
 {
@@ -59,7 +65,8 @@ struct SkipEntry
  * Borrowed, zero-copy view of one term's encoded postings plus its
  * skip table. Valid for the lifetime of whatever owns the storage
  * (the MaterializedIndex, or a per-executor scratch buffer for the
- * decode-on-demand procedural path).
+ * decode-on-demand procedural path). For codec kPacked, `size`
+ * includes the kPackedTailPad slack after the final block.
  */
 struct PostingView
 {
@@ -68,34 +75,117 @@ struct PostingView
     const SkipEntry *skips = nullptr;
     uint32_t numSkips = 0;
     uint32_t count = 0; ///< total postings (== docFreq)
+    PostingCodec codec = PostingCodec::kVarint;
 };
 
-/** Builder for an encoded posting list (ascending doc ids). */
+/**
+ * Canonical per-block skip-metadata accumulator. Both skip-table
+ * producers -- PostingListBuilder (the indexer) and buildSkipEntries
+ * (the decode-on-demand rebuild) -- run their postings through this
+ * one accumulator, so the two paths cannot disagree on block
+ * boundaries, counts, or the tail block's maxTf (regression: a tail
+ * of exactly one posting).
+ */
+class SkipTableBuilder
+{
+  public:
+    /** Record one posting of the current block. */
+    void
+    note(DocId doc, uint32_t tf)
+    {
+        lastDoc_ = doc;
+        if (tf > maxTf_)
+            maxTf_ = tf;
+        ++blockCount_;
+    }
+
+    bool blockFull() const { return blockCount_ == kPostingBlockSize; }
+    uint32_t blockCount() const { return blockCount_; }
+    DocId blockLastDoc() const { return lastDoc_; }
+    uint32_t blockMaxTf() const { return maxTf_; }
+
+    /** Close the current block, whose bytes end at @p end_byte. */
+    void
+    endBlock(uint32_t end_byte)
+    {
+        wsearch_assert(blockCount_ > 0);
+        entries_.push_back(
+            SkipEntry{lastDoc_, end_byte, blockCount_, maxTf_});
+        blockCount_ = 0;
+        maxTf_ = 0;
+    }
+
+    std::vector<SkipEntry>
+    release()
+    {
+        wsearch_assert(blockCount_ == 0);
+        return std::move(entries_);
+    }
+
+  private:
+    std::vector<SkipEntry> entries_;
+    DocId lastDoc_ = 0;
+    uint32_t blockCount_ = 0;
+    uint32_t maxTf_ = 0;
+};
+
+/**
+ * Builder for an encoded posting list (ascending doc ids) in the
+ * given codec. Varint lists encode eagerly, so bytes() is complete
+ * after every add(); packed lists encode a block at a time, so
+ * bytes() covers finished blocks only until releaseSkips() flushes
+ * the tail. releaseSkips() must precede release().
+ */
 class PostingListBuilder
 {
   public:
+    explicit PostingListBuilder(
+        PostingCodec codec = PostingCodec::kVarint)
+        : codec_(&BlockCodec::get(codec))
+    {
+    }
+
     /** Append a posting; doc ids must be strictly ascending. */
     void
     add(DocId doc, uint32_t tf)
     {
         wsearch_assert(count_ == 0 || doc > lastDoc_);
-        varintEncode(count_ == 0 ? doc : doc - lastDoc_, bytes_);
-        varintEncode(tf, bytes_);
+        if (codec_->id() == PostingCodec::kVarint) {
+            // One varint posting is self-delimiting: encode eagerly
+            // so bytes() stays live mid-block (byte stream identical
+            // to the pre-codec format).
+            codec_->encodeBlock(&doc, &tf, 1, count_ == 0 ? 0 : lastDoc_,
+                                bytes_);
+        } else {
+            const uint32_t i = skips_.blockCount();
+            docBuf_[i] = doc;
+            tfBuf_[i] = tf;
+        }
         lastDoc_ = doc;
         ++count_;
-        if (tf > blockMaxTf_)
-            blockMaxTf_ = tf;
-        ++blockCount_;
-        if (blockCount_ == kPostingBlockSize)
+        skips_.note(doc, tf);
+        if (skips_.blockFull())
             finishBlock();
     }
 
     uint32_t count() const { return count_; }
+    PostingCodec codec() const { return codec_->id(); }
+
+    /** Encoded bytes so far (packed: finished blocks only). */
     const std::vector<uint8_t> &bytes() const { return bytes_; }
 
+    /**
+     * The encoded list. Call releaseSkips() first -- it flushes the
+     * tail block -- after which this appends the codec's tail pad
+     * (SIMD over-read slack, outside every SkipEntry.endByte) and
+     * moves the bytes out.
+     */
     std::vector<uint8_t>
     release()
     {
+        wsearch_assert(skips_.blockCount() == 0);
+        if (count_ > 0)
+            bytes_.insert(bytes_.end(), codec_->tailPadBytes(), 0u);
         return std::move(bytes_);
     }
 
@@ -107,73 +197,65 @@ class PostingListBuilder
     std::vector<SkipEntry>
     releaseSkips()
     {
-        wsearch_assert(bytes_.size() >= count_ || count_ == 0);
-        if (blockCount_ > 0)
+        if (skips_.blockCount() > 0)
             finishBlock();
-        return std::move(skips_);
+        return skips_.release();
     }
 
   private:
     void
     finishBlock()
     {
-        SkipEntry e;
-        e.lastDoc = lastDoc_;
-        e.endByte = static_cast<uint32_t>(bytes_.size());
-        e.count = blockCount_;
-        e.maxTf = blockMaxTf_;
-        skips_.push_back(e);
-        blockCount_ = 0;
-        blockMaxTf_ = 0;
+        if (codec_->id() != PostingCodec::kVarint)
+            codec_->encodeBlock(docBuf_, tfBuf_, skips_.blockCount(),
+                                base_, bytes_);
+        base_ = lastDoc_;
+        skips_.endBlock(static_cast<uint32_t>(bytes_.size()));
     }
 
+    const BlockCodec *codec_;
     std::vector<uint8_t> bytes_;
-    std::vector<SkipEntry> skips_;
+    SkipTableBuilder skips_;
+    DocId docBuf_[kPostingBlockSize];
+    uint32_t tfBuf_[kPostingBlockSize];
     DocId lastDoc_ = 0;
+    DocId base_ = 0; ///< last doc of the previous finished block
     uint32_t count_ = 0;
-    uint32_t blockCount_ = 0;
-    uint32_t blockMaxTf_ = 0;
 };
 
 /**
- * Build the skip table for an already-encoded posting stream (the
- * decode-on-demand path for shards that cannot store a sidecar, e.g.
- * ProceduralIndex). One sequential decode pass; appends into @p out.
+ * Build the skip table for an already-encoded varint posting stream
+ * (the decode-on-demand path for shards that cannot store a sidecar,
+ * e.g. ProceduralIndex). One sequential decode pass through the same
+ * SkipTableBuilder the indexer uses; appends into @p out.
  */
 inline void
 buildSkipEntries(const uint8_t *begin, const uint8_t *end,
                  uint32_t count, uint32_t payload_bytes,
                  std::vector<SkipEntry> &out)
 {
-    out.clear();
+    SkipTableBuilder stb;
     const uint8_t *p = begin;
     DocId doc = 0;
-    uint32_t in_block = 0;
-    uint32_t max_tf = 0;
     for (uint32_t i = 0; i < count && p < end; ++i) {
         const uint64_t gap = varintDecode(p, end);
         const uint64_t tf = varintDecode(p, end);
-        doc = i == 0 ? static_cast<DocId>(gap)
-                     : doc + static_cast<DocId>(gap);
+        doc += static_cast<DocId>(gap);
         p += payload_bytes <= static_cast<size_t>(end - p)
             ? payload_bytes : static_cast<size_t>(end - p);
-        if (tf > max_tf)
-            max_tf = static_cast<uint32_t>(tf);
-        ++in_block;
-        if (in_block == kPostingBlockSize || i + 1 == count) {
-            SkipEntry e;
-            e.lastDoc = doc;
-            e.endByte = static_cast<uint32_t>(p - begin);
-            e.count = in_block;
-            e.maxTf = max_tf;
-            out.push_back(e);
-            in_block = 0;
-            max_tf = 0;
-        }
+        stb.note(doc, static_cast<uint32_t>(tf));
+        if (stb.blockFull() || i + 1 == count)
+            stb.endBlock(static_cast<uint32_t>(p - begin));
     }
+    out = stb.release();
 }
 
-/** Sequential decoder over encoded posting bytes. */
+/**
+ * Sequential decoder over encoded posting bytes. Varint streams are
+ * walked a posting at a time; packed streams a block at a time via
+ * the self-describing block headers (no skip table needed), which is
+ * also what the live-merge reader uses.
+ */
 class PostingCursor
 {
   public:
@@ -182,24 +264,31 @@ class PostingCursor
     /**
      * @param payload_bytes fixed per-posting payload (positions,
      *        static features, ...) following the tf; skipped on
-     *        decode but part of the shard layout
+     *        decode but part of the shard layout (varint only)
      */
     PostingCursor(const uint8_t *begin, const uint8_t *end,
-                  uint32_t count, uint32_t payload_bytes = 0)
+                  uint32_t count, uint32_t payload_bytes = 0,
+                  PostingCodec codec = PostingCodec::kVarint)
     {
-        reset(begin, end, count, payload_bytes);
+        reset(begin, end, count, payload_bytes, codec);
     }
 
     /** Rebind to a new byte range (arena reuse across queries). */
     void
     reset(const uint8_t *begin, const uint8_t *end, uint32_t count,
-          uint32_t payload_bytes = 0)
+          uint32_t payload_bytes = 0,
+          PostingCodec codec = PostingCodec::kVarint)
     {
         p_ = begin;
         end_ = end;
         remaining_ = count;
         payloadBytes_ = payload_bytes;
-        first_ = true;
+        codec_ = codec;
+        wsearch_assert(codec_ == PostingCodec::kVarint ||
+                       payload_bytes == 0);
+        blockLen_ = 0;
+        idx_ = 0;
+        emitted_ = 0;
         current_ = Posting{kInvalidDoc, 0};
         advance();
     }
@@ -209,12 +298,22 @@ class PostingCursor
     DocId doc() const { return current_.doc; }
     uint32_t tf() const { return current_.tf; }
 
-    /** Bytes consumed so far (for shard-access instrumentation). */
+    /**
+     * Bytes consumed so far (for shard-access instrumentation).
+     * Block-granular for packed streams: a whole block is charged
+     * when it is decoded.
+     */
     size_t
     bytesConsumed(const uint8_t *begin) const
     {
         return static_cast<size_t>(p_ - begin);
     }
+
+    /**
+     * Postings decoded so far (exact and codec-independent, unlike
+     * bytesConsumed which is block-granular for packed streams).
+     */
+    uint64_t postingsConsumed() const { return emitted_; }
 
     /** Step to the next posting. */
     void
@@ -235,37 +334,77 @@ class PostingCursor
     void
     advance()
     {
+        if (codec_ == PostingCodec::kPacked) {
+            advancePacked();
+            return;
+        }
         if (remaining_ == 0 || p_ >= end_) {
             current_ = Posting{};
             return;
         }
         const uint64_t gap = varintDecode(p_, end_);
         const uint64_t tf = varintDecode(p_, end_);
-        current_.doc = first_ ? static_cast<DocId>(gap)
-                              : current_.doc + static_cast<DocId>(gap);
+        current_.doc = current_.doc == kInvalidDoc
+            ? static_cast<DocId>(gap)
+            : current_.doc + static_cast<DocId>(gap);
         current_.tf = static_cast<uint32_t>(tf);
         p_ += payloadBytes_ <= static_cast<size_t>(end_ - p_)
             ? payloadBytes_ : static_cast<size_t>(end_ - p_);
-        first_ = false;
         --remaining_;
+        ++emitted_;
+    }
+
+    void
+    advancePacked()
+    {
+        if (idx_ + 1 < blockLen_) {
+            ++idx_;
+            current_ = Posting{docs_[idx_], tfs_[idx_]};
+            ++emitted_;
+            return;
+        }
+        if (remaining_ == 0 || p_ >= end_) {
+            current_ = Posting{};
+            return;
+        }
+        const PackedBlockHeader h = readPackedBlockHeader(p_);
+        wsearch_assert(h.count <= remaining_);
+        BlockCodec::get(PostingCodec::kPacked)
+            .decodeBlock(p_, p_ + h.blockBytes, h.base, h.count, 0,
+                         docs_, tfs_);
+        p_ += h.blockBytes;
+        remaining_ -= h.count;
+        blockLen_ = h.count;
+        idx_ = 0;
+        current_ = Posting{docs_[0], tfs_[0]};
+        ++emitted_;
     }
 
     const uint8_t *p_ = nullptr;
     const uint8_t *end_ = nullptr;
     uint32_t remaining_ = 0;
     uint32_t payloadBytes_ = 0;
-    bool first_ = true;
+    PostingCodec codec_ = PostingCodec::kVarint;
+    uint64_t emitted_ = 0; ///< postings decoded since reset()
     Posting current_{kInvalidDoc, 0};
+
+    // Packed-stream block buffer (unused for varint).
+    uint32_t blockLen_ = 0;
+    uint32_t idx_ = 0;
+    alignas(32) DocId docs_[kPostingBlockSize];
+    alignas(32) uint32_t tfs_[kPostingBlockSize];
 };
 
 /**
- * Skip-aware block decoder. Decodes one block at a time (gap + tf in
- * bulk into an internal buffer); seek() walks the skip table forward
- * in O(blocks) and only decodes the landing block, so skipped blocks
- * are never touched. After any call that may decode, the caller can
- * collect the newly decoded byte region (takeDecodedBlock) and the
- * skip entries scanned (takeSkipScan) for touch instrumentation --
- * at most one block is decoded per cursor call.
+ * Skip-aware block decoder. Decodes one block at a time through the
+ * view's codec (bulk into an internal buffer); seek() walks the skip
+ * table forward in O(blocks), only decodes the landing block, and
+ * then gallops within it (branchless binary search over the unpacked
+ * doc array), so skipped blocks are never touched. After any call
+ * that may decode, the caller can collect the newly decoded byte
+ * region (takeDecodedBlock) and the skip entries scanned
+ * (takeSkipScan) for touch instrumentation -- at most one block is
+ * decoded per cursor call.
  */
 class BlockPostingCursor
 {
@@ -277,6 +416,7 @@ class BlockPostingCursor
     reset(const PostingView &view, uint32_t payload_bytes)
     {
         view_ = view;
+        codec_ = &BlockCodec::get(view.codec);
         payloadBytes_ = payload_bytes;
         block_ = 0;
         idx_ = 0;
@@ -292,6 +432,7 @@ class BlockPostingCursor
     bool valid() const { return idx_ < blockLen_; }
     DocId doc() const { return docs_[idx_]; }
     uint32_t tf() const { return tfs_[idx_]; }
+    PostingCodec codec() const { return view_.codec; }
 
     /** Step to the next posting (decodes the next block at an edge). */
     void
@@ -307,8 +448,8 @@ class BlockPostingCursor
     /**
      * Advance to the first posting with doc >= @p target: scan skip
      * entries forward to the first block whose lastDoc covers the
-     * target (skipped blocks are never decoded), then binary-search
-     * inside the decoded block.
+     * target (skipped blocks are never decoded), then gallop inside
+     * the decoded block.
      */
     void
     seek(DocId target)
@@ -330,16 +471,18 @@ class BlockPostingCursor
             }
             decodeBlock(b);
         }
-        // In-block gallop: binary search over the decoded doc ids.
-        uint32_t lo = idx_, hi = blockLen_;
-        while (lo < hi) {
-            const uint32_t mid = (lo + hi) / 2;
-            if (docs_[mid] < target)
-                lo = mid + 1;
-            else
-                hi = mid;
+        // In-block gallop: branchless lower bound over the decoded
+        // doc ids (the comparison result feeds a conditional move,
+        // not a branch -- seek targets are adversarially unsorted
+        // under MaxScore, so the branch would be unpredictable).
+        uint32_t lo = idx_;
+        uint32_t n = blockLen_ - idx_;
+        while (n > 1) {
+            const uint32_t half = n / 2;
+            lo += docs_[lo + half - 1] < target ? half : 0;
+            n -= half;
         }
-        idx_ = lo;
+        idx_ = lo + (docs_[lo] < target ? 1 : 0);
         // lastDoc >= target guarantees an in-block hit.
         wsearch_assert(idx_ < blockLen_);
     }
@@ -386,19 +529,10 @@ class BlockPostingCursor
     {
         const SkipEntry &e = view_.skips[b];
         const uint32_t begin = b == 0 ? 0 : view_.skips[b - 1].endByte;
-        const uint8_t *p = view_.bytes + begin;
-        const uint8_t *end = view_.bytes + e.endByte;
-        DocId doc = b == 0 ? 0 : view_.skips[b - 1].lastDoc;
-        for (uint32_t i = 0; i < e.count; ++i) {
-            const uint64_t gap = varintDecode(p, end);
-            const uint64_t tf = varintDecode(p, end);
-            doc = (b == 0 && i == 0) ? static_cast<DocId>(gap)
-                                     : doc + static_cast<DocId>(gap);
-            docs_[i] = doc;
-            tfs_[i] = static_cast<uint32_t>(tf);
-            p += payloadBytes_ <= static_cast<size_t>(end - p)
-                ? payloadBytes_ : static_cast<size_t>(end - p);
-        }
+        const DocId base = b == 0 ? 0 : view_.skips[b - 1].lastDoc;
+        codec_->decodeBlock(view_.bytes + begin,
+                            view_.bytes + e.endByte, base, e.count,
+                            payloadBytes_, docs_, tfs_);
         block_ = b;
         idx_ = 0;
         blockLen_ = e.count;
@@ -409,12 +543,13 @@ class BlockPostingCursor
     }
 
     PostingView view_;
+    const BlockCodec *codec_ = nullptr;
     uint32_t payloadBytes_ = 0;
     uint32_t block_ = 0;    ///< current block index
     uint32_t idx_ = 0;      ///< position within the decoded block
     uint32_t blockLen_ = 0; ///< postings decoded in the current block
-    DocId docs_[kPostingBlockSize];
-    uint32_t tfs_[kPostingBlockSize];
+    alignas(32) DocId docs_[kPostingBlockSize];
+    alignas(32) uint32_t tfs_[kPostingBlockSize];
 
     // Instrumentation hand-off (drained by take*()).
     uint64_t decodedBegin_ = 0;

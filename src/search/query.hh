@@ -49,6 +49,10 @@ struct ExecStats
     uint64_t blocksDecoded = 0;     ///< posting blocks bulk-decoded
     uint64_t blocksSkipped = 0;     ///< blocks skipped over via seeks
     uint64_t skipEntriesScanned = 0; ///< block-metadata reads
+    /** Of blocksDecoded, how many came through the bit-packed codec
+     *  (SIMD bulk unpack). Splitting the counter lets memsim traces
+     *  attribute shard-MPKI shifts to the layout change. */
+    uint64_t packedBlocksDecoded = 0;
 
     void
     merge(const ExecStats &o)
@@ -59,6 +63,7 @@ struct ExecStats
         blocksDecoded += o.blocksDecoded;
         blocksSkipped += o.blocksSkipped;
         skipEntriesScanned += o.skipEntriesScanned;
+        packedBlocksDecoded += o.packedBlocksDecoded;
     }
 };
 

@@ -15,15 +15,16 @@ ShardedIndex::shardPtrs() const
 }
 
 ShardedIndex
-buildShardedIndex(const CorpusGenerator &corpus, uint32_t num_shards)
+buildShardedIndex(const CorpusGenerator &corpus, uint32_t num_shards,
+                  PostingCodec codec)
 {
     wsearch_assert(num_shards >= 1);
     wsearch_assert(corpus.config().numDocs >= num_shards);
     ShardedIndex si;
     si.shards.reserve(num_shards);
     for (uint32_t s = 0; s < num_shards; ++s)
-        si.shards.push_back(
-            std::make_unique<MaterializedIndex>(corpus, num_shards, s));
+        si.shards.push_back(std::make_unique<MaterializedIndex>(
+            corpus, num_shards, s, codec));
     return si;
 }
 

@@ -52,13 +52,15 @@ struct ShardedIndex
 };
 
 /**
- * Build @p num_shards disjoint shards of @p corpus. Shard statistics
- * (docFreq, avgDocLen) are shard-local; with the Zipf corpus and a
- * stride partition they concentrate to the global values as shards
- * stay balanced (each holds every S-th document).
+ * Build @p num_shards disjoint shards of @p corpus, each encoded in
+ * @p codec. Shard statistics (docFreq, avgDocLen) are shard-local;
+ * with the Zipf corpus and a stride partition they concentrate to the
+ * global values as shards stay balanced (each holds every S-th
+ * document).
  */
-ShardedIndex buildShardedIndex(const CorpusGenerator &corpus,
-                               uint32_t num_shards);
+ShardedIndex
+buildShardedIndex(const CorpusGenerator &corpus, uint32_t num_shards,
+                  PostingCodec codec = PostingCodec::kVarint);
 
 } // namespace wsearch
 

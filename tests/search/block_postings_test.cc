@@ -53,6 +53,38 @@ TEST(BlockPostings, BuilderSkipsMatchRebuiltSkips)
     }
 }
 
+TEST(BlockPostings, TailOfOnePostingAgreesOnMaxTf)
+{
+    // Regression guard: a tail block of exactly one posting is where
+    // the builder and the one-pass rebuild could diverge on the tail
+    // entry's maxTf (e.g. leaking the previous block's running max).
+    // Both now feed the same SkipTableBuilder, and this pins the tail
+    // entry to exactly the lone posting's tf.
+    for (const uint32_t tail_tf : {1u, 9u}) {
+        PostingListBuilder b;
+        std::vector<uint8_t> bytes;
+        for (uint32_t i = 0; i < kPostingBlockSize; ++i)
+            b.add(i * 3, 5); // block maxTf = 5
+        b.add(kPostingBlockSize * 3, tail_tf); // tail: one posting
+        std::vector<SkipEntry> skips = b.releaseSkips();
+        bytes = b.release();
+        ASSERT_EQ(skips.size(), 2u);
+        EXPECT_EQ(skips[0].maxTf, 5u);
+        EXPECT_EQ(skips[1].maxTf, tail_tf);
+        EXPECT_EQ(skips[1].count, 1u);
+        EXPECT_EQ(skips[1].lastDoc, kPostingBlockSize * 3);
+
+        std::vector<SkipEntry> rebuilt;
+        buildSkipEntries(bytes.data(), bytes.data() + bytes.size(),
+                         kPostingBlockSize + 1, 0, rebuilt);
+        ASSERT_EQ(rebuilt.size(), 2u);
+        EXPECT_EQ(rebuilt[1].maxTf, skips[1].maxTf);
+        EXPECT_EQ(rebuilt[1].lastDoc, skips[1].lastDoc);
+        EXPECT_EQ(rebuilt[1].endByte, skips[1].endByte);
+        EXPECT_EQ(rebuilt[1].count, skips[1].count);
+    }
+}
+
 TEST(BlockPostings, TailEntryCoversFinalBytes)
 {
     // Regression: releaseSkips() flushes the tail block against the

@@ -436,6 +436,63 @@ TEST(SnapshotSearcher, ExecutorCacheFollowsSegments)
     EXPECT_EQ(s.cachedSegments(), 1u);
 }
 
+TEST(LiveIndex, PackedCodecSurvivesSealAndMerge)
+{
+    // cfg.codec threads through every publication path: the seal in
+    // commit() and the rewrite in mergeOnce() must both emit packed
+    // segments, and the packed index must stay search-identical to a
+    // varint twin fed the same ops.
+    LiveConfig packed_cfg, varint_cfg;
+    packed_cfg.codec = PostingCodec::kPacked;
+    packed_cfg.mergeTriggerSegments = varint_cfg.mergeTriggerSegments =
+        2;
+    LiveIndex packed(packed_cfg), varint(varint_cfg);
+
+    DocId next = 1;
+    for (int seg = 0; seg < 3; ++seg) {
+        // >128 postings per term per segment so packed lists span
+        // multiple blocks plus a short tail.
+        for (int i = 0; i < 150; ++i, ++next) {
+            const std::vector<TermId> terms = {
+                7, static_cast<TermId>(100 + next % 3)};
+            packed.add(next, terms);
+            varint.add(next, terms);
+        }
+        packed.commit();
+        varint.commit();
+    }
+    packed.remove(5);
+    varint.remove(5);
+    packed.commit();
+    varint.commit();
+
+    const auto sealed = packed.snapshot();
+    ASSERT_FALSE(sealed->segments.empty());
+    for (const auto &seg : sealed->segments)
+        EXPECT_EQ(seg.segment->codec(), PostingCodec::kPacked);
+
+    SnapshotSearcher sp(0), sv(0);
+    for (TermId t : {7u, 100u, 101u, 102u})
+        EXPECT_EQ(searchDocs(sp, *sealed, t),
+                  searchDocs(sv, *varint.snapshot(), t))
+            << "term " << t;
+
+    // Merge re-encodes through a PostingCursor walk of the packed
+    // byte streams; the merged segment must be packed too.
+    ASSERT_TRUE(packed.mergePending());
+    ASSERT_TRUE(packed.mergeOnce());
+    ASSERT_TRUE(varint.mergeOnce());
+    const auto merged = packed.snapshot();
+    ASSERT_TRUE(merged->validate());
+    ASSERT_EQ(merged->segments.size(), 1u);
+    EXPECT_EQ(merged->segments[0].segment->codec(),
+              PostingCodec::kPacked);
+    for (TermId t : {7u, 100u, 101u, 102u})
+        EXPECT_EQ(searchDocs(sp, *merged, t),
+                  searchDocs(sv, *varint.snapshot(), t))
+            << "term " << t;
+}
+
 /**
  * Randomized model check: a few hundred interleaved adds, updates,
  * removes, commits, and merges; after every commit the snapshot must
