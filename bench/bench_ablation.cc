@@ -3,23 +3,36 @@
  * Ablations of the design choices DESIGN.md calls out, beyond the
  * paper's own sensitivity bars:
  *
- *  1. L4 fill policy: victim-of-L3 (the paper's memory-side design)
+ *  1. L4 fill policy: victim-of-LLC (the paper's memory-side design)
  *     vs conventional allocate-on-miss.
  *  2. Inclusive vs non-inclusive L3 (the paper notes CAT-induced
  *     back-invalidations make its measured results conservative).
  *  3. CAT way-partitioning vs a dedicated same-capacity cache
  *     (partitioning reduces associativity, adding conflicts).
- *  4. L3 replacement policy: LRU vs random vs SRRIP (scan-resistant).
+ *  4. L3 replacement policy: LRU vs random vs SRRIP vs DRRIP.
+ *
+ * Emits BENCH_ablation.json through the standard frame: one rows[]
+ * element per (study, variant) with the deterministic counters
+ * bench_diff.py gates on.
  */
 
 #include <cstdio>
 
-#include "core/experiments.hh"
+#include "common.hh"
 #include "trace/synthetic.hh"
 #include "util/table.hh"
 
 namespace wsearch {
 namespace {
+
+uint64_t
+budget(const bench::Args &args, uint64_t records)
+{
+    // Smoke mode quarters the (already WSEARCH_FAST-scaled) budget:
+    // the studies stay directionally meaningful and CI stays fast.
+    const uint64_t n = traceBudget(records);
+    return args.smoke ? n / 4 : n;
+}
 
 SystemResult
 runCfg(const WorkloadProfile &prof, SystemConfig cfg, uint64_t records)
@@ -27,12 +40,27 @@ runCfg(const WorkloadProfile &prof, SystemConfig cfg, uint64_t records)
     SyntheticSearchTrace trace(prof, cfg.hierarchy.numCores *
                                           cfg.hierarchy.smtWays);
     SystemSimulator sim(cfg);
-    const uint64_t n = traceBudget(records);
-    return sim.run(trace, n, n);
+    return sim.run(trace, records, records);
 }
 
 void
-l4FillPolicy()
+addRow(bench::JsonWriter &json, const char *study, const char *variant,
+       const SystemResult &r)
+{
+    json.beginObject();
+    json.add("study", std::string(study));
+    json.add("variant", std::string(variant));
+    json.add("instructions", r.instructions);
+    json.add("l3_misses", r.l3.totalMisses());
+    json.add("l4_accesses", r.l4.totalAccesses());
+    json.add("l4_misses", r.l4.totalMisses());
+    json.add("writebacks", r.writebacks);
+    json.add("back_invalidations", r.backInvalidations);
+    json.endObject();
+}
+
+void
+l4FillPolicy(const bench::Args &args, bench::JsonWriter &json)
 {
     std::printf("--- L4 fill policy (victim vs allocate-on-miss) ---\n");
     const WorkloadProfile prof = WorkloadProfile::s1LeafSweep();
@@ -41,18 +69,19 @@ l4FillPolicy()
              "per ki"});
     for (const bool victim : {true, false}) {
         SystemConfig cfg = plt1.system(prof, 16);
-        cfg.hierarchy.l3.sizeBytes = (23 * MiB) / prof.sweepScale;
-        L4Config l4;
-        l4.sizeBytes = (1 * GiB) / prof.sweepScale;
-        l4.fill = victim ? L4Config::Fill::VictimOfL3
-                         : L4Config::Fill::OnMiss;
-        cfg.hierarchy.l4 = l4;
-        const SystemResult r = runCfg(prof, cfg, 24'000'000);
+        cfg.hierarchy.llc.cache.sizeBytes =
+            (23 * MiB) / prof.sweepScale;
+        cfg.hierarchy.l4 = cache_gen_victim(
+            (1 * GiB) / prof.sweepScale, 64, /*fully_assoc=*/false,
+            /*victim_fill=*/victim);
+        const SystemResult r =
+            runCfg(prof, cfg, budget(args, 24'000'000));
         const uint64_t i = r.instructions;
         t.addRow({victim ? "victim-of-L3 (paper)" : "allocate-on-miss",
                   Table::fmtPct(r.l4.hitRateTotal(), 1),
                   Table::fmt(r.l3.mpkiTotal(i), 2),
                   Table::fmt(r.l4.mpkiTotal(i), 2)});
+        addRow(json, "l4_fill", victim ? "victim" : "on_miss", r);
         std::fflush(stdout);
     }
     t.print();
@@ -60,7 +89,7 @@ l4FillPolicy()
 }
 
 void
-inclusiveL3()
+inclusiveL3(const bench::Args &args, bench::JsonWriter &json)
 {
     std::printf("--- Inclusive vs non-inclusive L3 ---\n");
     const WorkloadProfile prof = WorkloadProfile::s1Leaf();
@@ -68,17 +97,20 @@ inclusiveL3()
     Table t({"L3 policy", "L3 MPKI", "Back-invalidations/ki", "IPC"});
     for (const bool inclusive : {false, true}) {
         SystemConfig cfg = plt1.system(prof, 16);
-        cfg.hierarchy.inclusiveL3 = inclusive;
+        cfg.hierarchy.llc.inclusion = inclusive
+            ? InclusionMode::Inclusive : InclusionMode::NINE;
         // A small partition makes inclusion victims visible, like the
         // paper's CAT experiments.
-        cfg.hierarchy.l3.partitionWays = 4;
-        const SystemResult r = runCfg(prof, cfg, 16'000'000);
+        cfg.hierarchy.llc.cache.partitionWays = 4;
+        const SystemResult r =
+            runCfg(prof, cfg, budget(args, 16'000'000));
         const uint64_t i = r.instructions;
         t.addRow({inclusive ? "inclusive" : "non-inclusive",
                   Table::fmt(r.l3.mpkiTotal(i), 2),
                   Table::fmt(1000.0 * r.backInvalidations /
                                  static_cast<double>(i), 2),
                   Table::fmt(r.ipcPerThread, 3)});
+        addRow(json, "inclusion", inclusive ? "inclusive" : "nine", r);
         std::fflush(stdout);
     }
     t.print();
@@ -87,7 +119,7 @@ inclusiveL3()
 }
 
 void
-catVsDedicated()
+catVsDedicated(const bench::Args &args, bench::JsonWriter &json)
 {
     std::printf("--- CAT partition vs dedicated cache ---\n");
     const WorkloadProfile prof = WorkloadProfile::s1Leaf();
@@ -96,17 +128,21 @@ catVsDedicated()
     // 4 of 20 ways of 45 MiB (CAT) vs a dedicated 9 MiB 20-way cache.
     {
         SystemConfig cfg = plt1.system(prof, 16);
-        cfg.hierarchy.l3.partitionWays = 4;
-        const SystemResult r = runCfg(prof, cfg, 16'000'000);
+        cfg.hierarchy.llc.cache.partitionWays = 4;
+        const SystemResult r =
+            runCfg(prof, cfg, budget(args, 16'000'000));
         t.addRow({"CAT 4/20 ways of 45 MiB", "9 MiB", "4",
                   Table::fmt(r.l3.mpkiTotal(r.instructions), 2)});
+        addRow(json, "cat", "partition_4_of_20", r);
     }
     {
         SystemConfig cfg = plt1.system(prof, 16);
-        cfg.hierarchy.l3.sizeBytes = 9 * MiB;
-        const SystemResult r = runCfg(prof, cfg, 16'000'000);
+        cfg.hierarchy.llc.cache.sizeBytes = 9 * MiB;
+        const SystemResult r =
+            runCfg(prof, cfg, budget(args, 16'000'000));
         t.addRow({"dedicated 9 MiB, 20-way", "9 MiB", "20",
                   Table::fmt(r.l3.mpkiTotal(r.instructions), 2)});
+        addRow(json, "cat", "dedicated_9mib", r);
     }
     t.print();
     std::printf("CAT keeps the set count but cuts associativity, so "
@@ -115,41 +151,58 @@ catVsDedicated()
 }
 
 void
-replacementPolicy()
+replacementPolicy(const bench::Args &args, bench::JsonWriter &json)
 {
     std::printf("--- L3 replacement policy ---\n");
     const WorkloadProfile prof = WorkloadProfile::s1Leaf();
     const PlatformConfig plt1 = PlatformConfig::plt1();
     Table t({"Policy", "L3 MPKI", "L3 hit rate"});
     for (const ReplPolicy repl :
-         {ReplPolicy::LRU, ReplPolicy::Random, ReplPolicy::SRRIP}) {
+         {ReplPolicy::LRU, ReplPolicy::Random, ReplPolicy::SRRIP,
+          ReplPolicy::DRRIP}) {
         SystemConfig cfg = plt1.system(prof, 16);
         // Capacity-constrained point where replacement matters.
-        cfg.hierarchy.l3.sizeBytes = 9 * MiB;
-        cfg.hierarchy.l3.repl = repl;
-        const SystemResult r = runCfg(prof, cfg, 16'000'000);
+        cfg.hierarchy.llc.cache.sizeBytes = 9 * MiB;
+        cfg.hierarchy.llc.cache.repl = repl;
+        const SystemResult r =
+            runCfg(prof, cfg, budget(args, 16'000'000));
         const char *name = repl == ReplPolicy::LRU ? "LRU"
-            : repl == ReplPolicy::Random ? "random" : "SRRIP";
+            : repl == ReplPolicy::Random ? "random"
+            : repl == ReplPolicy::SRRIP ? "SRRIP" : "DRRIP";
         t.addRow({name,
                   Table::fmt(r.l3.mpkiTotal(r.instructions), 2),
                   Table::fmtPct(r.l3.hitRateTotal(), 1)});
+        addRow(json, "replacement", name, r);
         std::fflush(stdout);
     }
     t.print();
+}
+
+void
+runAblation(const bench::Args &args)
+{
+    const double t0 = bench::nowSec();
+    printBanner("Ablations",
+                "Design-choice sensitivity beyond the paper's own "
+                "bars");
+    bench::JsonWriter json;
+    bench::beginStandardJson(json, "ablation", args.smoke);
+    json.add("records_unit", budget(args, 16'000'000));
+    json.beginArray("rows");
+    l4FillPolicy(args, json);
+    inclusiveL3(args, json);
+    catVsDedicated(args, json);
+    replacementPolicy(args, json);
+    json.endArray();
+    bench::finishStandardJson(json, "ablation", t0);
 }
 
 } // namespace
 } // namespace wsearch
 
 int
-main()
+main(int argc, char **argv)
 {
-    wsearch::printBanner("Ablations",
-                         "Design-choice sensitivity beyond the paper's "
-                         "own bars");
-    wsearch::l4FillPolicy();
-    wsearch::inclusiveL3();
-    wsearch::catVsDedicated();
-    wsearch::replacementPolicy();
+    wsearch::runAblation(wsearch::bench::parseArgs(argc, argv));
     return 0;
 }

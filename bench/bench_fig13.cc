@@ -36,9 +36,7 @@ runFig13(const bench::Args &args)
     for (uint64_t sim = 2 * MiB; sim <= 256 * MiB; sim *= 2) {
         RunOptions opt = bench::baseOptions(16, 24'000'000, 48'000'000);
         opt.l3Bytes = l3_sim;
-        L4Config l4;
-        l4.sizeBytes = sim;
-        opt.l4 = l4;
+        opt.l4 = cache_gen_victim(sim, 64);
         sizes.push_back(sim);
         options.push_back(opt);
     }

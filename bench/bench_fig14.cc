@@ -77,10 +77,7 @@ runFig14(const bench::Args &args)
         for (const uint64_t paper_size : l4_paper_sizes) {
             RunOptions opt = base();
             opt.l3Bytes = (23 * MiB) / scale;
-            L4Config l4;
-            l4.sizeBytes = paper_size / scale;
-            l4.fullyAssociative = assoc;
-            opt.l4 = l4;
+            opt.l4 = cache_gen_victim(paper_size / scale, 64, assoc);
             options.push_back(opt);
         }
     }
@@ -88,9 +85,7 @@ runFig14(const bench::Args &args)
     {
         RunOptions syn = base();
         syn.l3Bytes = (45 * MiB) / scale;
-        L4Config l4;
-        l4.sizeBytes = (1 * GiB) / scale;
-        syn.l4 = l4;
+        syn.l4 = cache_gen_victim((1 * GiB) / scale, 64);
         options.push_back(syn);
     }
     const std::vector<SystemResult> results =

@@ -67,7 +67,12 @@ identical(const SystemResult &a, const SystemResult &b)
         differ("l3Evictions", a.l3Evictions, b.l3Evictions) ||
         differ("writebacks", a.writebacks, b.writebacks) ||
         differ("backInvalidations", a.backInvalidations,
-               b.backInvalidations))
+               b.backInvalidations) ||
+        differ("cohUpgrades", a.cohUpgrades, b.cohUpgrades) ||
+        differ("cohInvalidations", a.cohInvalidations,
+               b.cohInvalidations) ||
+        differ("cohDirtyWritebacks", a.cohDirtyWritebacks,
+               b.cohDirtyWritebacks))
         return false;
     const CacheLevelStats *as[] = {&a.l1i, &a.l1d, &a.l2, &a.l3, &a.l4};
     const CacheLevelStats *bs[] = {&b.l1i, &b.l1d, &b.l2, &b.l3, &b.l4};

@@ -73,9 +73,7 @@ sweepL4(const WorkloadProfile &prof)
         RunOptions opt;
         opt.cores = 8;
         opt.l3Bytes = 23 * MiB / scale;
-        L4Config l4;
-        l4.sizeBytes = size / scale;
-        opt.l4 = l4;
+        opt.l4 = cache_gen_victim(size / scale, 64);
         opt.measureRecords = 10'000'000;
         const SystemResult r =
             runWorkload(prof, PlatformConfig::plt1(), opt);

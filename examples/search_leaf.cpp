@@ -82,7 +82,7 @@ main()
 
     SystemConfig sys;
     sys.hierarchy.numCores = 8;
-    sys.hierarchy.l3 = {40 * MiB, 64, 20};
+    sys.hierarchy.llc = cache_gen_llc(40 * MiB, 64, 20);
     SystemSimulator sim(sys);
     const SystemResult r = sim.run(trace, 4'000'000, 12'000'000);
 

@@ -6,12 +6,13 @@
 # Usage: scripts/bench_all.sh [build-dir]
 #   build-dir          defaults to ./build
 #   WSEARCH_BENCHES    space-separated driver subset (default:
-#                      "leaf ingest serve sweep")
+#                      "leaf ingest serve sweep replacement micro
+#                      ablation")
 #   Artifacts are written to the current working directory.
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
-BENCHES=${WSEARCH_BENCHES:-"leaf ingest serve sweep"}
+BENCHES=${WSEARCH_BENCHES:-"leaf ingest serve sweep replacement micro ablation"}
 
 if [ ! -d "$BUILD_DIR/bench" ]; then
     echo "bench_all.sh: no $BUILD_DIR/bench (build first)" >&2
@@ -30,7 +31,7 @@ for b in $BENCHES; do
             # bench_serve has no --smoke flag; WSEARCH_FAST shrinks it.
             WSEARCH_FAST=1 "$bin"
             ;;
-        sweep)
+        sweep|replacement|micro|ablation)
             WSEARCH_FAST=1 "$bin" --smoke
             ;;
         *)

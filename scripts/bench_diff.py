@@ -70,6 +70,40 @@ GATES = {
         "counters": [],
         "invariants": [],
     },
+    "replacement": {
+        "config": ["smoke"],
+        # compat_identical == 1 asserts the generator-built hierarchy
+        # reproduced the legacy HierarchyConfig counters bit-exactly.
+        "counters": ["compat_identical"],
+        "rows": {
+            "field": "rows",
+            "key_by": ["l3_capacity", "variant"],
+            "counters": ["l3_accesses", "l3_misses",
+                         "back_invalidations", "instructions"],
+        },
+        "invariants": [("compat_identical", 1)],
+    },
+    "micro": {
+        "config": ["smoke"],
+        "counters": [],
+        "rows": {
+            "field": "rows",
+            "key_by": ["kernel"],
+            "counters": ["items", "checksum"],
+        },
+        "invariants": [],
+    },
+    "ablation": {
+        "config": ["smoke", "records_unit"],
+        "counters": [],
+        "rows": {
+            "field": "rows",
+            "key_by": ["study", "variant"],
+            "counters": ["instructions", "l3_misses", "l4_misses",
+                         "back_invalidations"],
+        },
+        "invariants": [],
+    },
 }
 
 
@@ -189,6 +223,16 @@ def _sample():
             "sweep": {"smoke": 1, "configs": 8,
                       "records_per_config": 1000,
                       "all_identical": 1, "wall_time_sec": 5.0},
+            "replacement": {
+                "smoke": 1, "compat_identical": 1,
+                "wall_time_sec": 3.0,
+                "rows": [
+                    {"l3_capacity": 9437184, "variant": "srrip",
+                     "l3_accesses": 4000, "l3_misses": 700,
+                     "back_invalidations": 0,
+                     "instructions": 100000},
+                ],
+            },
         }
     }
 
@@ -230,7 +274,19 @@ def selftest():
         slow["benches"]["leaf"]["wall_time_sec"] = 13.0
         assert run_diff(write(slow, "slow.json"), base) == []
 
-        # 6. Config change skips the counter diff instead of failing.
+        # 6. A failed legacy-compat oracle fails even with no
+        # baseline (in-run invariant).
+        nocompat = _sample()
+        nocompat["benches"]["replacement"]["compat_identical"] = 0
+        assert run_diff(write(nocompat, "nocompat.json"),
+                        os.path.join(tmp, "missing.json"))
+
+        # 7. Replacement-row miss drift fails.
+        rdrift = _sample()
+        rdrift["benches"]["replacement"]["rows"][0]["l3_misses"] += 3
+        assert run_diff(write(rdrift, "rdrift.json"), base)
+
+        # 8. Config change skips the counter diff instead of failing.
         refit = _sample()
         refit["benches"]["leaf"]["docs"] = 80000
         refit["benches"]["leaf"]["rows"][0]["postings_decoded"] = 1

@@ -17,23 +17,27 @@ makeSystemConfig(const WorkloadProfile &profile,
     SystemConfig cfg = platform.system(profile, opt.cores, opt.smtWays,
                                        opt.l3PartitionWays, opt.l4);
     if (opt.l3Bytes)
-        cfg.hierarchy.l3.sizeBytes = *opt.l3Bytes;
+        cfg.hierarchy.llc.cache.sizeBytes = *opt.l3Bytes;
     if (opt.l3Ways)
-        cfg.hierarchy.l3.ways = *opt.l3Ways;
+        cfg.hierarchy.llc.cache.ways = *opt.l3Ways;
     if (opt.l1Ways) {
-        cfg.hierarchy.l1i.ways = *opt.l1Ways;
-        cfg.hierarchy.l1d.ways = *opt.l1Ways;
+        cfg.hierarchy.l1i.cache.ways = *opt.l1Ways;
+        cfg.hierarchy.l1d.cache.ways = *opt.l1Ways;
     }
     if (opt.l2Ways)
-        cfg.hierarchy.l2.ways = *opt.l2Ways;
+        cfg.hierarchy.l2.cache.ways = *opt.l2Ways;
     if (opt.blockBytes) {
-        cfg.hierarchy.l1i.blockBytes = *opt.blockBytes;
-        cfg.hierarchy.l1d.blockBytes = *opt.blockBytes;
-        cfg.hierarchy.l2.blockBytes = *opt.blockBytes;
-        cfg.hierarchy.l3.blockBytes = *opt.blockBytes;
+        cfg.hierarchy.l1i.cache.blockBytes = *opt.blockBytes;
+        cfg.hierarchy.l1d.cache.blockBytes = *opt.blockBytes;
+        cfg.hierarchy.l2.cache.blockBytes = *opt.blockBytes;
+        cfg.hierarchy.llc.cache.blockBytes = *opt.blockBytes;
     }
     cfg.hierarchy.prefetch = opt.prefetch;
-    cfg.hierarchy.inclusiveL3 = opt.inclusiveL3;
+    cfg.hierarchy.llc.inclusion = opt.llcInclusion;
+    if (opt.llcRepl)
+        cfg.hierarchy.llc.cache.repl = *opt.llcRepl;
+    cfg.hierarchy.llc.slices = opt.llcSlices;
+    cfg.hierarchy.coherence = opt.coherence;
     cfg.modelTlb = opt.modelTlb;
     if (opt.modelTlb)
         cfg.dtlb = opt.hugePages ? platform.tlbHuge : platform.tlbBase;
@@ -172,11 +176,8 @@ l4HitCurve(const WorkloadProfile &profile,
 {
     std::vector<RunOptions> options;
     for (const uint64_t size : sizes) {
-        L4Config l4;
-        l4.sizeBytes = size;
-        l4.fullyAssociative = fully_associative;
-        l4.blockBytes = platform.cacheBlockBytes;
-        opt.l4 = l4;
+        opt.l4 = cache_gen_victim(size, platform.cacheBlockBytes,
+                                  fully_associative);
         options.push_back(opt);
     }
     const std::vector<SystemResult> results =

@@ -35,11 +35,15 @@ struct RunOptions
     std::optional<uint32_t> l1Ways;   ///< override L1-I/L1-D associativity
     std::optional<uint32_t> l2Ways;   ///< override L2 associativity
     std::optional<uint32_t> blockBytes; ///< override all block sizes
-    std::optional<L4Config> l4;
+    std::optional<CacheLevelSpec> l4;   ///< cache_gen_victim spec
     PrefetchConfig prefetch;
     bool modelTlb = false;
     bool hugePages = false;
-    bool inclusiveL3 = false;
+    /** LLC inclusion mode (Inclusive = legacy inclusiveL3). */
+    InclusionMode llcInclusion = InclusionMode::NINE;
+    std::optional<ReplPolicy> llcRepl; ///< override LLC replacement
+    uint32_t llcSlices = 1;            ///< address-hashed LLC slices
+    CoherenceProtocol coherence = CoherenceProtocol::None;
     uint64_t warmupRecords = 0;  ///< 0: derived from measure budget
     uint64_t measureRecords = 20'000'000; ///< pre-scaling nominal
 };

@@ -60,18 +60,20 @@ PlatformConfig::plt2()
     return p;
 }
 
-HierarchyConfig
+HierarchySpec
 PlatformConfig::hierarchy(uint32_t cores, uint32_t smt_ways,
                           uint32_t l3_partition_ways) const
 {
-    HierarchyConfig h;
+    HierarchySpec h;
     h.numCores = cores;
     h.smtWays = smt_ways;
-    h.l1i = {l1iBytes, cacheBlockBytes, 8};
-    h.l1d = {l1dBytes, cacheBlockBytes, 8};
-    h.l2 = {l2Bytes, cacheBlockBytes, 8};
-    h.l3 = {l3Bytes, cacheBlockBytes, l3Ways};
-    h.l3.partitionWays = l3_partition_ways;
+    h.l1i = cache_gen_l1(l1iBytes, cacheBlockBytes, 8);
+    h.l1d = cache_gen_l1(l1dBytes, cacheBlockBytes, 8);
+    h.l2 = cache_gen_l2(l2Bytes, cacheBlockBytes, 8);
+    h.llc = cache_gen_llc(l3Bytes, cacheBlockBytes, l3Ways,
+                          ReplPolicy::LRU, InclusionMode::NINE,
+                          /*slices=*/1, l3_partition_ways);
+    h.llc.latencyNs = l3HitNs; // documentation; timing uses core params
     return h;
 }
 
@@ -91,7 +93,7 @@ PlatformConfig::coreParams(const WorkloadProfile &profile) const
 SystemConfig
 PlatformConfig::system(const WorkloadProfile &profile, uint32_t cores,
                        uint32_t smt_ways, uint32_t l3_partition_ways,
-                       std::optional<L4Config> l4) const
+                       std::optional<CacheLevelSpec> l4) const
 {
     SystemConfig s;
     s.hierarchy = hierarchy(cores, smt_ways, l3_partition_ways);

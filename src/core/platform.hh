@@ -52,12 +52,13 @@ struct PlatformConfig
     static PlatformConfig plt2();
 
     /**
-     * Build a single-socket hierarchy using @p cores cores and
-     * @p smt_ways hardware threads per core.
+     * Build a single-socket hierarchy spec using @p cores cores and
+     * @p smt_ways hardware threads per core, assembled with the
+     * cache_gen_* generators.
      *
      * @param l3_partition_ways CAT partition (0 = all ways)
      */
-    HierarchyConfig
+    HierarchySpec
     hierarchy(uint32_t cores, uint32_t smt_ways,
               uint32_t l3_partition_ways = 0) const;
 
@@ -67,11 +68,12 @@ struct PlatformConfig
     /**
      * Full system config for @p profile on @p cores cores.
      * Threads are expected to equal cores * smt_ways.
+     * @param l4 optional memory-side cache level (cache_gen_victim)
      */
     SystemConfig
     system(const WorkloadProfile &profile, uint32_t cores,
            uint32_t smt_ways = 1, uint32_t l3_partition_ways = 0,
-           std::optional<L4Config> l4 = std::nullopt) const;
+           std::optional<CacheLevelSpec> l4 = std::nullopt) const;
 };
 
 } // namespace wsearch

@@ -116,6 +116,10 @@ SystemSimulator::harvestCounters() const
     res.l3Evictions = hier_.l3Evictions();
     res.writebacks = hier_.writebacks();
     res.backInvalidations = hier_.backInvalidations();
+    const CoherenceStats coh = hier_.cohStats();
+    res.cohUpgrades = coh.upgrades;
+    res.cohInvalidations = coh.invalidations;
+    res.cohDirtyWritebacks = coh.dirtyWritebacks;
     res.branches = branches_;
     res.mispredicts = mispredicts_;
     res.dtlbAccesses = dtlbAccesses_;

@@ -28,7 +28,7 @@ namespace wsearch {
 /** Configuration of a full system simulation. */
 struct SystemConfig
 {
-    HierarchyConfig hierarchy;
+    HierarchySpec hierarchy;
     CoreModelParams core;
     bool modelTlb = false;
     TlbConfig dtlb;  ///< data-side TLB (also used for instruction side)
@@ -46,6 +46,10 @@ struct SystemResult
     uint64_t l3Evictions = 0;
     uint64_t writebacks = 0;
     uint64_t backInvalidations = 0;
+    // Coherence traffic (all zero when CoherenceProtocol::None).
+    uint64_t cohUpgrades = 0;
+    uint64_t cohInvalidations = 0;
+    uint64_t cohDirtyWritebacks = 0;
 
     uint64_t branches = 0;
     uint64_t mispredicts = 0;
@@ -77,6 +81,9 @@ struct SystemResult
         l3Evictions += o.l3Evictions;
         writebacks += o.writebacks;
         backInvalidations += o.backInvalidations;
+        cohUpgrades += o.cohUpgrades;
+        cohInvalidations += o.cohInvalidations;
+        cohDirtyWritebacks += o.cohDirtyWritebacks;
         branches += o.branches;
         mispredicts += o.mispredicts;
         dtlbAccesses += o.dtlbAccesses;

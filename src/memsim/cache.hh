@@ -32,6 +32,11 @@ enum class ReplPolicy : uint8_t {
      *  resistant, relevant to search's streaming shard (cf. the
      *  paper's PACMan citation [59]). */
     SRRIP,
+    /** Dynamic RRIP: set-dueling between SRRIP and BRRIP insertion
+     *  (Jaleel et al., ISCA'10). Deterministic here — leader sets by
+     *  set index, the BRRIP 1/32 long-insertion by counter — so
+     *  sweeps stay bit-reproducible. */
+    DRRIP,
 };
 
 /** Static configuration of one cache. */
@@ -78,7 +83,8 @@ class SetAssocCache
         tags_.assign(lines, kNoBlock);
         stamps_.assign(lines, 0);
         flags_.assign(lines, 0);
-        if (cfg.repl == ReplPolicy::SRRIP)
+        if (cfg.repl == ReplPolicy::SRRIP ||
+            cfg.repl == ReplPolicy::DRRIP)
             rrpv_.assign(lines, kRrpvMax);
     }
 
@@ -219,6 +225,9 @@ class SetAssocCache
 
     uint32_t numSets() const { return numSets_; }
     uint32_t ways() const { return cfg_.ways; }
+    ReplPolicy repl() const { return cfg_.repl; }
+    /** DRRIP policy-selector value (tests: set-dueling direction). */
+    uint32_t drripPsel() const { return psel_; }
     uint32_t effectiveWays() const { return effWays_; }
     uint32_t blockBytes() const { return cfg_.blockBytes; }
 
@@ -245,7 +254,9 @@ class SetAssocCache
   private:
     static constexpr uint8_t kDirty = 1;
     static constexpr uint8_t kPrefetched = 2;
-    static constexpr uint8_t kRrpvMax = 3; ///< 2-bit RRPV
+    static constexpr uint8_t kRrpvMax = 3;       ///< 2-bit RRPV
+    static constexpr uint32_t kDuelPeriod = 64;  ///< sets per leader pair
+    static constexpr uint32_t kPselMax = 1023;   ///< 10-bit PSEL
 
     size_t
     setBase(uint64_t block) const
@@ -261,7 +272,8 @@ class SetAssocCache
          uint64_t *evicted, bool *evicted_dirty)
     {
         uint32_t victim = 0;
-        if (cfg_.repl == ReplPolicy::SRRIP) {
+        if (cfg_.repl == ReplPolicy::SRRIP ||
+            cfg_.repl == ReplPolicy::DRRIP) {
             victim = srripVictim(base);
         } else if (cfg_.repl == ReplPolicy::Random && effWays_ > 1) {
             victim = static_cast<uint32_t>(rng_.nextRange(effWays_));
@@ -299,8 +311,42 @@ class SetAssocCache
         stamps_[base + victim] = tick_;
         flags_[base + victim] =
             (dirty ? kDirty : 0) | (prefetched ? kPrefetched : 0);
-        if (!rrpv_.empty())
-            rrpv_[base + victim] = kRrpvMax - 1; // "long" insertion
+        if (!rrpv_.empty()) {
+            rrpv_[base + victim] = cfg_.repl == ReplPolicy::DRRIP
+                ? drripInsertRrpv(static_cast<uint32_t>(
+                      base / cfg_.ways))
+                : kRrpvMax - 1; // SRRIP: always "long" insertion
+        }
+    }
+
+    /**
+     * DRRIP set dueling. Leader sets are picked by set index (one
+     * SRRIP and one BRRIP leader per kDuelPeriod sets); a fill into a
+     * leader set votes its policy's miss into the 10-bit PSEL, and
+     * follower sets insert with whichever policy is currently ahead.
+     * BRRIP inserts at distant RRPV except a deterministic 1-in-32
+     * long insertion (counter, not RNG, for reproducibility).
+     */
+    uint8_t
+    drripInsertRrpv(uint32_t set)
+    {
+        const uint32_t lane = set % kDuelPeriod;
+        bool brrip;
+        if (lane == 0) { // SRRIP leader: this fill is an SRRIP miss
+            if (psel_ < kPselMax)
+                ++psel_;
+            brrip = false;
+        } else if (lane == kDuelPeriod / 2) { // BRRIP leader
+            if (psel_ > 0)
+                --psel_;
+            brrip = true;
+        } else {
+            // High PSEL = SRRIP leaders missing more = follow BRRIP.
+            brrip = psel_ >= (kPselMax + 1) / 2;
+        }
+        if (!brrip)
+            return kRrpvMax - 1;
+        return ++brripTick_ % 32 == 0 ? kRrpvMax - 1 : kRrpvMax;
     }
 
     /** SRRIP victim selection: first RRPV==max, aging as needed. */
@@ -325,11 +371,13 @@ class SetAssocCache
     uint32_t numSets_ = 0;
     uint64_t setMask_ = 0;
     uint64_t tick_ = 0;
+    uint32_t psel_ = (kPselMax + 1) / 2; ///< DRRIP duel, neutral start
+    uint64_t brripTick_ = 0;             ///< BRRIP 1/32 long-insert
     Rng rng_;
     std::vector<uint64_t> tags_;
     std::vector<uint64_t> stamps_;
     std::vector<uint8_t> flags_;
-    std::vector<uint8_t> rrpv_; ///< allocated only for SRRIP
+    std::vector<uint8_t> rrpv_; ///< allocated only for SRRIP/DRRIP
 };
 
 } // namespace wsearch

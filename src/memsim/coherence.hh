@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Directory-based MSI/MESI coherence metadata for multi-core runs.
+ * The paper skips coherence because production search has negligible
+ * read-write sharing (§III-A); this layer exists to check that claim
+ * honestly for the shared heap segment: it accounts the coherence
+ * traffic (upgrades, invalidations, dirty writebacks) a real protocol
+ * would generate, without modeling timing.
+ *
+ * The directory tracks, per block, which cores' private data caches
+ * may hold it (a sharer bitmask) and the protocol state of the owning
+ * copy (Shared / Exclusive / Modified; MSI collapses E into S at fill
+ * time). onAccess() returns the set of remote cores whose private
+ * copies must be invalidated — the hierarchy performs those
+ * invalidations so the cache contents stay consistent with the
+ * metadata. MESI differs from MSI in exactly one observable way: a
+ * store by the sole, exclusive owner upgrades E->M silently, while
+ * MSI charges an upgrade message for every S->M transition.
+ */
+
+#ifndef WSEARCH_MEMSIM_COHERENCE_HH
+#define WSEARCH_MEMSIM_COHERENCE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "memsim/spec.hh"
+#include "util/logging.hh"
+
+namespace wsearch {
+
+/** Coherence traffic counters (merged into SimResult). */
+struct CoherenceStats
+{
+    /** S->M (and MSI's first-write) upgrade messages. */
+    uint64_t upgrades = 0;
+    /** Invalidation messages sent to remote sharers. */
+    uint64_t invalidations = 0;
+    /** Modified lines flushed by a remote core's access. */
+    uint64_t dirtyWritebacks = 0;
+
+    void
+    reset()
+    {
+        upgrades = 0;
+        invalidations = 0;
+        dirtyWritebacks = 0;
+    }
+};
+
+/** Block-granular MSI/MESI directory over private data caches. */
+class CoherenceDirectory
+{
+  public:
+    CoherenceDirectory(CoherenceProtocol proto, uint32_t block_bytes)
+        : proto_(proto), blockShift_(log2i(block_bytes))
+    {
+        wsearch_assert(isPow2(block_bytes));
+        wsearch_assert(proto != CoherenceProtocol::None);
+    }
+
+    /**
+     * Record a data access by @p core and return the bitmask of
+     * OTHER cores whose private copies must be invalidated (empty on
+     * loads of shared lines). Counters are updated as a side effect.
+     */
+    uint64_t
+    onAccess(uint32_t core, uint64_t addr, bool is_store)
+    {
+        const uint64_t block = addr >> blockShift_;
+        const uint64_t me = 1ull << core;
+        Entry &e = dir_[block];
+        if (e.sharers == 0) {
+            // First touch: MESI grants Exclusive, MSI only Shared.
+            e.sharers = me;
+            e.owner = core;
+            if (is_store) {
+                e.state = State::M;
+                // MSI has no E state: even a private first write is
+                // an S->M upgrade message. MESI upgrades silently.
+                if (proto_ == CoherenceProtocol::MSI)
+                    ++stats_.upgrades;
+            } else {
+                e.state = proto_ == CoherenceProtocol::MESI
+                    ? State::E : State::S;
+            }
+            return 0;
+        }
+
+        const uint64_t others = e.sharers & ~me;
+        if (!is_store) {
+            if (e.state == State::M && others) {
+                // Remote modified copy: flush it, degrade to Shared.
+                ++stats_.dirtyWritebacks;
+                e.state = State::S;
+            } else if (e.state == State::E && others) {
+                e.state = State::S; // remote exclusive copy downgrades
+            }
+            e.sharers |= me;
+            if (e.sharers != me && e.state != State::M)
+                e.state = State::S;
+            return 0;
+        }
+
+        // Store: invalidate every remote sharer, then own Modified.
+        if (others) {
+            stats_.invalidations +=
+                static_cast<uint64_t>(popcount64(others));
+            if (e.state == State::M)
+                ++stats_.dirtyWritebacks;
+            ++stats_.upgrades;
+        } else if (e.state == State::S) {
+            // Sole sharer but only Shared permission: upgrade.
+            ++stats_.upgrades;
+        } else if (e.state == State::E &&
+                   proto_ == CoherenceProtocol::MSI) {
+            wsearch_panic("MSI directory holds an E line");
+        }
+        // MESI E->M with no other sharers: silent, no message.
+        e.sharers = me;
+        e.owner = core;
+        e.state = State::M;
+        return others;
+    }
+
+    const CoherenceStats &stats() const { return stats_; }
+    void resetStats() { stats_.reset(); } ///< keeps directory contents
+
+    /** Directory state of @p addr (tests); 'I' when untracked. */
+    char
+    stateOf(uint64_t addr) const
+    {
+        auto it = dir_.find(addr >> blockShift_);
+        if (it == dir_.end() || it->second.sharers == 0)
+            return 'I';
+        switch (it->second.state) {
+        case State::S: return 'S';
+        case State::E: return 'E';
+        case State::M: return 'M';
+        }
+        return 'I';
+    }
+
+    /** Sharer bitmask of @p addr (tests). */
+    uint64_t
+    sharersOf(uint64_t addr) const
+    {
+        auto it = dir_.find(addr >> blockShift_);
+        return it == dir_.end() ? 0 : it->second.sharers;
+    }
+
+  private:
+    enum class State : uint8_t { S, E, M };
+
+    struct Entry
+    {
+        uint64_t sharers = 0;
+        State state = State::S;
+        uint32_t owner = 0;
+    };
+
+    static int
+    popcount64(uint64_t v)
+    {
+#if defined(__GNUC__) || defined(__clang__)
+        return __builtin_popcountll(v);
+#else
+        int n = 0;
+        for (; v; v &= v - 1)
+            ++n;
+        return n;
+#endif
+    }
+
+    CoherenceProtocol proto_;
+    uint32_t blockShift_;
+    CoherenceStats stats_;
+    std::unordered_map<uint64_t, Entry> dir_;
+};
+
+} // namespace wsearch
+
+#endif // WSEARCH_MEMSIM_COHERENCE_HH

@@ -1,15 +1,24 @@
 /**
  * @file
- * Multi-core cache hierarchy: per-core private L1-I/L1-D/L2, a shared
- * L3 (inclusive or non-inclusive), and an optional L4 modeled after the
- * paper's proposal (§IV-C): a direct-mapped, memory-side eDRAM cache
- * that acts as a victim cache for L3 evictions (with fully-associative
- * and fill-on-miss variants for the sensitivity studies).
+ * Multi-core cache hierarchy assembled from composable CacheLevelSpec
+ * levels (spec.hh): per-core private L1-I/L1-D/L2, a shared LLC
+ * (inclusive, exclusive, or NINE; optionally slice-hashed), and an
+ * optional memory-side L4 modeled after the paper's proposal (§IV-C):
+ * a direct-mapped eDRAM cache filled by LLC evictions (with
+ * fully-associative and fill-on-miss variants for the sensitivity
+ * studies).
  *
  * SMT is modeled by mapping multiple hardware threads onto the same
- * private caches (contention is emergent). Coherence is not modeled —
- * the paper validates this as acceptable because production search has
- * negligible read-write sharing (§III-A).
+ * private caches (contention is emergent). Coherence defaults to None
+ * — the paper validates this as acceptable because production search
+ * has negligible read-write sharing (§III-A) — but an MSI/MESI
+ * directory (coherence.hh) can be enabled to account the upgrade/
+ * invalidation/writeback traffic that claim hides.
+ *
+ * The legacy monolithic HierarchyConfig is retained as a thin
+ * compatibility surface: constructing from it routes through
+ * HierarchySpec::fromLegacy and reproduces the pre-spec counter
+ * stream bit-identically (compat oracle test).
  */
 
 #ifndef WSEARCH_MEMSIM_HIERARCHY_HH
@@ -21,28 +30,21 @@
 #include <vector>
 
 #include "memsim/cache.hh"
-#include "memsim/fully_assoc.hh"
+#include "memsim/cache_unit.hh"
+#include "memsim/coherence.hh"
 #include "memsim/prefetch.hh"
+#include "memsim/spec.hh"
 #include "stats/counters.hh"
 
 namespace wsearch {
 
-/** Configuration of the optional L4 cache. */
-struct L4Config
-{
-    uint64_t sizeBytes = 1 * GiB;
-    uint32_t blockBytes = 64;    ///< same as L3 (victim-cache design)
-    bool fullyAssociative = false;
-
-    /** How the L4 is filled. */
-    enum class Fill : uint8_t {
-        VictimOfL3, ///< paper design: filled by L3 evictions only
-        OnMiss,     ///< conventional: allocated on every L4 miss
-    };
-    Fill fill = Fill::VictimOfL3;
-};
-
-/** Configuration of a full hierarchy. */
+/**
+ * Legacy monolithic configuration, kept so existing call sites and
+ * tests compile unchanged. New code should build a HierarchySpec with
+ * the cache_gen_* factories instead; this maps onto that API via
+ * HierarchySpec::fromLegacy. The old L4Config special case is gone —
+ * the L4 is just a fourth CacheLevelSpec (cache_gen_victim).
+ */
 struct HierarchyConfig
 {
     uint32_t numCores = 1;
@@ -51,16 +53,12 @@ struct HierarchyConfig
     CacheConfig l1i{32 * KiB, 64, 8};
     CacheConfig l1d{32 * KiB, 64, 8};
     CacheConfig l2{256 * KiB, 64, 8};
-    /**
-     * Split the unified L2 by reserving this many ways for
-     * instructions (CAT-style I/D partitioning, paper §V). 0 keeps
-     * the L2 unified.
-     */
+    /** Ways reserved for instructions in a split L2 (0 = unified). */
     uint32_t l2InstrPartitionWays = 0;
     CacheConfig l3{40 * MiB, 64, 20};
     bool hasL3 = true;
     bool inclusiveL3 = false; ///< back-invalidate L1/L2 on L3 eviction
-    std::optional<L4Config> l4;
+    std::optional<CacheLevelSpec> l4;
     PrefetchConfig prefetch;
 };
 
@@ -75,11 +73,15 @@ enum class HitLevel : uint8_t {
 
 /**
  * The hierarchy. All stats are aggregated per level across cores
- * (matching how the paper reports level MPKI).
+ * (matching how the paper reports level MPKI). Level naming in the
+ * stats API stays L1/L2/L3/L4 (the LLC reports as "L3") so existing
+ * bench output keys are stable.
  */
 class CacheHierarchy
 {
   public:
+    explicit CacheHierarchy(const HierarchySpec &spec);
+    /** Legacy-config compatibility: routes through fromLegacy. */
     explicit CacheHierarchy(const HierarchyConfig &cfg);
 
     /** Instruction fetch by hardware thread @p tid. */
@@ -89,14 +91,14 @@ class CacheHierarchy
     HitLevel accessData(uint32_t tid, uint64_t pc, uint64_t addr,
                         bool is_store, AccessKind kind);
 
-    const HierarchyConfig &config() const { return cfg_; }
-    uint32_t numCores() const { return cfg_.numCores; }
+    const HierarchySpec &spec() const { return spec_; }
+    uint32_t numCores() const { return spec_.numCores; }
 
     /** Map a hardware thread to its core. */
     uint32_t
     coreOf(uint32_t tid) const
     {
-        return (tid / cfg_.smtWays) % cfg_.numCores;
+        return (tid / spec_.smtWays) % spec_.numCores;
     }
 
     // Aggregated per-level statistics.
@@ -119,6 +121,13 @@ class CacheHierarchy
     uint64_t writebacks() const { return writebacks_; }
     uint64_t backInvalidations() const { return backInvalidations_; }
 
+    /** Coherence traffic (zero when the protocol is None). */
+    CoherenceStats
+    cohStats() const
+    {
+        return coh_ ? coh_->stats() : CoherenceStats{};
+    }
+
     /** Clear statistics (keeps cache contents; used after warmup). */
     void resetStats();
 
@@ -126,31 +135,49 @@ class CacheHierarchy
     SetAssocCache &l1iCache(uint32_t core) { return *l1i_c_[core]; }
     SetAssocCache &l1dCache(uint32_t core) { return *l1d_c_[core]; }
     SetAssocCache &l2Cache(uint32_t core) { return *l2_c_[core]; }
-    SetAssocCache &l3Cache() { return *l3_c_; }
-    bool hasL4() const { return l4sa_ != nullptr || l4fa_ != nullptr; }
+    /** Slice 0 of the LLC (set-associative configs only). */
+    SetAssocCache &l3Cache() { return *llc_c_[0].setAssoc(); }
+    CacheUnit &llcSliceUnit(uint32_t s) { return llc_c_[s]; }
+    uint32_t llcSlices() const
+    {
+        return static_cast<uint32_t>(llc_c_.size());
+    }
+    bool hasL4() const { return l4_c_ != nullptr; }
+    CoherenceDirectory *coherence() { return coh_.get(); }
 
   private:
     HitLevel missPathData(uint32_t core, uint64_t addr, bool is_store,
                           AccessKind kind);
     HitLevel missPathInstr(uint32_t core, uint64_t pc);
-    /** L3 lookup + fill; returns the servicing level (L3/L4/Memory). */
+    /** LLC lookup + fill; returns the servicing level (L3/L4/Memory). */
     HitLevel accessSharedLevels(uint64_t addr, bool is_store,
                                 AccessKind kind);
-    void handleL3Eviction(uint64_t evicted, bool dirty);
-    bool l4Probe(uint64_t addr) const;
-    void l4Insert(uint64_t addr);
-    bool l4Access(uint64_t addr);
-    bool l4Touch(uint64_t addr);
+    /** Route an L2 victim down into the LLC per the inclusion mode. */
+    void fillLlcFromL2Eviction(uint64_t evicted, bool dirty);
+    void handleLlcEviction(uint64_t evicted, bool dirty);
+    void applyCoherence(uint32_t core, uint64_t addr, bool is_store);
 
-    HierarchyConfig cfg_;
+    /** LLC slice for @p addr. Single-slice configs bypass the hash so
+     *  legacy counters stay bit-identical. */
+    uint32_t
+    llcSlice(uint64_t addr) const
+    {
+        if (llc_c_.size() <= 1)
+            return 0;
+        const uint64_t block = addr / spec_.llc.cache.blockBytes;
+        const uint64_t h = (block * 0x9E3779B97F4A7C15ull) >> 33;
+        return static_cast<uint32_t>(h % llc_c_.size());
+    }
+
+    HierarchySpec spec_;
 
     std::vector<std::unique_ptr<SetAssocCache>> l1i_c_;
     std::vector<std::unique_ptr<SetAssocCache>> l1d_c_;
     std::vector<std::unique_ptr<SetAssocCache>> l2_c_;
     std::vector<std::unique_ptr<SetAssocCache>> l2i_c_; ///< split mode
-    std::unique_ptr<SetAssocCache> l3_c_;
-    std::unique_ptr<SetAssocCache> l4sa_;      ///< direct-mapped L4
-    std::unique_ptr<FullyAssocLruCache> l4fa_; ///< associative variant
+    std::vector<CacheUnit> llc_c_; ///< one per slice
+    std::unique_ptr<CacheUnit> l4_c_;
+    std::unique_ptr<CoherenceDirectory> coh_;
 
     std::vector<StridePrefetcher> stride_;
     std::vector<StreamPrefetcher> stream_;

@@ -47,6 +47,10 @@ harvest(const CacheHierarchy &hier, uint64_t instructions)
     res.l3Evictions = hier.l3Evictions();
     res.writebacks = hier.writebacks();
     res.backInvalidations = hier.backInvalidations();
+    const CoherenceStats coh = hier.cohStats();
+    res.cohUpgrades = coh.upgrades;
+    res.cohInvalidations = coh.invalidations;
+    res.cohDirtyWritebacks = coh.dirtyWritebacks;
     return res;
 }
 

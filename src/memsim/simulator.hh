@@ -26,6 +26,10 @@ struct SimResult
     uint64_t l3Evictions = 0;
     uint64_t writebacks = 0;
     uint64_t backInvalidations = 0;
+    // Coherence traffic (all zero when CoherenceProtocol::None).
+    uint64_t cohUpgrades = 0;
+    uint64_t cohInvalidations = 0;
+    uint64_t cohDirtyWritebacks = 0;
     /**
      * Number of sampled measurement windows merged into this result
      * (0 = exact, contiguous measurement). Nonzero results come from
@@ -56,6 +60,9 @@ struct SimResult
         l3Evictions += o.l3Evictions;
         writebacks += o.writebacks;
         backInvalidations += o.backInvalidations;
+        cohUpgrades += o.cohUpgrades;
+        cohInvalidations += o.cohInvalidations;
+        cohDirtyWritebacks += o.cohDirtyWritebacks;
         sampledWindows += o.sampledWindows;
         return *this;
     }

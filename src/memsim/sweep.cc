@@ -81,6 +81,10 @@ runTraceSampled(const BufferedTrace &trace, CacheHierarchy &hier,
         window.l3Evictions = hier.l3Evictions();
         window.writebacks = hier.writebacks();
         window.backInvalidations = hier.backInvalidations();
+        const CoherenceStats coh = hier.cohStats();
+        window.cohUpgrades = coh.upgrades;
+        window.cohInvalidations = coh.invalidations;
+        window.cohDirtyWritebacks = coh.dirtyWritebacks;
         window.sampledWindows = 1;
         acc += window;
     }
@@ -89,19 +93,32 @@ runTraceSampled(const BufferedTrace &trace, CacheHierarchy &hier,
 
 std::vector<SimResult>
 sweepHierarchies(const BufferedTrace &trace,
-                 const std::vector<HierarchyConfig> &configs,
+                 const std::vector<HierarchySpec> &specs,
                  uint64_t warmup, uint64_t measure,
                  const SweepOptions &opt)
 {
-    std::vector<SimResult> results(configs.size());
-    runParallelJobs(configs.size(), opt.threads, [&](size_t i) {
-        CacheHierarchy hier(configs[i]);
+    std::vector<SimResult> results(specs.size());
+    runParallelJobs(specs.size(), opt.threads, [&](size_t i) {
+        CacheHierarchy hier(specs[i]);
         results[i] = opt.sampling.enabled()
             ? runTraceSampled(trace, hier, warmup + measure,
                               opt.sampling)
             : runTrace(trace, hier, warmup, measure);
     });
     return results;
+}
+
+std::vector<SimResult>
+sweepHierarchies(const BufferedTrace &trace,
+                 const std::vector<HierarchyConfig> &configs,
+                 uint64_t warmup, uint64_t measure,
+                 const SweepOptions &opt)
+{
+    std::vector<HierarchySpec> specs;
+    specs.reserve(configs.size());
+    for (const HierarchyConfig &c : configs)
+        specs.push_back(HierarchySpec::fromLegacy(c));
+    return sweepHierarchies(trace, specs, warmup, measure, opt);
 }
 
 } // namespace wsearch

@@ -103,6 +103,13 @@ SimResult runTraceSampled(const BufferedTrace &trace,
  */
 std::vector<SimResult>
 sweepHierarchies(const BufferedTrace &trace,
+                 const std::vector<HierarchySpec> &specs,
+                 uint64_t warmup, uint64_t measure,
+                 const SweepOptions &opt = {});
+
+/** Legacy-config overload: maps each config via fromLegacy. */
+std::vector<SimResult>
+sweepHierarchies(const BufferedTrace &trace,
                  const std::vector<HierarchyConfig> &configs,
                  uint64_t warmup, uint64_t measure,
                  const SweepOptions &opt = {});

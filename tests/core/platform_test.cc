@@ -29,12 +29,12 @@ TEST(Platform, TableIIAttributes)
 TEST(Platform, HierarchyBuilder)
 {
     const PlatformConfig p1 = PlatformConfig::plt1();
-    const HierarchyConfig h = p1.hierarchy(16, 2, 10);
+    const HierarchySpec h = p1.hierarchy(16, 2, 10);
     EXPECT_EQ(h.numCores, 16u);
     EXPECT_EQ(h.smtWays, 2u);
-    EXPECT_EQ(h.l3.sizeBytes, 45 * MiB);
-    EXPECT_EQ(h.l3.partitionWays, 10u);
-    EXPECT_EQ(h.l1i.blockBytes, 64u);
+    EXPECT_EQ(h.llc.cache.sizeBytes, 45 * MiB);
+    EXPECT_EQ(h.llc.cache.partitionWays, 10u);
+    EXPECT_EQ(h.l1i.cache.blockBytes, 64u);
 }
 
 TEST(Platform, CoreParamsApplyProfileTweaks)
@@ -51,12 +51,10 @@ TEST(Platform, CoreParamsApplyProfileTweaks)
 TEST(Platform, SystemBuilderWiresL4)
 {
     const PlatformConfig p1 = PlatformConfig::plt1();
-    L4Config l4;
-    l4.sizeBytes = 256 * MiB;
-    const SystemConfig s =
-        p1.system(WorkloadProfile::s1Leaf(), 8, 1, 0, l4);
+    const SystemConfig s = p1.system(WorkloadProfile::s1Leaf(), 8, 1, 0,
+                                     cache_gen_victim(256 * MiB, 64));
     ASSERT_TRUE(s.hierarchy.l4.has_value());
-    EXPECT_EQ(s.hierarchy.l4->sizeBytes, 256 * MiB);
+    EXPECT_EQ(s.hierarchy.l4->cache.sizeBytes, 256 * MiB);
 }
 
 TEST(Experiments, RunWorkloadRespectsOverrides)

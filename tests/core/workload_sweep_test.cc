@@ -39,6 +39,9 @@ expectSystemEq(const SystemResult &a, const SystemResult &b)
     EXPECT_EQ(a.l3Evictions, b.l3Evictions);
     EXPECT_EQ(a.writebacks, b.writebacks);
     EXPECT_EQ(a.backInvalidations, b.backInvalidations);
+    EXPECT_EQ(a.cohUpgrades, b.cohUpgrades);
+    EXPECT_EQ(a.cohInvalidations, b.cohInvalidations);
+    EXPECT_EQ(a.cohDirtyWritebacks, b.cohDirtyWritebacks);
     EXPECT_DOUBLE_EQ(a.topdown.total(), b.topdown.total());
     EXPECT_DOUBLE_EQ(a.ipcPerThread, b.ipcPerThread);
     EXPECT_DOUBLE_EQ(a.amatL3Ns, b.amatL3Ns);
@@ -54,9 +57,7 @@ TEST(WorkloadSweep, BitIdenticalToSerialRunWorkloadAtAnyThreadCount)
     // A variation with an L4 and one with TLB modeling, same thread
     // count (shares the buffer)...
     RunOptions with_l4 = smallOpt(2 * MiB);
-    L4Config l4;
-    l4.sizeBytes = 8 * MiB;
-    with_l4.l4 = l4;
+    with_l4.l4 = cache_gen_victim(8 * MiB, 64);
     options.push_back(with_l4);
     RunOptions with_tlb = smallOpt(2 * MiB);
     with_tlb.modelTlb = true;

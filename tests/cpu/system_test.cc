@@ -21,10 +21,10 @@ smallSystem(uint32_t cores = 1)
 {
     SystemConfig s;
     s.hierarchy.numCores = cores;
-    s.hierarchy.l1i = {8 * KiB, 64, 4};
-    s.hierarchy.l1d = {8 * KiB, 64, 4};
-    s.hierarchy.l2 = {64 * KiB, 64, 8};
-    s.hierarchy.l3 = {1 * MiB, 64, 8};
+    s.hierarchy.l1i = cache_gen_l1(8 * KiB, 64, 4);
+    s.hierarchy.l1d = cache_gen_l1(8 * KiB, 64, 4);
+    s.hierarchy.l2 = cache_gen_l2(64 * KiB, 64, 8);
+    s.hierarchy.llc = cache_gen_llc(1 * MiB, 64, 8);
     return s;
 }
 
@@ -63,7 +63,7 @@ TEST(System, BiggerL3ImprovesIpc)
     auto ipc_with_l3 = [](uint64_t l3) {
         SyntheticSearchTrace trace(tinyProfile(), 1);
         SystemConfig cfg = smallSystem();
-        cfg.hierarchy.l3 = {l3, 64, 8};
+        cfg.hierarchy.llc = cache_gen_llc(l3, 64, 8);
         SystemSimulator sim(cfg);
         return sim.run(trace, 200000, 600000).ipcPerThread;
     };
@@ -79,11 +79,8 @@ TEST(System, L4ReducesAmat)
         p.heapWorkingSetBytes = 2 * MiB;
         SyntheticSearchTrace trace(p, 1);
         SystemConfig cfg = smallSystem();
-        if (l4) {
-            L4Config l4cfg;
-            l4cfg.sizeBytes = 8 * MiB;
-            cfg.hierarchy.l4 = l4cfg;
-        }
+        if (l4)
+            cfg.hierarchy.l4 = cache_gen_victim(8 * MiB, 64);
         SystemSimulator sim(cfg);
         return sim.run(trace, 400000, 800000).amatL3Ns;
     };

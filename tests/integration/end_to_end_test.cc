@@ -29,7 +29,7 @@ TEST(EndToEnd, EngineTraceThroughFullSystem)
 
     SystemConfig cfg;
     cfg.hierarchy.numCores = 2;
-    cfg.hierarchy.l3 = {4 * MiB, 64, 16};
+    cfg.hierarchy.llc = cache_gen_llc(4 * MiB, 64, 16);
     SystemSimulator sim(cfg);
     const SystemResult r = sim.run(trace, 300'000, 1'000'000);
 
@@ -73,9 +73,7 @@ TEST(EndToEnd, VictimL4CutsDramTraffic)
     opt.warmupRecords = 4'000'000;
     const SystemResult no_l4 =
         runWorkload(prof, PlatformConfig::plt1(), opt);
-    L4Config l4;
-    l4.sizeBytes = 32 * MiB;
-    opt.l4 = l4;
+    opt.l4 = cache_gen_victim(32 * MiB, 64);
     const SystemResult with_l4 =
         runWorkload(prof, PlatformConfig::plt1(), opt);
     // DRAM accesses = L3 misses without L4, L4 misses with it.

@@ -1,0 +1,166 @@
+/**
+ * Coherence-directory unit suite: the MSI/MESI transition table,
+ * invalidation-counter balance against the returned masks, and the
+ * hierarchy-level wiring (remote stores invalidate private copies and
+ * the traffic lands in cohStats).
+ */
+#include <gtest/gtest.h>
+
+#include "memsim/coherence.hh"
+#include "memsim/hierarchy.hh"
+
+namespace wsearch {
+namespace {
+
+constexpr uint64_t A = 0x1000;
+
+TEST(Coherence, MesiTransitionTable)
+{
+    CoherenceDirectory d(CoherenceProtocol::MESI, 64);
+    EXPECT_EQ(d.stateOf(A), 'I');
+
+    // First load grants Exclusive to the requester.
+    EXPECT_EQ(d.onAccess(0, A, false), 0u);
+    EXPECT_EQ(d.stateOf(A), 'E');
+    EXPECT_EQ(d.sharersOf(A), 1ull << 0);
+
+    // A second reader degrades E -> S; no messages charged.
+    EXPECT_EQ(d.onAccess(1, A, false), 0u);
+    EXPECT_EQ(d.stateOf(A), 'S');
+    EXPECT_EQ(d.sharersOf(A), (1ull << 0) | (1ull << 1));
+    EXPECT_EQ(d.stats().upgrades, 0u);
+    EXPECT_EQ(d.stats().invalidations, 0u);
+
+    // A store invalidates the remote sharer and takes Modified.
+    EXPECT_EQ(d.onAccess(0, A, true), 1ull << 1);
+    EXPECT_EQ(d.stateOf(A), 'M');
+    EXPECT_EQ(d.sharersOf(A), 1ull << 0);
+    EXPECT_EQ(d.stats().upgrades, 1u);
+    EXPECT_EQ(d.stats().invalidations, 1u);
+
+    // A remote load of the Modified line flushes it (dirty
+    // writeback) and degrades to Shared.
+    EXPECT_EQ(d.onAccess(1, A, false), 0u);
+    EXPECT_EQ(d.stateOf(A), 'S');
+    EXPECT_EQ(d.stats().dirtyWritebacks, 1u);
+}
+
+TEST(Coherence, MesiSilentExclusiveUpgrade)
+{
+    // The one observable MESI/MSI difference: a store by the sole
+    // exclusive owner upgrades E->M without any message.
+    CoherenceDirectory d(CoherenceProtocol::MESI, 64);
+    d.onAccess(0, A, false);
+    ASSERT_EQ(d.stateOf(A), 'E');
+    EXPECT_EQ(d.onAccess(0, A, true), 0u);
+    EXPECT_EQ(d.stateOf(A), 'M');
+    EXPECT_EQ(d.stats().upgrades, 0u);
+}
+
+TEST(Coherence, MsiChargesEveryUpgrade)
+{
+    CoherenceDirectory d(CoherenceProtocol::MSI, 64);
+    // MSI has no E: the first load fills Shared...
+    d.onAccess(0, A, false);
+    EXPECT_EQ(d.stateOf(A), 'S');
+    // ...so even the private store is an S->M upgrade message.
+    EXPECT_EQ(d.onAccess(0, A, true), 0u);
+    EXPECT_EQ(d.stateOf(A), 'M');
+    EXPECT_EQ(d.stats().upgrades, 1u);
+    // And a first-touch store is charged too (fill + upgrade).
+    d.onAccess(2, A + 64, true);
+    EXPECT_EQ(d.stats().upgrades, 2u);
+}
+
+TEST(Coherence, InvalidationCountEqualsMaskPopcount)
+{
+    CoherenceDirectory d(CoherenceProtocol::MESI, 64);
+    for (uint32_t core = 0; core < 5; ++core)
+        d.onAccess(core, A, false);
+    ASSERT_EQ(d.stateOf(A), 'S');
+    const uint64_t mask = d.onAccess(2, A, true);
+    // Writer excluded; the other four sharers are invalidated.
+    EXPECT_EQ(mask, 0b11011ull);
+    EXPECT_EQ(d.stats().invalidations, 4u);
+    EXPECT_EQ(d.sharersOf(A), 1ull << 2);
+}
+
+TEST(Coherence, ResetStatsKeepsDirectory)
+{
+    CoherenceDirectory d(CoherenceProtocol::MESI, 64);
+    d.onAccess(0, A, false);
+    d.onAccess(1, A, true);
+    ASSERT_GT(d.stats().invalidations, 0u);
+    d.resetStats();
+    EXPECT_EQ(d.stats().invalidations, 0u);
+    EXPECT_EQ(d.stateOf(A), 'M'); // contents survive
+}
+
+HierarchySpec
+twoCoreSpec(CoherenceProtocol proto)
+{
+    HierarchySpec s;
+    s.numCores = 2;
+    s.llc = cache_gen_llc(1 * MiB, 64, 16);
+    s.coherence = proto;
+    return s;
+}
+
+TEST(CoherenceHierarchy, RemoteStoreInvalidatesPrivateCopy)
+{
+    CacheHierarchy h(twoCoreSpec(CoherenceProtocol::MESI));
+    // tid 0 -> core 0, tid 1 -> core 1 (smtWays == 1).
+    h.accessData(0, 0, A, false, AccessKind::Heap);
+    h.accessData(0, 0, A, false, AccessKind::Heap); // warm: L1 hit
+    EXPECT_EQ(h.accessData(0, 0, A, false, AccessKind::Heap),
+              HitLevel::L1);
+
+    // Core 1 writes the line: core 0's private copies die.
+    h.accessData(1, 0, A, true, AccessKind::Heap);
+    EXPECT_EQ(h.cohStats().invalidations, 1u);
+    EXPECT_NE(h.accessData(0, 0, A, false, AccessKind::Heap),
+              HitLevel::L1);
+}
+
+TEST(CoherenceHierarchy, MsiChargesMoreUpgradesThanMesi)
+{
+    // Private (unshared) store-heavy traffic: MESI's silent E->M
+    // means zero messages, MSI pays one upgrade per first write.
+    auto upgrades = [](CoherenceProtocol proto) {
+        CacheHierarchy h(twoCoreSpec(proto));
+        for (uint64_t i = 0; i < 64; ++i) {
+            const uint64_t addr = 0x100000 + i * 64;
+            h.accessData(0, 0, addr, false, AccessKind::Heap);
+            h.accessData(0, 0, addr, true, AccessKind::Heap);
+        }
+        return h.cohStats().upgrades;
+    };
+    EXPECT_EQ(upgrades(CoherenceProtocol::MESI), 0u);
+    EXPECT_EQ(upgrades(CoherenceProtocol::MSI), 64u);
+}
+
+TEST(CoherenceHierarchy, NoneProtocolKeepsCountersZero)
+{
+    CacheHierarchy h(twoCoreSpec(CoherenceProtocol::None));
+    for (uint64_t i = 0; i < 32; ++i) {
+        h.accessData(0, 0, A + i * 64, true, AccessKind::Heap);
+        h.accessData(1, 0, A + i * 64, true, AccessKind::Heap);
+    }
+    EXPECT_EQ(h.cohStats().upgrades, 0u);
+    EXPECT_EQ(h.cohStats().invalidations, 0u);
+    EXPECT_EQ(h.cohStats().dirtyWritebacks, 0u);
+}
+
+TEST(CoherenceHierarchy, ResetStatsClearsCoherenceCounters)
+{
+    CacheHierarchy h(twoCoreSpec(CoherenceProtocol::MSI));
+    h.accessData(0, 0, A, true, AccessKind::Heap);
+    h.accessData(1, 0, A, true, AccessKind::Heap);
+    ASSERT_GT(h.cohStats().upgrades, 0u);
+    h.resetStats();
+    EXPECT_EQ(h.cohStats().upgrades, 0u);
+    EXPECT_EQ(h.cohStats().invalidations, 0u);
+}
+
+} // namespace
+} // namespace wsearch

@@ -26,7 +26,7 @@ runWith(const HierarchyConfig &h, uint64_t records = 1'500'000)
     const WorkloadProfile p = smallProfile();
     SyntheticSearchTrace trace(p, h.numCores * h.smtWays);
     SystemConfig cfg;
-    cfg.hierarchy = h;
+    cfg.hierarchy = HierarchySpec::fromLegacy(h);
     SystemSimulator sim(cfg);
     return sim.run(trace, records, records);
 }
@@ -79,9 +79,7 @@ TEST(HierarchyProps, L4HitRateMonotoneInCapacity)
     for (const uint64_t size : {512 * KiB, 2 * MiB, 8 * MiB}) {
         HierarchyConfig h = baseHier();
         h.l3.sizeBytes = 256 * KiB;
-        L4Config l4;
-        l4.sizeBytes = size;
-        h.l4 = l4;
+        h.l4 = cache_gen_victim(size, 64);
         const SystemResult r = runWith(h, 2'500'000);
         EXPECT_GT(r.l4.hitRateTotal(), prev - 0.01) << "size " << size;
         prev = r.l4.hitRateTotal();

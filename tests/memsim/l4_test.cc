@@ -6,8 +6,7 @@ namespace wsearch {
 namespace {
 
 HierarchyConfig
-l4Config(bool fully_assoc = false,
-         L4Config::Fill fill = L4Config::Fill::VictimOfL3)
+l4Config(bool fully_assoc = false, bool victim_fill = true)
 {
     HierarchyConfig h;
     h.numCores = 1;
@@ -15,11 +14,7 @@ l4Config(bool fully_assoc = false,
     h.l1d = {1 * KiB, 64, 4};
     h.l2 = {2 * KiB, 64, 4};
     h.l3 = {4 * 64, 64, 1}; // tiny direct-mapped L3: easy evictions
-    L4Config l4;
-    l4.sizeBytes = 64 * KiB;
-    l4.fullyAssociative = fully_assoc;
-    l4.fill = fill;
-    h.l4 = l4;
+    h.l4 = cache_gen_victim(64 * KiB, 64, fully_assoc, victim_fill);
     return h;
 }
 
@@ -71,7 +66,7 @@ TEST(L4Victim, HitLeavesLineResident)
 
 TEST(L4OnMiss, AllocatesOnMiss)
 {
-    CacheHierarchy h(l4Config(false, L4Config::Fill::OnMiss));
+    CacheHierarchy h(l4Config(false, /*victim_fill=*/false));
     h.accessData(0, 0, 0x9000, false, AccessKind::Heap);
     EXPECT_EQ(h.l4Stats().totalMisses(), 1u);
     // Thrash L1/L2/L3, then the block should hit in L4 even though the

@@ -37,9 +37,7 @@ sweepConfigs()
     {
         HierarchyConfig h;
         h.numCores = 4;
-        L4Config l4;
-        l4.sizeBytes = 8 * MiB;
-        h.l4 = l4;
+        h.l4 = cache_gen_victim(8 * MiB, 64);
         configs.push_back(h);
     }
     {
@@ -73,6 +71,9 @@ expectSimEq(const SimResult &a, const SimResult &b, const char *what)
     EXPECT_EQ(a.l3Evictions, b.l3Evictions) << what;
     EXPECT_EQ(a.writebacks, b.writebacks) << what;
     EXPECT_EQ(a.backInvalidations, b.backInvalidations) << what;
+    EXPECT_EQ(a.cohUpgrades, b.cohUpgrades) << what;
+    EXPECT_EQ(a.cohInvalidations, b.cohInvalidations) << what;
+    EXPECT_EQ(a.cohDirtyWritebacks, b.cohDirtyWritebacks) << what;
 }
 
 /** Serial oracle: fresh source, classic virtual-dispatch runTrace. */
