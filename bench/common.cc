@@ -19,6 +19,18 @@ parseArgs(int argc, char **argv)
         } else if (std::strncmp(a, "--threads=", 10) == 0) {
             args.threads =
                 static_cast<uint32_t>(std::strtoul(a + 10, nullptr, 10));
+        } else if (std::strncmp(a, "--sampling=", 11) == 0) {
+            const char *p = a + 11;
+            if (std::strcmp(p, "uniform") == 0) {
+                args.policy = SamplingPolicy::kUniform;
+                args.policySet = true;
+            } else if (std::strcmp(p, "clustered") == 0) {
+                args.policy = SamplingPolicy::kClustered;
+                args.policySet = true;
+            } else if (std::strcmp(p, "off") == 0) {
+                args.policy = SamplingPolicy::kOff;
+                args.policySet = true;
+            }
         }
     }
     return args;
@@ -35,6 +47,18 @@ sweepControl(const Args &args)
         control.sampling.warmupRecords = traceBudget(500'000);
         control.sampling.measureRecords = traceBudget(500'000);
     }
+    return control;
+}
+
+SweepControl
+clusteredControl(const Args &args, uint64_t total_records,
+                 SamplingPolicy fallback)
+{
+    SweepControl control;
+    control.threads = args.threads;
+    control.policy = args.policySet ? args.policy : fallback;
+    if (control.policy != SamplingPolicy::kOff)
+        control.rep = defaultRepresentativeSampling(total_records);
     return control;
 }
 

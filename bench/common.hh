@@ -32,9 +32,18 @@ struct Args
 {
     bool smoke = false;   ///< sampled quick-look mode
     uint32_t threads = 0; ///< sweep workers; 0 = WSEARCH_SIM_THREADS
+    /**
+     * Representative-window sampling policy override
+     * (--sampling=off|uniform|clustered). kOff means "driver default":
+     * drivers that support representative sampling pick their own
+     * policy (typically kClustered for nominal-scale sections).
+     */
+    SamplingPolicy policy = SamplingPolicy::kOff;
+    bool policySet = false; ///< --sampling= was given explicitly
 };
 
-/** Parse --smoke / --threads=N; unknown arguments are ignored. */
+/** Parse --smoke / --threads=N / --sampling=off|uniform|clustered;
+ *  unknown arguments are ignored. */
 Args parseArgs(int argc, char **argv);
 
 /**
@@ -43,6 +52,19 @@ Args parseArgs(int argc, char **argv);
  * so WSEARCH_FAST smoke runs still get several windows).
  */
 SweepControl sweepControl(const Args &args);
+
+/**
+ * SweepControl running representative-window sampling over
+ * @p total_records with the default knobs (~96 windows, 12 sampled;
+ * WSEARCH_SAMPLE_WINDOWS / WSEARCH_SAMPLE_CLUSTERS / WSEARCH_SAMPLE_SEED
+ * override -- see README). Policy is @p fallback unless --sampling=
+ * was given. This is what lets the fig6bc/fig13 capacity sweeps run
+ * at full nominal working-set sizes: only ~1/4 of each trace is
+ * simulated and every estimate carries a confidence band.
+ */
+SweepControl clusteredControl(const Args &args, uint64_t total_records,
+                              SamplingPolicy fallback =
+                                  SamplingPolicy::kClustered);
 
 /**
  * The standard driver preamble: cores + nominal record budgets

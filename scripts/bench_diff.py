@@ -104,6 +104,43 @@ GATES = {
         },
         "invariants": [],
     },
+    "fig6bc": {
+        # Sampling knobs are config: a deliberate knob change re-baselines
+        # instead of reading as drift. The band_violations invariant is
+        # the clustered-vs-oracle statistical gate -- the binary also
+        # exits nonzero on it, but asserting it here means a stale or
+        # hand-edited artifact cannot pass either.
+        "config": ["smoke", "cores", "scaled_measure_records",
+                   "scaled_warmup_records", "nominal_measure_records",
+                   "nominal_warmup_records", "gate_records",
+                   "sampling_policy", "sample_window_records",
+                   "sample_clusters", "sample_seed"],
+        "counters": ["gate_oracle_l3_misses",
+                     "gate_clustered_l3_misses",
+                     "gate_uniform_l3_misses", "band_violations"],
+        "rows": {
+            "field": "rows",
+            "key_by": ["section", "l3_sim_bytes"],
+            "counters": ["instructions", "l3_accesses", "l3_misses",
+                         "sampled_windows", "represented_windows"],
+        },
+        "invariants": [("band_violations", 0)],
+    },
+    "fig13": {
+        "config": ["smoke", "cores", "l3_sim_bytes",
+                   "scaled_measure_records", "scaled_warmup_records",
+                   "nominal_measure_records", "nominal_warmup_records",
+                   "sampling_policy", "sample_window_records",
+                   "sample_clusters", "sample_seed"],
+        "counters": [],
+        "rows": {
+            "field": "rows",
+            "key_by": ["section", "l4_sim_bytes"],
+            "counters": ["instructions", "l4_accesses", "l4_misses",
+                         "sampled_windows", "represented_windows"],
+        },
+        "invariants": [],
+    },
 }
 
 
@@ -223,6 +260,31 @@ def _sample():
             "sweep": {"smoke": 1, "configs": 8,
                       "records_per_config": 1000,
                       "all_identical": 1, "wall_time_sec": 5.0},
+            "fig6bc": {
+                "smoke": 1, "cores": 16,
+                "scaled_measure_records": 3000000,
+                "scaled_warmup_records": 6000000,
+                "nominal_measure_records": 3000000,
+                "nominal_warmup_records": 1500000,
+                "gate_records": 6000000,
+                "sampling_policy": "clustered",
+                "sample_window_records": 62500,
+                "sample_clusters": 12, "sample_seed": 12345,
+                "gate_oracle_l3_misses": 523200,
+                "gate_clustered_l3_misses": 539815,
+                "gate_uniform_l3_misses": 568376,
+                "band_violations": 0, "wall_time_sec": 8.0,
+                "rows": [
+                    {"section": "scaled", "l3_sim_bytes": 131072,
+                     "instructions": 900000, "l3_accesses": 40000,
+                     "l3_misses": 39000, "sampled_windows": 0,
+                     "represented_windows": 0},
+                    {"section": "nominal", "l3_sim_bytes": 33554432,
+                     "instructions": 900000, "l3_accesses": 41000,
+                     "l3_misses": 38000, "sampled_windows": 12,
+                     "represented_windows": 96},
+                ],
+            },
             "replacement": {
                 "smoke": 1, "compat_identical": 1,
                 "wall_time_sec": 3.0,
@@ -291,6 +353,27 @@ def selftest():
         refit["benches"]["leaf"]["docs"] = 80000
         refit["benches"]["leaf"]["rows"][0]["postings_decoded"] = 1
         assert run_diff(write(refit, "refit.json"), base) == []
+
+        # 9. An injected clustered-sampling band violation fails even
+        # with no baseline: the statistical gate is an in-run
+        # invariant, so it cannot be dodged by deleting the baseline.
+        banded = _sample()
+        banded["benches"]["fig6bc"]["band_violations"] = 1
+        assert run_diff(write(banded, "banded.json"),
+                        os.path.join(tmp, "missing.json"))
+
+        # 10. Sampled-estimate drift in a nominal-scale row fails:
+        # plans are seeded, so equal configs (same seed/knobs) must
+        # reproduce the same estimate bit-for-bit.
+        sdrift = _sample()
+        sdrift["benches"]["fig6bc"]["rows"][1]["l3_misses"] += 17
+        assert run_diff(write(sdrift, "sdrift.json"), base)
+
+        # 11. Changing the sampling seed is a config change, not drift.
+        reseed = _sample()
+        reseed["benches"]["fig6bc"]["sample_seed"] = 99
+        reseed["benches"]["fig6bc"]["rows"][1]["l3_misses"] += 17
+        assert run_diff(write(reseed, "reseed.json"), base) == []
 
     print("bench_diff selftest: all gates behave")
     return 0

@@ -105,15 +105,50 @@ runWorkloadSweep(const WorkloadProfile &profile,
             BufferedTrace::materialize(src, groups[gi].records);
     });
 
+    // Representative plans depend only on (trace, total records): one
+    // plan per distinct (group, budget) pair, shared by every
+    // configuration replaying that trace prefix.
+    const bool planned = control.policy != SamplingPolicy::kOff &&
+        control.rep.enabled();
+    std::vector<SamplingPlan> plans;
+    std::vector<size_t> job_plan(options.size(), 0);
+    if (planned) {
+        SweepOptions sweep_opt;
+        sweep_opt.policy = control.policy;
+        sweep_opt.rep = control.rep;
+        std::map<std::pair<size_t, uint64_t>, size_t> plan_of;
+        std::vector<std::pair<size_t, uint64_t>> plan_keys;
+        for (size_t i = 0; i < options.size(); ++i) {
+            const std::pair<size_t, uint64_t> key{
+                job_group[i], budgets[i].total()};
+            auto [it, fresh] =
+                plan_of.try_emplace(key, plan_keys.size());
+            if (fresh)
+                plan_keys.push_back(key);
+            job_plan[i] = it->second;
+        }
+        plans.resize(plan_keys.size());
+        runParallelJobs(plan_keys.size(), control.threads,
+                        [&](size_t pi) {
+            plans[pi] = buildSweepPlan(
+                *groups[plan_keys[pi].first].trace,
+                plan_keys[pi].second, sweep_opt);
+        });
+    }
+
     std::vector<SystemResult> results(options.size());
     runParallelJobs(options.size(), control.threads, [&](size_t i) {
         SystemSimulator sim(
             makeSystemConfig(profile, platform, options[i]));
         const BufferedTrace &trace = *groups[job_group[i]].trace;
-        results[i] = control.sampling.enabled()
-            ? sim.runSampled(trace, budgets[i].total(),
-                             control.sampling)
-            : sim.run(trace, budgets[i].warmup, budgets[i].measure);
+        if (planned)
+            results[i] = sim.runPlanned(trace, plans[job_plan[i]]);
+        else if (control.sampling.enabled())
+            results[i] = sim.runSampled(trace, budgets[i].total(),
+                                        control.sampling);
+        else
+            results[i] = sim.run(trace, budgets[i].warmup,
+                                 budgets[i].measure);
     });
     return results;
 }
@@ -122,10 +157,12 @@ std::vector<SystemResult>
 runWorkloads(const std::vector<WorkloadSpec> &specs,
              const SweepControl &control)
 {
+    const bool planned = control.policy != SamplingPolicy::kOff &&
+        control.rep.enabled();
     std::vector<SystemResult> results(specs.size());
     runParallelJobs(specs.size(), control.threads, [&](size_t i) {
         const WorkloadSpec &s = specs[i];
-        if (control.sampling.enabled()) {
+        if (planned || control.sampling.enabled()) {
             const RecordBudget budget = recordBudget(s.opt);
             SyntheticSearchTrace src(s.profile,
                                      s.opt.cores * s.opt.smtWays);
@@ -133,8 +170,17 @@ runWorkloads(const std::vector<WorkloadSpec> &specs,
                 BufferedTrace::materialize(src, budget.total());
             SystemSimulator sim(
                 makeSystemConfig(s.profile, s.platform, s.opt));
-            results[i] = sim.runSampled(*trace, budget.total(),
-                                        control.sampling);
+            if (planned) {
+                SweepOptions sweep_opt;
+                sweep_opt.policy = control.policy;
+                sweep_opt.rep = control.rep;
+                results[i] = sim.runPlanned(
+                    *trace,
+                    buildSweepPlan(*trace, budget.total(), sweep_opt));
+            } else {
+                results[i] = sim.runSampled(*trace, budget.total(),
+                                            control.sampling);
+            }
         } else {
             results[i] =
                 runWorkload(s.profile, s.platform, s.opt);

@@ -71,7 +71,15 @@ SystemResult runWorkload(const WorkloadProfile &profile,
 struct SweepControl
 {
     uint32_t threads = 0;      ///< worker threads; 0 = simThreads()
-    SampledIntervals sampling; ///< opt-in sampled quick-look mode
+    /**
+     * Representative-window sampling policy. kUniform/kClustered (with
+     * rep enabled) replace each variation's contiguous replay with a
+     * planned representative-window replay carrying a confidence band;
+     * kOff falls back to @p sampling when that is enabled, else exact.
+     */
+    SamplingPolicy policy = SamplingPolicy::kOff;
+    RepresentativeSampling rep; ///< kUniform/kClustered knobs
+    SampledIntervals sampling;  ///< legacy periodic quick-look mode
 };
 
 /**

@@ -208,4 +208,40 @@ SystemSimulator::runSampled(const BufferedTrace &trace, uint64_t total,
     return acc;
 }
 
+SystemResult
+SystemSimulator::runPlanned(const BufferedTrace &trace,
+                            const SamplingPlan &plan)
+{
+    if (!plan.enabled())
+        return run(trace, 0, trace.size());
+    SystemResult acc;
+    std::vector<double> metric;
+    metric.reserve(plan.windows.size());
+    uint64_t pos = 0; // replay cursor: state is carried across gaps
+    for (const SampleWindow &w : plan.windows) {
+        const uint64_t warm_begin = std::max(
+            pos, w.begin > plan.warmupRecords
+                ? w.begin - plan.warmupRecords : 0);
+        if (warm_begin < w.begin)
+            pumpRange(trace, warm_begin, w.begin - warm_begin);
+        resetStats();
+        const uint64_t done = pumpRange(trace, w.begin, w.records);
+        const SystemResult win = harvestCounters();
+        metric.push_back(static_cast<double>(win.l3.totalMisses()));
+        // Weight-merge strictly via operator+=: the representative
+        // stands for `weight` windows of its cluster.
+        SystemResult scaled;
+        for (uint64_t r = 0; r < w.weight; ++r)
+            scaled += win;
+        scaled.sampledWindows = 1;
+        scaled.representedWindows = w.weight;
+        acc += scaled;
+        pos = w.begin + done;
+    }
+    acc.l3MissVar = planVariance(
+        plan, metric, static_cast<double>(acc.l3.totalMisses()));
+    finalizeDerived(acc);
+    return acc;
+}
+
 } // namespace wsearch

@@ -63,6 +63,41 @@ struct SystemResult
     double amatL3Ns = 0;      ///< hL3*tL3 + (1-hL3)*t_miss-path
     /** Sampled measurement windows merged in (0 = exact run). */
     uint64_t sampledWindows = 0;
+    /** Windows the estimate stands for (sum of plan weights; 0 = exact). */
+    uint64_t representedWindows = 0;
+    /** Variance of the weighted LLC-total-miss estimate (0 = exact). */
+    double l3MissVar = 0;
+
+    /** 95% confidence half-width on the l3 total-miss estimate. */
+    double
+    l3MissHalfWidth95() const
+    {
+        return 1.96 * std::sqrt(l3MissVar);
+    }
+
+    /** Lower/upper 95% band on the l3 total-miss estimate. */
+    double
+    l3MissBandLo() const
+    {
+        const double lo = static_cast<double>(l3.totalMisses()) -
+            l3MissHalfWidth95();
+        return lo > 0 ? lo : 0;
+    }
+
+    double
+    l3MissBandHi() const
+    {
+        return static_cast<double>(l3.totalMisses()) +
+            l3MissHalfWidth95();
+    }
+
+    /** Band half-width relative to the estimate (0 when exact). */
+    double
+    bandRelHalfWidth() const
+    {
+        const uint64_t m = l3.totalMisses();
+        return m ? l3MissHalfWidth95() / static_cast<double>(m) : 0.0;
+    }
 
     /**
      * Merge another result's raw counters (sampled-window
@@ -91,6 +126,8 @@ struct SystemResult
         itlbWalks += o.itlbWalks;
         topdown += o.topdown;
         sampledWindows += o.sampledWindows;
+        representedWindows += o.representedWindows;
+        l3MissVar += o.l3MissVar;
         return *this;
     }
 
@@ -163,6 +200,19 @@ class SystemSimulator
      */
     SystemResult runSampled(const BufferedTrace &trace, uint64_t total,
                             const SampledIntervals &sampling);
+
+    /**
+     * Planned representative-window replay (see runTracePlanned):
+     * windows visited in position order on this one system, predictor
+     * and cache state carried across gaps, per-window counters
+     * weight-merged via operator+=. The result carries the confidence
+     * band (l3MissVar) and window accounting; derived metrics are
+     * recomputed over the merged counters. A plan selecting every
+     * window with weight 1 reproduces the exact contiguous replay
+     * bit-identically.
+     */
+    SystemResult runPlanned(const BufferedTrace &trace,
+                            const SamplingPlan &plan);
 
     CacheHierarchy &hierarchy() { return hier_; }
 

@@ -10,6 +10,7 @@
 #ifndef WSEARCH_MEMSIM_SIMULATOR_HH
 #define WSEARCH_MEMSIM_SIMULATOR_HH
 
+#include <cmath>
 #include <cstdint>
 
 #include "memsim/hierarchy.hh"
@@ -37,6 +38,51 @@ struct SimResult
      * reported as sampled estimates.
      */
     uint64_t sampledWindows = 0;
+    /**
+     * Windows this estimate stands for (the sum of plan weights);
+     * 0 for exact runs and legacy periodic sampling. When nonzero,
+     * counters are weighted totals over representedWindows windows,
+     * of which only sampledWindows were simulated.
+     */
+    uint64_t representedWindows = 0;
+    /**
+     * Estimated variance of the weighted LLC(l3)-total-miss estimate
+     * (0 = exact). Variances of independently sampled results add
+     * under operator+=. See the band accessors below and DESIGN.md
+     * "Representative sampling" for the derivation.
+     */
+    double l3MissVar = 0;
+
+    /** 95% confidence half-width on the l3 total-miss estimate. */
+    double
+    l3MissHalfWidth95() const
+    {
+        return 1.96 * std::sqrt(l3MissVar);
+    }
+
+    /** Lower/upper 95% band on the l3 total-miss estimate. */
+    double
+    l3MissBandLo() const
+    {
+        const double lo = static_cast<double>(l3.totalMisses()) -
+            l3MissHalfWidth95();
+        return lo > 0 ? lo : 0;
+    }
+
+    double
+    l3MissBandHi() const
+    {
+        return static_cast<double>(l3.totalMisses()) +
+            l3MissHalfWidth95();
+    }
+
+    /** Band half-width relative to the estimate (0 when exact). */
+    double
+    bandRelHalfWidth() const
+    {
+        const uint64_t m = l3.totalMisses();
+        return m ? l3MissHalfWidth95() / static_cast<double>(m) : 0.0;
+    }
 
     /** Combined L1 stats. */
     CacheLevelStats
@@ -64,6 +110,8 @@ struct SimResult
         cohInvalidations += o.cohInvalidations;
         cohDirtyWritebacks += o.cohDirtyWritebacks;
         sampledWindows += o.sampledWindows;
+        representedWindows += o.representedWindows;
+        l3MissVar += o.l3MissVar;
         return *this;
     }
 };

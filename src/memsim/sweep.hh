@@ -26,6 +26,7 @@
 
 #include "memsim/simulator.hh"
 #include "trace/buffered_trace.hh"
+#include "trace/signature.hh"
 
 namespace wsearch {
 
@@ -68,12 +69,168 @@ struct SampledIntervals
     }
 };
 
+/**
+ * How a sweep trades replay completeness for speed:
+ *   kOff        exact contiguous warmup+measure replay
+ *   kUniform    evenly spaced representative windows, equal weights
+ *   kClustered  k-means-clustered representative windows (one
+ *               representative per cluster, weighted by cluster size)
+ * Both sampled policies attach a confidence band to the estimate (see
+ * SimResult::l3MissBandLo/Hi); kOff results are exact and band-free.
+ * The legacy periodic SampledIntervals mode remains reachable with
+ * policy == kOff plus sampling.enabled() (the --smoke quick-look).
+ */
+enum class SamplingPolicy : uint8_t {
+    kOff = 0,
+    kUniform = 1,
+    kClustered = 2,
+};
+
+/** Printable policy name. */
+const char *samplingPolicyName(SamplingPolicy p);
+
+/**
+ * Knobs of representative-interval sampling (kUniform / kClustered).
+ * The trace is divided into fixed-size windows; @p sampleWindows of
+ * them are simulated (each after @p warmupRecords of state re-warm
+ * from the preceding records) and weight-merged to estimate the
+ * full-replay counters. In kClustered mode sampleWindows is the
+ * cluster count k and window selection comes from k-means over cheap
+ * access signatures (trace/signature.hh); in kUniform mode the
+ * windows are evenly spaced. Equal knobs mean equal simulated-record
+ * budget across the two policies, which is what makes their accuracy
+ * comparable.
+ */
+struct RepresentativeSampling
+{
+    uint64_t windowRecords = 0; ///< records per window; 0 disables
+    uint64_t warmupRecords = 0; ///< re-warm before each selected window
+    uint32_t sampleWindows = 0; ///< windows simulated (clusters in kClustered)
+    /** Clustering seed; 0 resolves WSEARCH_SAMPLE_SEED (else a fixed
+     *  built-in), so CI runs are reproducible by default and
+     *  re-rollable by env. */
+    uint64_t seed = 0;
+    /**
+     * Relative floor on the confidence-band half-width. The analytic
+     * band captures signature-predicted dispersion but not the warmup
+     * bias of skipped state; the floor keeps the band honest when
+     * clusters are internally homogeneous.
+     */
+    double bandRelFloor = 0.03;
+
+    bool
+    enabled() const
+    {
+        return windowRecords > 0 && sampleWindows > 0;
+    }
+};
+
+/**
+ * Sampling knobs for WSEARCH_FAST-aware drivers: ~@p windows windows
+ * over @p total_records with half-window warmups, WSEARCH_SAMPLE_*
+ * env overrides applied (see README).
+ */
+RepresentativeSampling
+defaultRepresentativeSampling(uint64_t total_records,
+                              uint32_t windows = 96,
+                              uint32_t sample_windows = 12);
+
+/** Resolve a sampling seed: @p s, else WSEARCH_SAMPLE_SEED, else fixed. */
+uint64_t sampleSeed(uint64_t s);
+
+/** One selected representative window of a SamplingPlan. */
+struct SampleWindow
+{
+    uint64_t begin = 0;   ///< absolute first record
+    uint64_t records = 0; ///< window length
+    uint64_t weight = 1;  ///< windows this representative stands for
+};
+
+/**
+ * A materialized window-selection plan: which windows to simulate, in
+ * position order, with what weights, plus the per-cluster dispersion
+ * data the confidence band is derived from. Plans depend only on the
+ * trace (never on the cache configuration), so one plan is shared by
+ * every configuration of a sweep.
+ */
+struct SamplingPlan
+{
+    SamplingPolicy policy = SamplingPolicy::kOff;
+    uint64_t windowRecords = 0;
+    uint64_t warmupRecords = 0;
+    uint64_t totalWindows = 0; ///< windows represented (== sum of weights)
+    double bandRelFloor = 0.03;
+    std::vector<SampleWindow> windows; ///< sorted by begin
+    /**
+     * Per selected window: sum of squared distances of its cluster's
+     * members to the cluster centroid (standardized feature space).
+     * Empty for kUniform plans (band falls back to the between-window
+     * sample variance).
+     */
+    std::vector<double> clusterSqDist;
+    /** Per selected window: its cluster centroid (standardized). */
+    std::vector<SignatureVec> centroids;
+
+    bool enabled() const { return !windows.empty(); }
+
+    /** Records replayed under the plan (warmups + measured windows). */
+    uint64_t simulatedRecords() const;
+
+    /** Fraction of the represented records actually simulated. */
+    double simulatedFraction() const;
+};
+
+/**
+ * Evenly spaced selection: sampleWindows windows at equal strides,
+ * weights covering the gaps (weights sum to the total window count).
+ * Deterministic, no RNG.
+ */
+SamplingPlan buildUniformPlan(uint64_t total_records,
+                              const RepresentativeSampling &rep);
+
+/**
+ * Clustered selection: extract per-window signatures from @p trace,
+ * k-means them (seeded, deterministic), and pick the member closest
+ * to each centroid as the cluster's representative, weighted by
+ * cluster size. With sampleWindows >= the window count every window
+ * is selected with weight 1 and the planned replay degenerates to the
+ * exact contiguous replay (bit-identical counters).
+ */
+SamplingPlan buildClusteredPlan(const BufferedTrace &trace,
+                                uint64_t total_records,
+                                const RepresentativeSampling &rep);
+
+/**
+ * Variance of the plan's weighted-total estimate for a metric whose
+ * per-window values at the representatives were @p rep_metric.
+ * Clustered plans project within-cluster signature dispersion through
+ * the locally observed metric gradient between cluster centroids;
+ * uniform plans use the between-window sample variance with finite
+ * population correction. @p estimate_total applies the plan's
+ * relative band floor. See DESIGN.md "Representative sampling".
+ */
+double planVariance(const SamplingPlan &plan,
+                    const std::vector<double> &rep_metric,
+                    double estimate_total);
+
 /** Knobs of one sweep invocation. */
 struct SweepOptions
 {
     uint32_t threads = 0;      ///< 0: simThreads()
-    SampledIntervals sampling; ///< disabled by default
+    /** Representative-window policy; kOff falls back to @p sampling
+     *  (legacy periodic windows) when that is enabled, else exact. */
+    SamplingPolicy policy = SamplingPolicy::kOff;
+    RepresentativeSampling rep; ///< kUniform/kClustered knobs
+    SampledIntervals sampling;  ///< legacy periodic mode (--smoke)
 };
+
+/**
+ * Build the plan a sweep with @p opt over the first @p total records
+ * of @p trace would use: a clustered or uniform plan when the policy
+ * asks for one and rep is enabled, else a disabled (empty) plan.
+ */
+SamplingPlan buildSweepPlan(const BufferedTrace &trace, uint64_t total,
+                            const SweepOptions &opt);
 
 /**
  * Run @p job(i) for every i in [0, @p njobs) on @p threads worker
@@ -92,6 +249,21 @@ void runParallelJobs(size_t njobs, uint32_t threads,
 SimResult runTraceSampled(const BufferedTrace &trace,
                           CacheHierarchy &hier, uint64_t total,
                           const SampledIntervals &sampling);
+
+/**
+ * Planned representative-window replay: windows are visited in
+ * position order on ONE hierarchy (state carried across the skipped
+ * gaps; up to plan.warmupRecords re-warmed before each window with
+ * stats off), each window's counters are harvested and weight-merged
+ * via SimResult::operator+=, and the result carries the confidence
+ * band (l3MissVar), sampledWindows == windows simulated, and
+ * representedWindows == total windows represented. A plan selecting
+ * every window with weight 1 reproduces the exact contiguous replay
+ * bit-identically.
+ */
+SimResult runTracePlanned(const BufferedTrace &trace,
+                          CacheHierarchy &hier,
+                          const SamplingPlan &plan);
 
 /**
  * The sweep: replay @p trace through a private CacheHierarchy per

@@ -12,6 +12,21 @@ namespace wsearch {
 // magnitudes were fit.
 
 WorkloadProfile
+WorkloadProfile::atNominalScale() const
+{
+    WorkloadProfile p = *this;
+    if (sweepScale <= 1)
+        return p;
+    p.name = name + "-nominal";
+    p.code.footprintBytes *= sweepScale;
+    p.heapWorkingSetBytes *= sweepScale;
+    p.heapWarmSharedBytes *= sweepScale;
+    p.shardSpanBytes *= sweepScale;
+    p.sweepScale = 1;
+    return p;
+}
+
+WorkloadProfile
 WorkloadProfile::s1Leaf()
 {
     WorkloadProfile p;

@@ -109,6 +109,18 @@ struct WorkloadProfile
 
     uint64_t seed = 0x5ea7c4ull;
 
+    /**
+     * This profile with its scaled-down shared working sets restored
+     * to paper-nominal sizes (everything sweepScale multiplies back:
+     * code footprint, shared heap tail, shared-warm band, shard span)
+     * and sweepScale reset to 1, so cache sweeps read in real paper
+     * capacities. Nominal-scale sweeps need far more records to
+     * converge than 1/32-scale ones -- pair with clustered
+     * representative sampling (memsim/sweep.hh) to keep them
+     * affordable. Identity for profiles already at scale 1.
+     */
+    WorkloadProfile atNominalScale() const;
+
     // ----- preset factory functions (Table I workloads) -----
     static WorkloadProfile s1Leaf();
     /**

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Cheap per-window access signatures over a BufferedTrace, and the
+ * deterministic k-means clustering that groups similar windows. This
+ * is the analysis half of clustered representative-interval sampling
+ * (memsim/sweep.hh): a single non-simulating pass tallies, for every
+ * fixed-size record window, the access mix per AccessKind, store and
+ * branch fractions, branch-direction entropy, and approximate
+ * distinct-block footprints of the code/heap/shard/stack segments.
+ * Windows with similar signatures behave similarly under any cache
+ * configuration, so simulating one representative per cluster and
+ * weighting by cluster size estimates the full-trace counters at a
+ * fraction of the replay cost.
+ *
+ * Everything here is deterministic: the extraction pass is pure
+ * arithmetic over the immutable buffer, and the clustering is seeded
+ * (k-means++ init from a caller-provided seed, fixed iteration cap,
+ * lowest-index tie-breaking), so a (trace, seed) pair always produces
+ * the same plan regardless of thread count.
+ */
+
+#ifndef WSEARCH_TRACE_SIGNATURE_HH
+#define WSEARCH_TRACE_SIGNATURE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "stats/access_kind.hh"
+#include "trace/buffered_trace.hh"
+
+namespace wsearch {
+
+/** Dimensionality of the per-window feature vector. */
+constexpr size_t kSignatureDims = 10;
+
+/** One window's feature vector (see WindowSignature::features). */
+using SignatureVec = std::array<double, kSignatureDims>;
+
+/**
+ * Raw single-pass tallies for one record window. Footprints are
+ * linear-counting estimates of distinct cache blocks touched (a
+ * 4096-bit hash bitmap per segment), which is what separates a
+ * streaming phase from a resident one at equal access counts.
+ */
+struct WindowSignature
+{
+    uint64_t begin = 0;   ///< absolute record index of the window start
+    uint64_t records = 0; ///< records in this window (tail may be short)
+
+    uint64_t dataAccesses[kNumAccessKinds] = {}; ///< Code unused (0)
+    uint64_t stores = 0;
+    uint64_t branches = 0;
+    uint64_t taken = 0;
+    double codeFootprint = 0;  ///< est. distinct code blocks
+    double heapFootprint = 0;  ///< est. distinct heap blocks
+    double shardFootprint = 0; ///< est. distinct shard blocks
+    double stackFootprint = 0; ///< est. distinct stack blocks
+
+    /** Binary entropy of the branch direction stream (0 when no branches). */
+    double branchEntropy() const;
+
+    /**
+     * Per-record normalized feature vector: [heap, shard, stack, store,
+     * branch] fractions, branch entropy, and log2(1 + footprint) for
+     * code/heap/shard/stack. Log-scale footprints keep a 10x working
+     * set difference comparable to a mix-fraction difference.
+     */
+    SignatureVec features() const;
+};
+
+/**
+ * The signature pass: tally one WindowSignature per @p window_records
+ * window of records [0, @p total) of @p trace (the final window keeps
+ * the shorter tail). Walks contiguous chunk spans; never simulates and
+ * never mutates the buffer. @p block_bytes is the footprint-sketch
+ * granularity (cache block size).
+ */
+std::vector<WindowSignature>
+extractWindowSignatures(const BufferedTrace &trace, uint64_t total,
+                        uint64_t window_records,
+                        uint32_t block_bytes = 64);
+
+/**
+ * Z-score standardization of the windows' feature vectors (per
+ * dimension across windows; constant dimensions map to 0) so k-means
+ * distances weight every feature equally.
+ */
+std::vector<SignatureVec>
+standardizedFeatures(const std::vector<WindowSignature> &sigs);
+
+/** Output of kMeansCluster. */
+struct KMeansResult
+{
+    std::vector<uint32_t> assignment; ///< per input point, in [0, k)
+    std::vector<SignatureVec> centroids;
+};
+
+/**
+ * Deterministic seeded k-means: k-means++ initialization from
+ * @p seed, Lloyd iterations to convergence (capped), lowest-index
+ * tie-breaking, empty clusters reseeded to the point farthest from
+ * its centroid. @p k is clamped to the point count.
+ */
+KMeansResult kMeansCluster(const std::vector<SignatureVec> &points,
+                            uint32_t k, uint64_t seed);
+
+/** Squared Euclidean distance between two feature vectors. */
+double sigDistSq(const SignatureVec &a, const SignatureVec &b);
+
+} // namespace wsearch
+
+#endif // WSEARCH_TRACE_SIGNATURE_HH
