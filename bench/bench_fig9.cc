@@ -8,12 +8,23 @@
  * default 2.5 MiB/core ratio, but capacities below the instruction
  * working set (~18 MiB total) are detrimental.
  *
- * The 100-configuration grid is the sweep engine's showcase: one
- * shared trace buffer per core count, every CAT partitioning replayed
- * concurrently.
+ * Two sections:
+ *   scaled   the full 100-configuration grid at 1/32 scale, replayed
+ *            exactly -- the sweep engine's showcase (one shared trace
+ *            buffer per core count, every CAT partitioning replayed
+ *            concurrently) and the continuity rows
+ *            scripts/bench_diff.py gates.
+ *   nominal  the paper's highlighted equal-area comparison points on
+ *            the REAL 45 MiB L3 at full nominal working-set sizes
+ *            under clustered representative sampling, bands attached.
+ *
+ * Emits BENCH_fig9.json in the standard frame (see
+ * bench::beginStandardJson) for bench_all.sh aggregation and
+ * bench_diff.py gating.
  */
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "common.hh"
@@ -23,20 +34,49 @@
 namespace wsearch {
 namespace {
 
+struct Point
+{
+    uint32_t cores, ways;
+};
+
+void
+addGridRow(bench::JsonWriter &json, const char *section,
+           const Point &p, uint64_t sim_bytes, const SystemResult &r)
+{
+    json.beginObject();
+    json.add("section", std::string(section));
+    json.add("cores", static_cast<uint64_t>(p.cores));
+    json.add("ways", static_cast<uint64_t>(p.ways));
+    json.add("l3_sim_bytes", sim_bytes);
+    json.add("instructions", r.instructions);
+    json.add("l3_accesses", r.l3.totalAccesses());
+    json.add("l3_misses", r.l3.totalMisses());
+    json.add("ipc", r.ipcPerThread);
+    json.add("sampled_windows", r.sampledWindows);
+    json.add("represented_windows", r.representedWindows);
+    json.add("band_lo", r.l3MissBandLo());
+    json.add("band_hi", r.l3MissBandHi());
+    json.add("band_rel", r.bandRelHalfWidth());
+    json.endObject();
+}
+
 void
 runFig9(const bench::Args &args)
 {
+    const double t0 = bench::nowSec();
     bench::banner(args, "Figure 9",
-                  "QPS vs L3-equivalent area (cores x CAT ways)");
+                  "QPS vs L3-equivalent area (cores x CAT ways; "
+                  "1/32-scale grid + clustered nominal-scale "
+                  "highlight points)");
     const PlatformConfig plt1 = PlatformConfig::plt1();
     const WorkloadProfile prof = WorkloadProfile::s1LeafSweep();
     const AreaModel area;
 
+    bench::JsonWriter json;
+    bench::beginStandardJson(json, "fig9", args.smoke);
+
+    // --- scaled: the full grid at 1/32 scale, exact replay ---
     const uint32_t core_counts[] = {4, 6, 8, 9, 10, 11, 12, 14, 16, 18};
-    struct Point
-    {
-        uint32_t cores, ways;
-    };
     std::vector<Point> points;
     std::vector<RunOptions> options;
     for (const uint32_t cores : core_counts) {
@@ -49,6 +89,8 @@ runFig9(const bench::Args &args)
             options.push_back(opt);
         }
     }
+    json.add("scaled_measure_records", recordBudget(options[0]).measure);
+    json.add("scaled_warmup_records", recordBudget(options[0]).warmup);
     const std::vector<SystemResult> results =
         runWorkloadSweep(prof, plt1, options, bench::sweepControl(args));
 
@@ -84,8 +126,72 @@ runFig9(const bench::Args &args)
                 qps_9c10w / qps_ref, qps_11c6w / qps_ref);
     std::printf("  ~82 L3-eq MiB: 18-core/4-way (0.5 MiB/core) QPS "
                 "%.2f vs 16-core/8-way QPS %.2f (paper: starving the "
-                "L3 below the instruction working set loses)\n",
+                "L3 below the instruction working set loses)\n\n",
                 qps_18c4w / qps_ref, qps_16c8w / qps_ref);
+
+    // --- nominal: the highlighted equal-area points on the real
+    //     45 MiB L3 at full paper-scale working sets ---
+    const WorkloadProfile nominal = prof.atNominalScale();
+    std::vector<Point> nom_points;
+    if (args.smoke)
+        nom_points = {{9, 10}, {11, 6}};
+    else
+        nom_points = {{9, 10}, {11, 6}, {18, 4}, {16, 8}};
+    std::vector<RunOptions> nom_options;
+    for (const Point &p : nom_points) {
+        RunOptions opt =
+            bench::baseOptions(p.cores, 16'000'000, 8'000'000);
+        opt.l3Bytes = plt1.l3Bytes;
+        opt.l3PartitionWays = p.ways;
+        nom_options.push_back(opt);
+    }
+    const RecordBudget nom_budget = recordBudget(nom_options[0]);
+    const SweepControl nom_control =
+        bench::clusteredControl(args, nom_budget.total());
+    json.add("nominal_measure_records", nom_budget.measure);
+    json.add("nominal_warmup_records", nom_budget.warmup);
+    json.add("sampling_policy",
+             std::string(samplingPolicyName(nom_control.policy)));
+    json.add("sample_window_records", nom_control.rep.windowRecords);
+    json.add("sample_clusters",
+             static_cast<uint64_t>(nom_control.rep.sampleWindows));
+    json.add("sample_seed", sampleSeed(nom_control.rep.seed));
+
+    std::printf("Nominal-scale equal-area points (%s sampling; full "
+                "45 MiB L3)\n",
+                samplingPolicyName(nom_control.policy));
+    const std::vector<SystemResult> nom_results =
+        runWorkloadSweep(nominal, plt1, nom_options, nom_control);
+    // Normalize within the section: the nominal profile's absolute
+    // IPC is not comparable to the 1/32-scale grid's.
+    const double nom_ref =
+        nom_points[0].cores * nom_results[0].ipcPerThread;
+    Table nt({"Cores", "L3 ways", "Norm. QPS",
+              "LLC miss band (95%)"});
+    for (size_t i = 0; i < nom_points.size(); ++i) {
+        const SystemResult &r = nom_results[i];
+        const double qps = nom_points[i].cores * r.ipcPerThread;
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.3g..%.3g (+-%.1f%%)",
+                      r.l3MissBandLo(), r.l3MissBandHi(),
+                      100.0 * r.bandRelHalfWidth());
+        nt.addRow({Table::fmtInt(nom_points[i].cores),
+                   Table::fmtInt(nom_points[i].ways),
+                   Table::fmt(nom_ref > 0 ? qps / nom_ref : 0.0, 2),
+                   buf});
+    }
+    nt.print();
+
+    json.beginArray("rows");
+    for (size_t i = 0; i < points.size(); ++i)
+        addGridRow(json, "scaled", points[i],
+                   plt1.l3Bytes / prof.sweepScale, results[i]);
+    for (size_t i = 0; i < nom_points.size(); ++i)
+        addGridRow(json, "nominal", nom_points[i], plt1.l3Bytes,
+                   nom_results[i]);
+    json.endArray();
+
+    bench::finishStandardJson(json, "fig9", t0);
 }
 
 } // namespace

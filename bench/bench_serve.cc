@@ -6,11 +6,18 @@
  * saturation knee the paper's SMT/core-trading analysis presupposes
  * (§IV: the leaf is throughput-bound but latency-constrained).
  *
- * Three sections:
+ * Four sections:
  *   1. closed-loop calibration of the saturation capacity;
  *   2. the open-loop QPS sweep (the knee table);
  *   3. the same mid-load point with the query-cache tier enabled,
- *      showing the cache absorbing popular queries ahead of the queue.
+ *      showing the cache absorbing popular queries ahead of the queue;
+ *   4. thread scaling across 1/2/4/8 workers on two mixes (queue-only
+ *      and cache-hit-heavy), the section that exercises the
+ *      contention-free data plane: the ticket ring, the lock-striped
+ *      cache tier, and the per-worker stats slabs. Every row's
+ *      admission accounting is deterministic and gated by
+ *      scripts/bench_diff.py; the throughput/speedup columns are
+ *      wall-clock and only meaningful on multi-core hardware.
  *
  * WSEARCH_FAST=1 shrinks the run; WSEARCH_SERVE_WORKERS overrides the
  * worker count (default 2).
@@ -18,6 +25,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "common.hh"
@@ -161,10 +169,99 @@ runBenchServe()
     }
     ct.print();
 
+    // --- 4. Thread scaling on the contention-free data plane. --------
+    // Closed loop so every submission resolves (no shed): the row
+    // counters (queries, resolved, shed, consistency) are exactly
+    // reproducible and bench_diff-gated, while qps/speedup are
+    // wall-clock and only materialize on multi-core CI hardware.
+    struct ScaleMix
+    {
+        const char *name;
+        size_t cacheCapacity;
+        uint32_t distinctQueries;
+    };
+    const ScaleMix mixes[] = {
+        // Every query through the ticket ring to a worker.
+        {"queue", 0, 1u << 16},
+        // Popular repeats resolved by the lock-striped cache tier.
+        {"cachehit", 4096, 1024},
+    };
+    const uint32_t scale_workers[] = {1, 2, 4, 8};
+    const uint64_t scale_queries = fast ? 1500 : 6000;
+    std::printf("\n## Thread scaling (closed loop, %llu queries per "
+                "point)\n",
+                static_cast<unsigned long long>(scale_queries));
+    Table st({"Mix", "Workers", "Queries", "Resolved", "Shed",
+              "Hit rate", "QPS", "Speedup vs 1w"});
+    struct ScaleRow
+    {
+        const char *mix;
+        uint32_t workers;
+        uint64_t queries, resolved, shed;
+        uint64_t consistent;
+        double wallSec, qps, speedup, hitRate;
+    };
+    std::vector<ScaleRow> scale_rows;
+    uint64_t scaling_rows_ok = 1;
+    for (const ScaleMix &mix : mixes) {
+        double qps_1w = 0.0;
+        for (const uint32_t w : scale_workers) {
+            LeafWorkerPool::Config spc;
+            spc.numWorkers = w;
+            spc.queueCapacity = 512;
+            spc.cacheCapacity = mix.cacheCapacity;
+            LeafWorkerPool pool(index, spc);
+            LoadGenConfig run = lg;
+            run.queries.distinctQueries = mix.distinctQueries;
+            run.clients = 2 * w;
+            run.numQueries = scale_queries;
+            const double s0 = bench::nowSec();
+            const LoadReport r = runClosedLoop(pool, run);
+            const ServeSnapshot &s = r.snap;
+
+            ScaleRow row;
+            row.mix = mix.name;
+            row.workers = w;
+            row.queries = s.submitted;
+            row.resolved = s.completed + s.cacheHits;
+            row.shed = s.shed;
+            row.consistent = s.consistent() ? 1 : 0;
+            row.wallSec = bench::nowSec() - s0;
+            row.qps = r.achievedQps;
+            if (qps_1w == 0.0)
+                qps_1w = r.achievedQps;
+            row.speedup = qps_1w > 0 ? r.achievedQps / qps_1w : 0.0;
+            row.hitRate = s.cacheLookups
+                ? static_cast<double>(s.cacheHits) /
+                    static_cast<double>(s.cacheLookups)
+                : 0.0;
+            // The in-run accounting invariant bench_diff asserts:
+            // every submitted query resolved, none shed, all
+            // identities intact.
+            if (row.queries != scale_queries ||
+                row.resolved != scale_queries || row.shed != 0 ||
+                !row.consistent)
+                scaling_rows_ok = 0;
+            scale_rows.push_back(row);
+            st.addRow({mix.name, Table::fmtInt(w),
+                       Table::fmtInt(row.queries),
+                       Table::fmtInt(row.resolved),
+                       Table::fmtInt(row.shed),
+                       Table::fmtPct(row.hitRate, 1),
+                       Table::fmt(row.qps, 1),
+                       Table::fmt(row.speedup, 2)});
+            std::fflush(stdout);
+        }
+    }
+    st.print();
+    std::printf("Speedup columns need real cores: on a single-CPU "
+                "host the workers serialize and the ratio stays ~1.\n");
+
     bench::JsonWriter json;
     bench::beginStandardJson(json, "serve", fast);
     json.add("workers", static_cast<uint64_t>(workers));
     json.add("docs", static_cast<uint64_t>(cc.numDocs));
+    json.add("scaling_queries", scale_queries);
     json.add("capacity_qps", capacity);
     json.add("saturated_completed", saturated.completed);
     json.add("saturated_p50_us",
@@ -173,6 +270,23 @@ runBenchServe()
              saturated.sojournNs.quantile(0.99) * 1e-3);
     json.add("cached_hit_rate", cached_hit_rate);
     json.add("cached_qps", cached_qps);
+    json.add("scaling_rows_ok", scaling_rows_ok);
+    json.beginArray("rows");
+    for (const ScaleRow &row : scale_rows) {
+        json.beginObject();
+        json.add("mix", std::string(row.mix));
+        json.add("workers", static_cast<uint64_t>(row.workers));
+        json.add("queries", row.queries);
+        json.add("resolved", row.resolved);
+        json.add("shed", row.shed);
+        json.add("stats_consistent", row.consistent);
+        json.add("wall_sec", row.wallSec);
+        json.add("qps", row.qps);
+        json.add("speedup_vs_1w", row.speedup);
+        json.add("hit_rate", row.hitRate);
+        json.endObject();
+    }
+    json.endArray();
     bench::finishStandardJson(json, "serve", t0);
 }
 

@@ -7,12 +7,12 @@
 #   build-dir          defaults to ./build
 #   WSEARCH_BENCHES    space-separated driver subset (default:
 #                      "leaf ingest serve sweep replacement micro
-#                      ablation fig6bc fig13")
+#                      ablation fig6bc fig8 fig9 fig13")
 #   Artifacts are written to the current working directory.
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
-BENCHES=${WSEARCH_BENCHES:-"leaf ingest serve sweep replacement micro ablation fig6bc fig13"}
+BENCHES=${WSEARCH_BENCHES:-"leaf ingest serve sweep replacement micro ablation fig6bc fig8 fig9 fig13"}
 
 if [ ! -d "$BUILD_DIR/bench" ]; then
     echo "bench_all.sh: no $BUILD_DIR/bench (build first)" >&2
@@ -31,7 +31,7 @@ for b in $BENCHES; do
             # bench_serve has no --smoke flag; WSEARCH_FAST shrinks it.
             WSEARCH_FAST=1 "$bin"
             ;;
-        sweep|replacement|micro|ablation|fig6bc|fig13)
+        sweep|replacement|micro|ablation|fig6bc|fig8|fig9|fig13)
             # fig6bc doubles as the clustered-sampling statistical
             # gate: it exits nonzero if the full-replay oracle lands
             # outside the clustered estimate's confidence band.

@@ -66,9 +66,20 @@ GATES = {
         "invariants": [],
     },
     "serve": {
-        "config": ["smoke", "workers"],
-        "counters": [],
-        "invariants": [],
+        "config": ["smoke", "workers", "scaling_queries"],
+        # Thread-scaling rows are closed-loop: every submitted query
+        # must resolve (worker completion or cache hit), none shed,
+        # and the snapshot identities must hold -- exactly, per row.
+        # qps / speedup / hit_rate are wall-clock or
+        # interleaving-dependent and deliberately ungated.
+        "counters": ["scaling_rows_ok"],
+        "rows": {
+            "field": "rows",
+            "key_by": ["mix", "workers"],
+            "counters": ["queries", "resolved", "shed",
+                         "stats_consistent"],
+        },
+        "invariants": [("scaling_rows_ok", 1)],
     },
     "replacement": {
         "config": ["smoke"],
@@ -125,6 +136,36 @@ GATES = {
                          "sampled_windows", "represented_windows"],
         },
         "invariants": [("band_violations", 0)],
+    },
+    "fig8": {
+        "config": ["smoke", "cores", "scaled_measure_records",
+                   "scaled_warmup_records", "nominal_measure_records",
+                   "nominal_warmup_records", "sampling_policy",
+                   "sample_window_records", "sample_clusters",
+                   "sample_seed"],
+        "counters": [],
+        "rows": {
+            "field": "rows",
+            "key_by": ["section", "ways"],
+            "counters": ["instructions", "l3_accesses", "l3_misses",
+                         "sampled_windows", "represented_windows"],
+        },
+        "invariants": [],
+    },
+    "fig9": {
+        "config": ["smoke", "scaled_measure_records",
+                   "scaled_warmup_records", "nominal_measure_records",
+                   "nominal_warmup_records", "sampling_policy",
+                   "sample_window_records", "sample_clusters",
+                   "sample_seed"],
+        "counters": [],
+        "rows": {
+            "field": "rows",
+            "key_by": ["section", "cores", "ways"],
+            "counters": ["instructions", "l3_accesses", "l3_misses",
+                         "sampled_windows", "represented_windows"],
+        },
+        "invariants": [],
     },
     "fig13": {
         "config": ["smoke", "cores", "l3_sim_bytes",
@@ -260,6 +301,41 @@ def _sample():
             "sweep": {"smoke": 1, "configs": 8,
                       "records_per_config": 1000,
                       "all_identical": 1, "wall_time_sec": 5.0},
+            "serve": {
+                "smoke": 1, "workers": 2, "scaling_queries": 1500,
+                "scaling_rows_ok": 1, "wall_time_sec": 6.0,
+                "rows": [
+                    {"mix": "queue", "workers": 1, "queries": 1500,
+                     "resolved": 1500, "shed": 0,
+                     "stats_consistent": 1, "qps": 900.0,
+                     "speedup_vs_1w": 1.0},
+                    {"mix": "cachehit", "workers": 4, "queries": 1500,
+                     "resolved": 1500, "shed": 0,
+                     "stats_consistent": 1, "qps": 3100.0,
+                     "speedup_vs_1w": 3.4},
+                ],
+            },
+            "fig8": {
+                "smoke": 1, "cores": 16,
+                "scaled_measure_records": 16000000,
+                "scaled_warmup_records": 32000000,
+                "nominal_measure_records": 24000000,
+                "nominal_warmup_records": 12000000,
+                "sampling_policy": "clustered",
+                "sample_window_records": 62500,
+                "sample_clusters": 12, "sample_seed": 12345,
+                "wall_time_sec": 7.0,
+                "rows": [
+                    {"section": "scaled", "ways": 2,
+                     "instructions": 800000, "l3_accesses": 30000,
+                     "l3_misses": 9000, "sampled_windows": 0,
+                     "represented_windows": 0},
+                    {"section": "nominal", "ways": 20,
+                     "instructions": 800000, "l3_accesses": 31000,
+                     "l3_misses": 8000, "sampled_windows": 12,
+                     "represented_windows": 96},
+                ],
+            },
             "fig6bc": {
                 "smoke": 1, "cores": 16,
                 "scaled_measure_records": 3000000,
@@ -374,6 +450,26 @@ def selftest():
         reseed["benches"]["fig6bc"]["sample_seed"] = 99
         reseed["benches"]["fig6bc"]["rows"][1]["l3_misses"] += 17
         assert run_diff(write(reseed, "reseed.json"), base) == []
+
+        # 12. A serve thread-scaling row losing a query (resolved !=
+        # baseline) is drift.
+        sserve = _sample()
+        sserve["benches"]["serve"]["rows"][0]["resolved"] -= 1
+        assert run_diff(write(sserve, "sserve.json"), base)
+
+        # 13. A broken serve accounting invariant fails even with no
+        # baseline: a shed or inconsistent row cannot slip through by
+        # re-baselining.
+        sbad = _sample()
+        sbad["benches"]["serve"]["scaling_rows_ok"] = 0
+        assert run_diff(write(sbad, "sbad.json"),
+                        os.path.join(tmp, "missing.json"))
+
+        # 14. CAT-ladder miss drift in a fig8 row fails (both the
+        # exact scaled replay and the seeded nominal estimate).
+        f8 = _sample()
+        f8["benches"]["fig8"]["rows"][1]["l3_misses"] += 5
+        assert run_diff(write(f8, "f8.json"), base)
 
     print("bench_diff selftest: all gates behave")
     return 0

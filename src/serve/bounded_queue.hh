@@ -6,121 +6,23 @@
  * overload shedding); consumers block until work arrives. close()
  * initiates shutdown: already-queued items still drain, further pushes
  * are refused, and blocked poppers return once the queue is empty.
+ *
+ * Since the contention-free data-plane rework the implementation is
+ * the lock-free Vyukov ticket ring in serve/ticket_ring.hh; the
+ * historical mutex/condvar BoundedQueue name survives as an alias so
+ * call sites and the queue contract tests are unchanged.
  */
 
 #ifndef WSEARCH_SERVE_BOUNDED_QUEUE_HH
 #define WSEARCH_SERVE_BOUNDED_QUEUE_HH
 
-#include <condition_variable>
-#include <cstddef>
-#include <deque>
-#include <mutex>
-#include <utility>
-
-#include "util/logging.hh"
+#include "serve/ticket_ring.hh"
 
 namespace wsearch {
 
-/** Mutex/condvar bounded MPMC FIFO. */
+/** Bounded MPMC FIFO (lock-free fast path, blocking slow path). */
 template <typename T>
-class BoundedQueue
-{
-  public:
-    explicit BoundedQueue(size_t capacity) : capacity_(capacity)
-    {
-        wsearch_assert(capacity >= 1);
-    }
-
-    /**
-     * Blocking push: waits while full. @return false (and leaves @p v
-     * untouched) when the queue was closed.
-     */
-    bool
-    push(T &&v)
-    {
-        std::unique_lock<std::mutex> lk(mu_);
-        notFull_.wait(lk, [this] {
-            return closed_ || q_.size() < capacity_;
-        });
-        if (closed_)
-            return false;
-        q_.push_back(std::move(v));
-        lk.unlock();
-        notEmpty_.notify_one();
-        return true;
-    }
-
-    /**
-     * Non-blocking push for open-loop admission control: @return false
-     * (shed; @p v untouched) when full or closed.
-     */
-    bool
-    tryPush(T &&v)
-    {
-        {
-            std::lock_guard<std::mutex> lk(mu_);
-            if (closed_ || q_.size() >= capacity_)
-                return false;
-            q_.push_back(std::move(v));
-        }
-        notEmpty_.notify_one();
-        return true;
-    }
-
-    /**
-     * Blocking pop: waits for an item. @return false only when the
-     * queue is closed AND fully drained (consumer shutdown signal).
-     */
-    bool
-    pop(T &out)
-    {
-        std::unique_lock<std::mutex> lk(mu_);
-        notEmpty_.wait(lk, [this] { return closed_ || !q_.empty(); });
-        if (q_.empty())
-            return false;
-        out = std::move(q_.front());
-        q_.pop_front();
-        lk.unlock();
-        notFull_.notify_one();
-        return true;
-    }
-
-    /** Begin shutdown: refuse new items, wake every blocked thread. */
-    void
-    close()
-    {
-        {
-            std::lock_guard<std::mutex> lk(mu_);
-            closed_ = true;
-        }
-        notFull_.notify_all();
-        notEmpty_.notify_all();
-    }
-
-    size_t
-    depth() const
-    {
-        std::lock_guard<std::mutex> lk(mu_);
-        return q_.size();
-    }
-
-    bool
-    closed() const
-    {
-        std::lock_guard<std::mutex> lk(mu_);
-        return closed_;
-    }
-
-    size_t capacity() const { return capacity_; }
-
-  private:
-    const size_t capacity_;
-    mutable std::mutex mu_;
-    std::condition_variable notFull_;
-    std::condition_variable notEmpty_;
-    std::deque<T> q_;
-    bool closed_ = false;
-};
+using BoundedQueue = TicketRing<T>;
 
 } // namespace wsearch
 

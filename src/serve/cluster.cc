@@ -471,8 +471,15 @@ ClusterServer::rolloutShard(uint32_t shard,
         }
         LeafWorkerPool &pool = *st.replicas[r];
         // Let in-flight work finish on the old version before the
-        // swap; new traffic already avoids this replica.
-        pool.drain();
+        // swap; new traffic already avoids this replica. With the
+        // ticket-ring queue, drained means the RING is observed
+        // empty (every accepted ticket consumed and completed), not
+        // that a queue mutex was quiesced -- a submit that raced the
+        // draining flag can still land a ticket after one drain()
+        // returns, so re-drain until the ring reads empty.
+        do {
+            pool.drain();
+        } while (pool.queueDepth() != 0);
         // The injector models a torn handoff: the replica receives a
         // snapshot whose contents do not match its checksum. The leaf
         // must refuse it (and keep serving its old version), after

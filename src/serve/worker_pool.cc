@@ -15,6 +15,20 @@ leafConfigFor(const LeafWorkerPool::Config &cfg)
     return lc;
 }
 
+/** Resolve Config::cacheStripes (0 = auto) to a power of two. */
+size_t
+stripeCountFor(const LeafWorkerPool::Config &cfg)
+{
+    size_t want = cfg.cacheStripes;
+    if (want == 0)
+        want = std::min<size_t>(
+            16, std::max<uint32_t>(1, cfg.numWorkers));
+    size_t n = 1;
+    while (n < want)
+        n *= 2;
+    return n;
+}
+
 /**
  * Model a corrupted/truncated leaf response: the tail is lost and
  * what remains arrives out of order. The root's merge must cope (it
@@ -33,7 +47,8 @@ corruptReply(std::vector<ScoredDoc> &docs)
 LeafWorkerPool::LeafWorkerPool(const IndexShard &shard,
                                const Config &cfg)
     : cfg_(cfg), leaf_(shard, leafConfigFor(cfg)),
-      queue_(cfg.queueCapacity), cache_(cfg.cacheCapacity)
+      queue_(cfg.queueCapacity),
+      cache_(cfg.cacheCapacity, stripeCountFor(cfg))
 {
     wsearch_assert(cfg.numWorkers >= 1);
     slots_.reserve(cfg.numWorkers);
@@ -47,7 +62,8 @@ LeafWorkerPool::LeafWorkerPool(const IndexShard &shard,
 LeafWorkerPool::LeafWorkerPool(
     std::shared_ptr<const IndexSnapshot> snapshot, const Config &cfg)
     : cfg_(cfg), leaf_(std::move(snapshot), leafConfigFor(cfg)),
-      queue_(cfg.queueCapacity), cache_(cfg.cacheCapacity)
+      queue_(cfg.queueCapacity),
+      cache_(cfg.cacheCapacity, stripeCountFor(cfg))
 {
     wsearch_assert(cfg.numWorkers >= 1);
     slots_.reserve(cfg.numWorkers);
@@ -61,6 +77,20 @@ LeafWorkerPool::LeafWorkerPool(
 LeafWorkerPool::~LeafWorkerPool()
 {
     shutdown();
+}
+
+LeafWorkerPool::SubmitSlab &
+LeafWorkerPool::submitSlab()
+{
+    // Each submitting thread sticks to one slab for its lifetime (the
+    // index is global across pools: a thread that talks to several
+    // replicas lands on the same slab index in each, which is fine --
+    // the point is that DIFFERENT threads land on different lines).
+    static std::atomic<uint32_t> next{0};
+    thread_local const uint32_t idx =
+        next.fetch_add(1, std::memory_order_relaxed) %
+        kSubmitSlabs;
+    return submitSlabs_[idx];
 }
 
 void
@@ -104,7 +134,7 @@ LeafWorkerPool::submitAsync(const SearchRequest &request, bool block,
 LeafWorkerPool::Admit
 LeafWorkerPool::enqueue(ServeRequest &&req, bool block)
 {
-    submitted_.fetch_add(1, std::memory_order_relaxed);
+    SubmitSlab &slab = submitSlab();
     Clock &clk = clock();
 
     // A crashed replica refuses instantly -- before the cache tier,
@@ -112,25 +142,18 @@ LeafWorkerPool::enqueue(ServeRequest &&req, bool block)
     if (cfg_.faults &&
         !cfg_.faults->admit(cfg_.shardId, cfg_.replicaId,
                             req.request.query.id, clk.now())) {
-        refused_.fetch_add(1, std::memory_order_relaxed);
+        slab.refused.fetch_add(1, std::memory_order_relaxed);
         finish(req, {}, ServeOutcome::Refused, 0);
         return Admit::Refused;
     }
 
     const bool wants_results = req.reply || req.done;
     if (cfg_.cacheCapacity > 0) {
-        const uint64_t t0 = clk.now();
         std::vector<ScoredDoc> hit_results;
-        bool hit;
-        {
-            std::lock_guard<std::mutex> lk(cacheMu_);
-            hit = cache_.lookup(req.request.query.id,
-                                wants_results ? &hit_results : nullptr);
-            if (hit)
-                cacheHitNs_.record(clk.now() - t0);
-        }
-        if (hit) {
-            cacheHits_.fetch_add(1, std::memory_order_relaxed);
+        if (cache_.lookup(req.request.query.id,
+                          wants_results ? &hit_results : nullptr,
+                          &clk)) {
+            slab.cacheHits.fetch_add(1, std::memory_order_relaxed);
             finish(req, std::move(hit_results), ServeOutcome::Ok,
                    leaf_.currentVersion());
             return Admit::CacheHit;
@@ -140,14 +163,17 @@ LeafWorkerPool::enqueue(ServeRequest &&req, bool block)
     req.enqueueNs = clk.now();
 
     // Count the acceptance before the enqueue so drain()'s
-    // "completed == accepted" predicate can never observe a completed
+    // "completed >= accepted" predicate can never observe a completed
     // request that was not yet counted as accepted.
-    accepted_.fetch_add(1, std::memory_order_relaxed);
+    slab.accepted.fetch_add(1, std::memory_order_release);
     const bool ok = block ? queue_.push(std::move(req))
                           : queue_.tryPush(std::move(req));
     if (!ok) {
-        accepted_.fetch_sub(1, std::memory_order_relaxed);
-        shed_.fetch_add(1, std::memory_order_relaxed);
+        slab.accepted.fetch_sub(1, std::memory_order_release);
+        slab.shed.fetch_add(1, std::memory_order_relaxed);
+        // The rollback can lower the accepted total a concurrent
+        // drain() already read; re-evaluate its predicate.
+        notifyDrainWaiters();
         // req is untouched on a failed push; tell the waiter.
         finish(req, {}, ServeOutcome::Shed, 0);
         return Admit::Shed;
@@ -156,13 +182,16 @@ LeafWorkerPool::enqueue(ServeRequest &&req, bool block)
 }
 
 void
-LeafWorkerPool::dropRequest(ServeRequest &req, ServeOutcome outcome,
-                            std::atomic<uint64_t> &counter)
+LeafWorkerPool::notifyDrainWaiters()
 {
-    counter.fetch_add(1, std::memory_order_relaxed);
-    finish(req, {}, outcome, 0);
-    req.request.cancel.reset();
-    completed_.fetch_add(1, std::memory_order_release);
+    // Fence pairs with drain()'s registration fence: either this load
+    // sees the waiter (and we notify through the mutex), or the
+    // waiter's predicate sees our counter update (and never sleeps on
+    // it). Steady-state traffic with no drain() in flight pays one
+    // fence + one relaxed load here -- no lock, no notify.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (drainWaiters_.load(std::memory_order_relaxed) == 0)
+        return;
     {
         // Empty critical section pairs with drain()'s wait so the
         // notify cannot slip between its predicate check and sleep.
@@ -172,10 +201,33 @@ LeafWorkerPool::dropRequest(ServeRequest &req, ServeOutcome outcome,
 }
 
 void
+LeafWorkerPool::completeRequest(WorkerSlot &slot)
+{
+    slot.completed.fetch_add(1, std::memory_order_release);
+    notifyDrainWaiters();
+}
+
+void
+LeafWorkerPool::dropRequest(WorkerSlot &slot, ServeRequest &req,
+                            ServeOutcome outcome,
+                            std::atomic<uint64_t> &counter)
+{
+    counter.fetch_add(1, std::memory_order_relaxed);
+    finish(req, {}, outcome, 0);
+    req.request.cancel.reset();
+    completeRequest(slot);
+}
+
+void
 LeafWorkerPool::workerMain(uint32_t worker_id)
 {
     WorkerSlot &slot = *slots_[worker_id];
     Clock &clk = clock();
+    // Interference schedule: worker-local since the rework (every
+    // worker pauses on every Nth of ITS OWN executions rather than
+    // the pool pausing on every Nth global execution -- same pause
+    // rate, no shared tick counter on the hot path).
+    uint64_t interference_tick = 0;
     ServeRequest req;
     while (queue_.pop(req)) {
         uint64_t start = clk.now();
@@ -189,11 +241,13 @@ LeafWorkerPool::workerMain(uint32_t worker_id)
             req.request.deadlineNs != 0 &&
             start > req.request.deadlineNs;
         if (dropped_cancel) {
-            dropRequest(req, ServeOutcome::Cancelled, cancelled_);
+            dropRequest(slot, req, ServeOutcome::Cancelled,
+                        slot.cancelled);
             continue;
         }
         if (dropped_expired) {
-            dropRequest(req, ServeOutcome::Expired, expired_);
+            dropRequest(slot, req, ServeOutcome::Expired,
+                        slot.expired);
             continue;
         }
 
@@ -210,25 +264,27 @@ LeafWorkerPool::workerMain(uint32_t worker_id)
             const uint64_t now = clk.now();
             if (req.request.cancel &&
                 req.request.cancel->load(std::memory_order_acquire)) {
-                dropRequest(req, ServeOutcome::Cancelled, cancelled_);
+                dropRequest(slot, req, ServeOutcome::Cancelled,
+                            slot.cancelled);
                 continue;
             }
             if (req.request.deadlineNs != 0 &&
                 now > req.request.deadlineNs) {
-                dropRequest(req, ServeOutcome::Expired, expired_);
+                dropRequest(slot, req, ServeOutcome::Expired,
+                            slot.expired);
                 continue;
             }
             start = now; // service time excludes the injected delay
         }
         if (fd.fail) {
-            dropRequest(req, ServeOutcome::Failed, faultFailed_);
+            dropRequest(slot, req, ServeOutcome::Failed,
+                        slot.faultFailed);
             continue;
         }
 
         if (cfg_.interferenceEveryN != 0 &&
             cfg_.interferencePauseNs != 0 &&
-            interferenceTick_.fetch_add(1, std::memory_order_relaxed) %
-                    cfg_.interferenceEveryN ==
+            interference_tick++ % cfg_.interferenceEveryN ==
                 cfg_.interferenceEveryN - 1) {
             clk.sleepUntil(start + cfg_.interferencePauseNs);
         }
@@ -237,17 +293,16 @@ LeafWorkerPool::workerMain(uint32_t worker_id)
         const uint64_t end = clk.now();
 
         if (fd.corrupt) {
-            faultCorrupted_.fetch_add(1, std::memory_order_relaxed);
+            slot.faultCorrupted.fetch_add(
+                1, std::memory_order_relaxed);
             corruptReply(resp.docs);
             resp.degraded = true; // never cache a corrupted page
         }
 
         // Never cache a degraded page: the next asker deserves the
         // full answer, not whatever a deadline-clipped run salvaged.
-        if (cfg_.cacheCapacity > 0 && !resp.degraded) {
-            std::lock_guard<std::mutex> lk(cacheMu_);
+        if (cfg_.cacheCapacity > 0 && !resp.degraded)
             cache_.insert(req.request.query.id, resp.docs);
-        }
         {
             std::lock_guard<std::mutex> lk(slot.mu);
             ++slot.counters.served;
@@ -260,7 +315,8 @@ LeafWorkerPool::workerMain(uint32_t worker_id)
             // (The promise channel -- closed-loop tests -- is still
             // fulfilled; silence only makes sense for async callers
             // that own a deadline.)
-            faultDropped_.fetch_add(1, std::memory_order_relaxed);
+            slot.faultDropped.fetch_add(1,
+                                        std::memory_order_relaxed);
             req.done = nullptr;
         }
         // The executor reports !ok only when it observed the cancel
@@ -274,24 +330,42 @@ LeafWorkerPool::workerMain(uint32_t worker_id)
                resp.indexVersion);
         req.request.cancel.reset();
 
-        completed_.fetch_add(1, std::memory_order_release);
-        {
-            // Empty critical section pairs with drain()'s wait so the
-            // notify cannot slip between its predicate check and sleep.
-            std::lock_guard<std::mutex> lk(drainMu_);
-        }
-        drainCv_.notify_all();
+        completeRequest(slot);
     }
+}
+
+uint64_t
+LeafWorkerPool::acceptedApprox() const
+{
+    uint64_t n = 0;
+    for (const SubmitSlab &slab : submitSlabs_)
+        n += slab.accepted.load(std::memory_order_acquire);
+    return n;
+}
+
+uint64_t
+LeafWorkerPool::completedApprox() const
+{
+    uint64_t n = 0;
+    for (const auto &slot : slots_)
+        n += slot->completed.load(std::memory_order_acquire);
+    return n;
 }
 
 void
 LeafWorkerPool::drain()
 {
     std::unique_lock<std::mutex> lk(drainMu_);
+    drainWaiters_.fetch_add(1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
     drainCv_.wait(lk, [this] {
-        return completed_.load(std::memory_order_acquire) >=
-            accepted_.load(std::memory_order_acquire);
+        // accepted first: a stale-low accepted total with a fresh
+        // completed total could otherwise declare the pool drained
+        // while an accepted request is still in flight.
+        const uint64_t acc = acceptedApprox();
+        return completedApprox() >= acc;
     });
+    drainWaiters_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void
@@ -312,18 +386,30 @@ ServeSnapshot
 LeafWorkerPool::snapshot() const
 {
     ServeSnapshot s;
-    s.submitted = submitted_.load(std::memory_order_relaxed);
-    s.accepted = accepted_.load(std::memory_order_relaxed);
-    s.shed = shed_.load(std::memory_order_relaxed);
-    s.cacheHits = cacheHits_.load(std::memory_order_relaxed);
-    s.refused = refused_.load(std::memory_order_relaxed);
-    s.completed = completed_.load(std::memory_order_acquire);
-    s.expired = expired_.load(std::memory_order_relaxed);
-    s.cancelled = cancelled_.load(std::memory_order_relaxed);
-    s.faultFailed = faultFailed_.load(std::memory_order_relaxed);
-    s.faultDropped = faultDropped_.load(std::memory_order_relaxed);
-    s.faultCorrupted =
-        faultCorrupted_.load(std::memory_order_relaxed);
+    for (const SubmitSlab &slab : submitSlabs_) {
+        s.accepted += slab.accepted.load(std::memory_order_acquire);
+        s.shed += slab.shed.load(std::memory_order_relaxed);
+        s.cacheHits +=
+            slab.cacheHits.load(std::memory_order_relaxed);
+        s.refused += slab.refused.load(std::memory_order_relaxed);
+    }
+    // Derived, not stored: the admission identity
+    // submitted == accepted + shed + cacheHits + refused therefore
+    // holds at any instant by construction.
+    s.submitted = s.accepted + s.shed + s.cacheHits + s.refused;
+    for (const auto &slot : slots_) {
+        s.expired += slot->expired.load(std::memory_order_relaxed);
+        s.cancelled +=
+            slot->cancelled.load(std::memory_order_relaxed);
+        s.faultFailed +=
+            slot->faultFailed.load(std::memory_order_relaxed);
+        s.faultDropped +=
+            slot->faultDropped.load(std::memory_order_relaxed);
+        s.faultCorrupted +=
+            slot->faultCorrupted.load(std::memory_order_relaxed);
+        s.completed +=
+            slot->completed.load(std::memory_order_acquire);
+    }
     if (leaf_.live()) {
         s.snapshotsAdopted = leaf_.snapshotsAdopted();
         s.handoffsRejected = leaf_.handoffsRejected();
@@ -337,12 +423,10 @@ LeafWorkerPool::snapshot() const
         s.serviceNs.merge(slot->serviceNs);
         s.sojournNs.merge(slot->sojournNs);
     }
-    {
-        std::lock_guard<std::mutex> lk(cacheMu_);
-        s.cacheLookups = cache_.lookups();
-        s.cacheEvictions = cache_.evictions();
-        s.cacheHitNs = cacheHitNs_;
-    }
+    const StripedQueryCache::Totals cache_totals = cache_.totals();
+    s.cacheLookups = cache_totals.lookups;
+    s.cacheEvictions = cache_totals.evictions;
+    s.cacheHitNs = cache_.hitHistogram();
     return s;
 }
 

@@ -4,16 +4,19 @@
  * latency-constrained leaf). A LeafWorkerPool owns:
  *
  *  - a bounded MPMC request queue (admission control: blocking push
- *    for closed-loop clients, shed-on-full for open-loop overload);
+ *    for closed-loop clients, shed-on-full for open-loop overload) --
+ *    a lock-free Vyukov ticket ring since the contention-free rework;
  *  - N std::thread workers, each serving queries on its own logical
  *    thread id of a shared LeafServer -- i.e. a per-thread
  *    QueryExecutor with tid-tagged scratch over one shared IndexShard,
  *    exactly the paper's SMT co-location model;
  *  - the query-result cache tier (ServingTree's front tier, here
- *    mutex-guarded) sitting in front of the queue, so popular queries
- *    never occupy a worker;
- *  - per-worker latency histograms and throughput counters, merged
- *    into a ServeSnapshot that is safe to take mid-traffic.
+ *    lock-striped into hash-partitioned segments) sitting in front of
+ *    the queue, so popular queries never occupy a worker;
+ *  - per-worker latency histograms and throughput counters on
+ *    per-worker stats slabs (no shared hot atomics on the completion
+ *    path), merged into a ServeSnapshot that is safe to take
+ *    mid-traffic.
  *
  * The pool runs untraced (NullTouchSink): this subsystem measures
  * wall-clock tail latency of the real engine, not simulated memory
@@ -23,6 +26,7 @@
 #ifndef WSEARCH_SERVE_WORKER_POOL_HH
 #define WSEARCH_SERVE_WORKER_POOL_HH
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -33,13 +37,13 @@
 #include <thread>
 #include <vector>
 
-#include "search/cache_server.hh"
 #include "search/leaf.hh"
 #include "search/query.hh"
 #include "serve/bounded_queue.hh"
 #include "serve/clock.hh"
 #include "serve/fault.hh"
 #include "serve/serve_stats.hh"
+#include "serve/striped_cache.hh"
 
 namespace wsearch {
 
@@ -104,6 +108,13 @@ class LeafWorkerPool
         size_t queueCapacity = 1024;
         /** Query-result cache entries in front of the queue (0 off). */
         size_t cacheCapacity = 0;
+        /**
+         * Lock stripes for the cache tier. 0 = auto: the smallest
+         * power of two >= numWorkers, clamped to 16 -- enough that
+         * concurrent admissions on distinct queries take distinct
+         * locks. Any explicit value is rounded up to a power of two.
+         */
+        size_t cacheStripes = 0;
         /**
          * Background-interference model ("The Tail at Scale"): every
          * interferenceEveryN-th execution on this pool stalls for
@@ -200,15 +211,45 @@ class LeafWorkerPool
     const Config &config() const { return cfg_; }
 
   private:
-    /** Mutex-guarded per-worker stats; workers touch only their own
-     *  slot, so the lock is uncontended except during snapshots. */
-    struct WorkerSlot
+    /**
+     * Per-worker stats slab. The completion counters are the worker's
+     * own cache line (alignas below): it is the only writer, so the
+     * hot completion path is an uncontended relaxed/release increment
+     * -- no shared atomic, no lock. Snapshots read the atomics from
+     * any thread; the histograms stay behind the slot mutex, which
+     * only a snapshot ever contends.
+     */
+    struct alignas(64) WorkerSlot
     {
+        std::atomic<uint64_t> completed{0};
+        std::atomic<uint64_t> expired{0};   ///< deadline passed
+        std::atomic<uint64_t> cancelled{0}; ///< cancel flag set
+        std::atomic<uint64_t> faultFailed{0};    ///< injected failures
+        std::atomic<uint64_t> faultDropped{0};   ///< completions lost
+        std::atomic<uint64_t> faultCorrupted{0}; ///< corrupted
         mutable std::mutex mu;
         WorkerCounters counters;
         LatencyHistogram serviceNs;
         LatencyHistogram sojournNs;
     };
+
+    /**
+     * Submission-side counter slab: admission outcomes are counted on
+     * one of kSubmitSlabs cache-line-sized slabs picked per submitting
+     * thread, so concurrent clients don't serialize on one counter
+     * line. submitted is not stored at all -- ServeSnapshot derives
+     * it as accepted + shed + cacheHits + refused at read time, which
+     * keeps consistent()'s admission identity exact at ANY instant
+     * (a separate counter could be observed out of step mid-flight).
+     */
+    struct alignas(64) SubmitSlab
+    {
+        std::atomic<uint64_t> accepted{0};
+        std::atomic<uint64_t> shed{0};
+        std::atomic<uint64_t> cacheHits{0};
+        std::atomic<uint64_t> refused{0};
+    };
+    static constexpr size_t kSubmitSlabs = 16;
 
     Admit enqueue(ServeRequest &&req, bool block);
     void workerMain(uint32_t worker_id);
@@ -222,9 +263,24 @@ class LeafWorkerPool
         return cfg_.clock ? *cfg_.clock : realClock();
     }
 
+    /** The submitting thread's slab (stable per thread). */
+    SubmitSlab &submitSlab();
+
     /** Count a popped-but-dropped request and wake drain()ers. */
-    void dropRequest(ServeRequest &req, ServeOutcome outcome,
+    void dropRequest(WorkerSlot &slot, ServeRequest &req,
+                     ServeOutcome outcome,
                      std::atomic<uint64_t> &counter);
+
+    /** Mark one completion on @p slot and wake drain()ers (if any). */
+    void completeRequest(WorkerSlot &slot);
+
+    /** Sum of accepted over the submit slabs (drain predicate). */
+    uint64_t acceptedApprox() const;
+    /** Sum of completed over the worker slots (drain predicate). */
+    uint64_t completedApprox() const;
+
+    /** Wake drain() waiters; skipped when nobody waits. */
+    void notifyDrainWaiters();
 
     Config cfg_;
     LeafServer leaf_;
@@ -232,28 +288,15 @@ class LeafWorkerPool
     std::vector<std::unique_ptr<WorkerSlot>> slots_;
     std::vector<std::thread> threads_;
 
-    // Cache tier (front of the queue).
-    mutable std::mutex cacheMu_;
-    QueryCacheServer cache_;
-    LatencyHistogram cacheHitNs_; ///< guarded by cacheMu_
+    // Cache tier (front of the queue), lock-striped by query id.
+    StripedQueryCache cache_;
 
-    // Admission/completion counters.
-    std::atomic<uint64_t> submitted_{0};
-    std::atomic<uint64_t> accepted_{0};
-    std::atomic<uint64_t> shed_{0};
-    std::atomic<uint64_t> cacheHits_{0};
-    std::atomic<uint64_t> completed_{0};
-    std::atomic<uint64_t> expired_{0};   ///< dropped: deadline passed
-    std::atomic<uint64_t> cancelled_{0}; ///< dropped: cancel flag set
-    std::atomic<uint64_t> refused_{0};   ///< injector refused admission
-    std::atomic<uint64_t> faultFailed_{0};    ///< injected failures
-    std::atomic<uint64_t> faultDropped_{0};   ///< completions lost
-    std::atomic<uint64_t> faultCorrupted_{0}; ///< payloads corrupted
+    // Admission counters, striped per submitting thread.
+    std::array<SubmitSlab, kSubmitSlabs> submitSlabs_;
 
-    /** Executions since start, for the interference schedule. */
-    std::atomic<uint64_t> interferenceTick_{0};
-
-    // drain() support.
+    // drain() support. Waiters register so the completion hot path
+    // can skip the mutex+notify entirely when nobody is draining.
+    std::atomic<uint32_t> drainWaiters_{0};
     mutable std::mutex drainMu_;
     std::condition_variable drainCv_;
 

@@ -5,11 +5,25 @@
  * consistent() must agree with the documented accounting identities.
  * A merge that silently forgets a counter shows up here, not as a
  * subtly-wrong fleet report.
+ *
+ * Also covers the per-worker stats-slab aggregation: since the
+ * contention-free rework, LeafWorkerPool::snapshot() SUMS counters
+ * from per-worker slabs and per-thread submission slabs (submitted is
+ * derived, not stored), so these tests pin that the aggregated view
+ * still satisfies every identity -- after a drain and mid-flight.
  */
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <future>
+#include <thread>
+
+#include "search/corpus.hh"
+#include "search/index.hh"
+#include "search/query.hh"
 #include "serve/serve_stats.hh"
+#include "serve/worker_pool.hh"
 
 namespace wsearch {
 namespace {
@@ -150,6 +164,131 @@ TEST(ServeSnapshot, VersionRangeIgnoresFrozenPools)
     fleet.merge(lagging);
     EXPECT_EQ(fleet.indexVersionLow, 3u);
     EXPECT_EQ(fleet.indexVersionHigh, 11u);
+}
+
+/** Tiny shared shard for the slab-aggregation pool tests. */
+const MaterializedIndex &
+slabTestIndex()
+{
+    static const CorpusGenerator corpus([] {
+        CorpusConfig cc;
+        cc.numDocs = 500;
+        cc.vocabSize = 500;
+        cc.avgDocLen = 40;
+        return cc;
+    }());
+    static const MaterializedIndex index(corpus);
+    return index;
+}
+
+SearchRequest
+slabRequest(const Query &q)
+{
+    SearchRequest req;
+    req.query = q;
+    return req;
+}
+
+/**
+ * Per-worker slab aggregation: executed work and drop reasons are
+ * counted on each worker's own slab; the snapshot must sum them into
+ * a view where every identity holds and the per-worker served
+ * counters reconcile with executed().
+ */
+TEST(ServeSnapshot, PoolAggregatesPerWorkerSlabs)
+{
+    LeafWorkerPool::Config pc;
+    pc.numWorkers = 4;
+    pc.queueCapacity = 64;
+    LeafWorkerPool pool(slabTestIndex(), pc);
+
+    QueryGenerator::Config qc;
+    qc.vocabSize = 500;
+    qc.distinctQueries = 256;
+    QueryGenerator gen(qc);
+
+    const uint32_t kServed = 300;
+    const uint32_t kExpired = 50;
+    for (uint32_t i = 0; i < kServed; ++i)
+        ASSERT_EQ(pool.submit(slabRequest(gen.next()),
+                              /*block=*/true),
+                  LeafWorkerPool::Admit::Accepted);
+    for (uint32_t i = 0; i < kExpired; ++i) {
+        // A deadline in the distant past: the popping worker must
+        // drop it as Expired, counted on ITS slab.
+        SearchRequest req = slabRequest(gen.next());
+        req.deadlineNs = 1;
+        ASSERT_EQ(pool.submit(req, /*block=*/true),
+                  LeafWorkerPool::Admit::Accepted);
+    }
+    pool.drain();
+
+    const ServeSnapshot s = pool.snapshot();
+    EXPECT_TRUE(s.consistent());
+    EXPECT_EQ(s.submitted, kServed + kExpired);
+    EXPECT_EQ(s.accepted, kServed + kExpired);
+    EXPECT_EQ(s.completed, kServed + kExpired);
+    EXPECT_EQ(s.expired, kExpired);
+    EXPECT_EQ(s.executed(), kServed);
+    // The per-worker served counters (one slab each) must reconcile
+    // with the aggregated executed count, and with 4 workers on a
+    // 64-deep queue the work cannot all land on one slab.
+    uint64_t served = 0;
+    for (const WorkerCounters &w : s.workers)
+        served += w.served;
+    EXPECT_EQ(s.workers.size(), 4u);
+    EXPECT_EQ(served, kServed);
+    EXPECT_EQ(s.sojournNs.count(), kServed);
+    EXPECT_EQ(s.serviceNs.count(), kServed);
+}
+
+/**
+ * The admission identity (submitted == accepted + shed + cacheHits +
+ * refused) must hold at ANY instant, not just after a drain: the
+ * snapshot derives submitted from the summed slabs, so a mid-flight
+ * reader can never catch the counters out of step.
+ */
+TEST(ServeSnapshot, AdmissionIdentityHoldsMidFlight)
+{
+    LeafWorkerPool::Config pc;
+    pc.numWorkers = 2;
+    pc.queueCapacity = 8; // small: force sheds under pressure
+    pc.cacheCapacity = 128;
+    LeafWorkerPool pool(slabTestIndex(), pc);
+
+    QueryGenerator::Config qc;
+    qc.vocabSize = 500;
+    qc.distinctQueries = 64; // repeats: cache hits mid-run
+    QueryGenerator gen(qc);
+
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> violations{0};
+    std::thread observer([&] {
+        while (!stop.load()) {
+            const ServeSnapshot s = pool.snapshot();
+            if (s.submitted !=
+                s.accepted + s.shed + s.cacheHits + s.refused)
+                violations.fetch_add(1);
+            if (s.indexVersionLow > s.indexVersionHigh)
+                violations.fetch_add(1);
+        }
+    });
+
+    const uint32_t kQueries = 4000;
+    for (uint32_t i = 0; i < kQueries; ++i)
+        pool.submit(slabRequest(gen.next()), /*block=*/false);
+    pool.drain();
+    stop.store(true);
+    observer.join();
+
+    EXPECT_EQ(violations.load(), 0u);
+    const ServeSnapshot s = pool.snapshot();
+    EXPECT_TRUE(s.consistent());
+    EXPECT_EQ(s.submitted, kQueries);
+    EXPECT_EQ(s.accepted + s.shed + s.cacheHits, kQueries);
+    EXPECT_EQ(s.completed, s.accepted);
+    // One latency sample per cache hit, summed over segments.
+    EXPECT_EQ(s.cacheHitNs.count(), s.cacheHits);
 }
 
 } // namespace

@@ -1,0 +1,224 @@
+/**
+ * Striped query-cache tier: equivalence against the single-segment
+ * QueryCacheServer reference, zero-capacity shed-to-miss consistency
+ * across segments, and concurrent hit/evict accounting (the "serve"
+ * label puts the concurrency tests under CI's TSan leg).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "search/cache_server.hh"
+#include "serve/striped_cache.hh"
+#include "util/rng.hh"
+#include "util/zipf.hh"
+
+namespace wsearch {
+namespace {
+
+std::vector<ScoredDoc>
+resultFor(uint64_t id)
+{
+    return {ScoredDoc{static_cast<uint32_t>(id),
+                      static_cast<float>(id)}};
+}
+
+/** A deterministic skewed query-id trace (repeats drive hits). */
+std::vector<uint64_t>
+zipfTrace(size_t n, uint64_t universe, uint64_t seed)
+{
+    std::vector<uint64_t> trace;
+    trace.reserve(n);
+    Rng rng(seed);
+    ZipfSampler zipf(universe, 0.9);
+    for (size_t i = 0; i < n; ++i)
+        trace.push_back(zipf.sample(rng));
+    return trace;
+}
+
+/** One stripe must behave bit-identically to the bare
+ *  QueryCacheServer on the same trace: same hits, same evictions,
+ *  same resident set, query by query. */
+TEST(StripedQueryCache, SingleStripeMatchesReferenceExactly)
+{
+    StripedQueryCache striped(64, 1);
+    QueryCacheServer reference(64);
+
+    const std::vector<uint64_t> trace = zipfTrace(20000, 4096, 42);
+    for (const uint64_t id : trace) {
+        std::vector<ScoredDoc> got;
+        const bool hit = striped.lookup(id, &got);
+        std::vector<ScoredDoc> want;
+        const bool ref_hit = reference.lookup(id, &want);
+        ASSERT_EQ(hit, ref_hit) << "query " << id;
+        if (hit) {
+            ASSERT_EQ(got.size(), want.size());
+            ASSERT_EQ(got[0].doc, want[0].doc);
+        } else {
+            striped.insert(id, resultFor(id));
+            reference.insert(id, resultFor(id));
+        }
+    }
+    const StripedQueryCache::Totals t = striped.totals();
+    EXPECT_EQ(t.lookups, reference.lookups());
+    EXPECT_EQ(t.hits, reference.hits());
+    EXPECT_EQ(t.evictions, reference.evictions());
+    EXPECT_EQ(t.size, reference.size());
+}
+
+/**
+ * The sharded tier must be equivalent to N independent per-hash-class
+ * reference caches of the same per-segment capacities: hashing
+ * partitions the key space, so each segment IS a QueryCacheServer
+ * over its hash class. Totals (hits/evictions/size) must match the
+ * reference partition sum on the same trace.
+ */
+TEST(StripedQueryCache, ShardedTotalsMatchPartitionedReference)
+{
+    constexpr size_t kStripes = 8;
+    constexpr size_t kCapacity = 100; // 100/8: segments get 13 or 12
+    StripedQueryCache striped(kCapacity, kStripes);
+
+    std::vector<QueryCacheServer> reference;
+    for (size_t i = 0; i < kStripes; ++i)
+        reference.emplace_back(striped.stripeCapacity(i));
+
+    const std::vector<uint64_t> trace = zipfTrace(30000, 2048, 7);
+    for (const uint64_t id : trace) {
+        const size_t s =
+            StripedQueryCache::stripeFor(id, kStripes);
+        const bool hit = striped.lookup(id, nullptr);
+        const bool ref_hit = reference[s].lookup(id, nullptr);
+        ASSERT_EQ(hit, ref_hit) << "query " << id;
+        if (!hit) {
+            striped.insert(id, resultFor(id));
+            reference[s].insert(id, resultFor(id));
+        }
+    }
+
+    uint64_t ref_lookups = 0, ref_hits = 0, ref_evictions = 0,
+             ref_size = 0;
+    for (size_t i = 0; i < kStripes; ++i) {
+        ref_lookups += reference[i].lookups();
+        ref_hits += reference[i].hits();
+        ref_evictions += reference[i].evictions();
+        ref_size += reference[i].size();
+        // Per-segment counters must match, not just the totals.
+        const StripedQueryCache::Totals st = striped.stripeTotals(i);
+        EXPECT_EQ(st.lookups, reference[i].lookups()) << i;
+        EXPECT_EQ(st.hits, reference[i].hits()) << i;
+        EXPECT_EQ(st.evictions, reference[i].evictions()) << i;
+    }
+    const StripedQueryCache::Totals t = striped.totals();
+    EXPECT_EQ(t.lookups, ref_lookups);
+    EXPECT_EQ(t.hits, ref_hits);
+    EXPECT_EQ(t.evictions, ref_evictions);
+    EXPECT_EQ(t.size, ref_size);
+}
+
+/** Zero total capacity: every segment sheds to a counted miss --
+ *  inserts store nothing, lookups hit nothing, on ALL segments. */
+TEST(StripedQueryCache, ZeroCapacityShedsToMissOnEverySegment)
+{
+    constexpr size_t kStripes = 8;
+    StripedQueryCache cache(0, kStripes);
+    for (size_t i = 0; i < kStripes; ++i)
+        EXPECT_EQ(cache.stripeCapacity(i), 0u);
+
+    // Touch enough ids that every segment sees traffic.
+    for (uint64_t id = 0; id < 256; ++id) {
+        cache.insert(id, resultFor(id));
+        EXPECT_FALSE(cache.lookup(id, nullptr));
+    }
+    for (size_t i = 0; i < kStripes; ++i) {
+        const StripedQueryCache::Totals st = cache.stripeTotals(i);
+        EXPECT_GT(st.lookups, 0u) << "segment " << i << " untouched";
+        EXPECT_EQ(st.hits, 0u) << i;
+        EXPECT_EQ(st.size, 0u) << i;
+        EXPECT_EQ(st.evictions, 0u) << i;
+    }
+    const StripedQueryCache::Totals t = cache.totals();
+    EXPECT_EQ(t.lookups, 256u * 1u);
+    EXPECT_EQ(t.hits, 0u);
+    EXPECT_EQ(t.size, 0u);
+}
+
+/** Capacity below the stripe count: the zero-capacity segments keep
+ *  shedding to miss while the funded segments cache normally. */
+TEST(StripedQueryCache, CapacityBelowStripesStaysConsistent)
+{
+    constexpr size_t kStripes = 8;
+    constexpr size_t kCapacity = 3; // segments 0..2 get 1, rest get 0
+    StripedQueryCache cache(kCapacity, kStripes);
+
+    size_t funded = 0, empty = 0;
+    for (size_t i = 0; i < kStripes; ++i) {
+        if (cache.stripeCapacity(i) > 0)
+            ++funded;
+        else
+            ++empty;
+    }
+    EXPECT_EQ(funded, kCapacity);
+    EXPECT_EQ(empty, kStripes - kCapacity);
+
+    for (uint64_t id = 0; id < 512; ++id) {
+        cache.insert(id, resultFor(id));
+        const size_t s =
+            StripedQueryCache::stripeFor(id, kStripes);
+        // An immediate re-lookup hits iff the segment has capacity.
+        EXPECT_EQ(cache.lookup(id, nullptr),
+                  cache.stripeCapacity(s) > 0)
+            << "query " << id;
+    }
+    for (size_t i = 0; i < kStripes; ++i) {
+        const StripedQueryCache::Totals st = cache.stripeTotals(i);
+        if (cache.stripeCapacity(i) == 0) {
+            EXPECT_EQ(st.hits, 0u) << i;
+            EXPECT_EQ(st.size, 0u) << i;
+        } else {
+            EXPECT_GT(st.hits, 0u) << i;
+            EXPECT_LE(st.size, cache.stripeCapacity(i)) << i;
+        }
+    }
+    EXPECT_EQ(cache.totals().size, kCapacity);
+}
+
+/** Concurrent mixed lookup/insert traffic: accounting stays exact
+ *  (every lookup counted once; hits <= lookups; resident set bounded
+ *  by capacity) and TSan sees the stripe locking. */
+TEST(StripedQueryCache, ConcurrentAccountingStaysExact)
+{
+    constexpr size_t kStripes = 4;
+    constexpr int kThreads = 4;
+    constexpr uint64_t kPerThread = 10000;
+    StripedQueryCache cache(128, kStripes);
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&cache, t] {
+            uint64_t state = 0x9000 + static_cast<uint64_t>(t);
+            for (uint64_t i = 0; i < kPerThread; ++i) {
+                const uint64_t id = splitmix64(state) % 512;
+                if (!cache.lookup(id, nullptr))
+                    cache.insert(id, resultFor(id));
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    const StripedQueryCache::Totals totals = cache.totals();
+    EXPECT_EQ(totals.lookups, kThreads * kPerThread);
+    EXPECT_LE(totals.hits, totals.lookups);
+    EXPECT_GT(totals.hits, 0u);
+    EXPECT_LE(totals.size, 128u);
+    // The hit histogram's sample count must equal the hit count:
+    // exactly one latency sample per hit.
+    EXPECT_EQ(cache.hitHistogram().count(), totals.hits);
+}
+
+} // namespace
+} // namespace wsearch
