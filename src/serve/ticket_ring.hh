@@ -41,6 +41,7 @@
 #define WSEARCH_SERVE_TICKET_RING_HH
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -115,6 +116,7 @@ class TicketRing
     bool
     pop(T &out)
     {
+        Backoff stall;
         for (;;) {
             if (tryDequeue(out)) {
                 wakePushers();
@@ -131,10 +133,23 @@ class TicketRing
                     (raw & kTicketMask))
                     return false;
                 // A producer claimed a ticket before the close but
-                // has not published its slot yet; spin it out.
-                std::this_thread::yield();
+                // has not published its slot yet; back off until it
+                // publishes (it may be preempted, so yields alone can
+                // starve it on an oversubscribed machine).
+                stall.pause();
                 continue;
             }
+            if (sizeApprox() > 0) {
+                // The head slot is claimed but not yet published (or
+                // another consumer beat us to a just-published item).
+                // The condvar predicate is already true, so wait()
+                // would return immediately -- sleeping there turns
+                // every blocked consumer into a waitMu_-churning
+                // spin. Back off outside the lock instead.
+                stall.pause();
+                continue;
+            }
+            stall.reset();
             std::unique_lock<std::mutex> lk(waitMu_);
             popWaiters_.fetch_add(1, std::memory_order_relaxed);
             std::atomic_thread_fence(std::memory_order_seq_cst);
@@ -176,6 +191,36 @@ class TicketRing
     size_t capacity() const { return capacity_; }
 
   private:
+    /**
+     * Escalating wait for a claimed-but-unpublished slot: the stall
+     * ends as soon as the owning producer runs again, so start with
+     * yields (cheap, keeps latency tight when the producer is merely
+     * between its CAS and its publish store), then fall back to short
+     * exponential sleeps capped at 128us in case the producer is
+     * preempted and yields alone would burn a full core per consumer.
+     */
+    struct Backoff
+    {
+        void
+        pause()
+        {
+            if (round_ < 16) {
+                std::this_thread::yield();
+            } else {
+                const uint32_t exp =
+                    round_ - 16 < 7 ? round_ - 16 : 7;
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(1u << exp));
+            }
+            ++round_;
+        }
+
+        void reset() { round_ = 0; }
+
+      private:
+        uint32_t round_ = 0;
+    };
+
     /** High bit of the enqueue ticket word; the 63 ticket bits never
      *  get near it. */
     static constexpr uint64_t kClosedBit = 1ull << 63;

@@ -15,7 +15,13 @@ leafConfigFor(const LeafWorkerPool::Config &cfg)
     return lc;
 }
 
-/** Resolve Config::cacheStripes (0 = auto) to a power of two. */
+/**
+ * Resolve Config::cacheStripes (0 = auto) to a power of two, then
+ * clamp so a non-zero capacity funds every stripe with at least one
+ * entry: capacity splits evenly across stripes, and a segment that
+ * rounded down to zero entries would shed its whole hash class to
+ * miss even though the configured total capacity is positive.
+ */
 size_t
 stripeCountFor(const LeafWorkerPool::Config &cfg)
 {
@@ -26,6 +32,9 @@ stripeCountFor(const LeafWorkerPool::Config &cfg)
     size_t n = 1;
     while (n < want)
         n *= 2;
+    if (cfg.cacheCapacity > 0)
+        while (n > cfg.cacheCapacity)
+            n /= 2;
     return n;
 }
 
@@ -359,11 +368,15 @@ LeafWorkerPool::drain()
     drainWaiters_.fetch_add(1, std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_seq_cst);
     drainCv_.wait(lk, [this] {
-        // accepted first: a stale-low accepted total with a fresh
-        // completed total could otherwise declare the pool drained
-        // while an accepted request is still in flight.
-        const uint64_t acc = acceptedApprox();
-        return completedApprox() >= acc;
+        // completed first: both totals only grow, so a stale-low
+        // completed read is the safe side. completed(t1) >=
+        // accepted(t2) with t1 <= t2 means every request accepted by
+        // t2 had already completed -- a true quiescent point. The
+        // reverse order can pair a fresh completed total with a stale
+        // accepted total and declare the pool drained while a request
+        // accepted before the reads is still in flight.
+        const uint64_t done = completedApprox();
+        return done >= acceptedApprox();
     });
     drainWaiters_.fetch_sub(1, std::memory_order_relaxed);
 }

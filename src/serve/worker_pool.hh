@@ -106,13 +106,25 @@ class LeafWorkerPool
     {
         uint32_t numWorkers = 2;
         size_t queueCapacity = 1024;
-        /** Query-result cache entries in front of the queue (0 off). */
+        /**
+         * Query-result cache entries in front of the queue (0 off).
+         * Since the tier is lock-striped, capacity is PARTITIONED
+         * across stripes (capacity / stripes per segment), not pooled
+         * in one global LRU: a hot segment evicts at its own share
+         * while cold segments sit underfull, so heavily skewed query
+         * mixes can see a lower hit rate than a single LRU of the
+         * same total capacity would give.
+         */
         size_t cacheCapacity = 0;
         /**
          * Lock stripes for the cache tier. 0 = auto: the smallest
          * power of two >= numWorkers, clamped to 16 -- enough that
          * concurrent admissions on distinct queries take distinct
          * locks. Any explicit value is rounded up to a power of two.
+         * Either way the count is then clamped down so a non-zero
+         * cacheCapacity funds every stripe with >= 1 entry (a segment
+         * split down to zero entries would shed its whole hash class
+         * to miss).
          */
         size_t cacheStripes = 0;
         /**
@@ -201,6 +213,10 @@ class LeafWorkerPool
 
     /** Instantaneous queue depth (for load-generator sampling). */
     size_t queueDepth() const { return queue_.depth(); }
+
+    /** Resolved cache-tier stripe count after the capacity clamp
+     *  (tests / observability). */
+    size_t cacheStripeCount() const { return cache_.stripeCount(); }
 
     /** Merged counters + histograms; callable while traffic runs. */
     ServeSnapshot snapshot() const;

@@ -153,6 +153,30 @@ TEST(LeafWorkerPool, CacheTierAnswersRepeats)
     EXPECT_TRUE(s.consistent());
 }
 
+/** A small cache must not be split so fine that stripes round down
+ *  to zero entries: stripe resolution clamps to the capacity. */
+TEST(LeafWorkerPool, CacheStripesClampedToCapacity)
+{
+    LeafWorkerPool::Config pc;
+    pc.numWorkers = 8; // auto stripes would want 8
+    pc.cacheCapacity = 3;
+    LeafWorkerPool pool(testIndex(), pc);
+    EXPECT_EQ(pool.cacheStripeCount(), 2u); // pow2 <= capacity
+
+    LeafWorkerPool::Config explicitPc;
+    explicitPc.numWorkers = 2;
+    explicitPc.cacheStripes = 16;
+    explicitPc.cacheCapacity = 4;
+    LeafWorkerPool explicitPool(testIndex(), explicitPc);
+    EXPECT_EQ(explicitPool.cacheStripeCount(), 4u);
+
+    // Zero capacity (tier off): no clamp, uniform shed-to-miss.
+    LeafWorkerPool::Config offPc;
+    offPc.numWorkers = 4;
+    LeafWorkerPool offPool(testIndex(), offPc);
+    EXPECT_EQ(offPool.cacheStripeCount(), 4u);
+}
+
 TEST(LeafWorkerPool, ShedFulfillsReplyEmpty)
 {
     // Shut the pool down first so every push is refused.
